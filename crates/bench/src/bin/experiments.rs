@@ -1,0 +1,108 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p tw-bench --release --bin experiments -- all
+//! cargo run -p tw-bench --release --bin experiments -- fig5_1a headline
+//! cargo run -p tw-bench --release --bin experiments -- --paper all
+//! ```
+//!
+//! With no arguments, `all` at the scaled profile is assumed.
+
+use denovo_waste::{ExperimentMatrix, RunOutcome, ScaleProfile};
+
+fn print_headline(outcome: &RunOutcome) {
+    let h = outcome.headline();
+    println!("== Headline cross-benchmark averages (paper value in parentheses) ==");
+    println!(
+        "DBypFull traffic vs MESI:    {:.3}  (paper ~0.605, i.e. a 39.5% reduction)",
+        h.dbypfull_traffic_vs_mesi
+    );
+    println!(
+        "DBypFull traffic vs MMemL1:  {:.3}  (paper ~0.648, i.e. a 35.2% reduction)",
+        h.dbypfull_traffic_vs_mmeml1
+    );
+    println!(
+        "DBypFull traffic vs DFlexL1: {:.3}  (paper ~0.811, i.e. an 18.9% reduction)",
+        h.dbypfull_traffic_vs_dflexl1
+    );
+    println!(
+        "DeNovo traffic vs MESI:      {:.3}  (paper ~0.861, i.e. a 13.9% reduction)",
+        h.denovo_traffic_vs_mesi
+    );
+    println!(
+        "DBypFull time vs MESI:       {:.3}  (paper ~0.895, i.e. a 10.5% reduction)",
+        h.dbypfull_time_vs_mesi
+    );
+    println!(
+        "MMemL1 time vs MESI:         {:.3}  (paper ~0.962, i.e. a 3.8% reduction)",
+        h.mmeml1_time_vs_mesi
+    );
+    println!(
+        "DBypFull residual waste:     {:.3}  (paper ~0.088)",
+        h.dbypfull_waste_fraction
+    );
+    println!(
+        "MESI overhead fraction:      {:.3}  (paper ~0.136)",
+        h.mesi_overhead_fraction
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        ScaleProfile::Paper
+    } else if args.iter().any(|a| a == "--tiny") {
+        ScaleProfile::Tiny
+    } else {
+        ScaleProfile::Scaled
+    };
+    let mut wanted: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+
+    eprintln!("running the experiment matrix ({scale:?} profile); this takes a little while...");
+    let outcome = ExperimentMatrix::full(scale).run();
+
+    let emit_all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| emit_all || wanted.iter().any(|w| w == name);
+
+    if want("table4_1") {
+        println!("{}", outcome.table_4_1(scale));
+    }
+    if want("table4_2") {
+        println!("{}", outcome.table_4_2());
+    }
+    if want("fig5_1a") {
+        println!("{}", outcome.fig_5_1a());
+    }
+    if want("fig5_1b") {
+        println!("{}", outcome.fig_5_1b());
+    }
+    if want("fig5_1c") {
+        println!("{}", outcome.fig_5_1c());
+    }
+    if want("fig5_1d") {
+        println!("{}", outcome.fig_5_1d());
+    }
+    if want("fig5_2") {
+        println!("{}", outcome.fig_5_2());
+    }
+    if want("fig5_3a") {
+        println!("{}", outcome.fig_5_3a());
+    }
+    if want("fig5_3b") {
+        println!("{}", outcome.fig_5_3b());
+    }
+    if want("fig5_3c") {
+        println!("{}", outcome.fig_5_3c());
+    }
+    if want("headline") {
+        print_headline(&outcome);
+    }
+}

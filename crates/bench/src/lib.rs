@@ -1,0 +1,36 @@
+//! Benchmark harness for the traffic-waste study.
+//!
+//! The `experiments` binary regenerates every table and figure of the paper's
+//! evaluation section (run `cargo run -p tw-bench --release --bin experiments
+//! -- all`); the Criterion benches under `benches/` cover the same figures at
+//! a reduced scale plus microbenchmarks of every substrate crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use denovo_waste::{ExperimentMatrix, RunOutcome, ScaleProfile};
+use tw_types::ProtocolKind;
+use tw_workloads::BenchmarkKind;
+
+/// Runs the full nine-protocol × six-benchmark matrix at the given scale.
+pub fn run_full_matrix(scale: ScaleProfile) -> RunOutcome {
+    ExperimentMatrix::full(scale).run()
+}
+
+/// Runs a reduced matrix used by the per-figure Criterion benches: the five
+/// protocols the headline summary compares, on two benchmarks, at the tiny
+/// scale.
+pub fn run_bench_matrix() -> RunOutcome {
+    ExperimentMatrix::subset(
+        vec![
+            ProtocolKind::Mesi,
+            ProtocolKind::MMemL1,
+            ProtocolKind::DeNovo,
+            ProtocolKind::DFlexL1,
+            ProtocolKind::DBypFull,
+        ],
+        vec![BenchmarkKind::Fft, BenchmarkKind::Barnes],
+        ScaleProfile::Tiny,
+    )
+    .run()
+}

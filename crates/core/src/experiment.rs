@@ -1,0 +1,525 @@
+//! Experiment matrices and figure-data extraction.
+//!
+//! [`ExperimentMatrix`] runs a set of protocols against a set of benchmarks
+//! and [`RunOutcome`] turns the collected [`SimReport`]s into the tables and
+//! figures of the paper's evaluation section (see the experiment index in
+//! `DESIGN.md`). Every figure normalizes its bars to the MESI run of the same
+//! benchmark, exactly as the paper does.
+
+use crate::figures::FigureTable;
+use crate::report::SimReport;
+use crate::sim::{SimConfig, Simulator};
+use crate::timing::TimeClass;
+use std::collections::BTreeMap;
+use tw_profiler::WasteCategory;
+use tw_types::{MessageClass, ProtocolKind, SystemConfig, TrafficBucket};
+use tw_workloads::{build_scaled, build_tiny, BenchmarkKind, Workload};
+
+/// Which input scale to run (see DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleProfile {
+    /// The paper's input sizes on the Table 4.1 system. Slow; intended for
+    /// full reproduction runs.
+    Paper,
+    /// Scaled-down inputs with the L2 shrunk proportionally so every
+    /// working-set-to-cache relationship of the paper is preserved. This is
+    /// the default for `EXPERIMENTS.md`.
+    Scaled,
+    /// Miniature inputs for tests and Criterion benches.
+    Tiny,
+}
+
+impl ScaleProfile {
+    /// The system configuration this profile simulates.
+    pub fn system(self) -> SystemConfig {
+        let mut sys = SystemConfig::default();
+        match self {
+            ScaleProfile::Paper => {}
+            ScaleProfile::Scaled => {
+                // 64 KB slices (1 MB total): keeps "working set >> L2" true
+                // for fluidanimate/FFT/radix/kD-tree and "working set << L2"
+                // true for LU/Barnes at the scaled input sizes.
+                sys.cache.l2_slice_bytes = 64 * 1024;
+            }
+            ScaleProfile::Tiny => {
+                sys.cache.l1_bytes = 16 * 1024;
+                sys.cache.l2_slice_bytes = 32 * 1024;
+            }
+        }
+        sys
+    }
+
+    /// Builds the workload for one benchmark at this scale.
+    pub fn workload(self, bench: BenchmarkKind, cores: usize) -> Workload {
+        match self {
+            ScaleProfile::Paper => match bench {
+                BenchmarkKind::Fluidanimate => {
+                    tw_workloads::fluidanimate::FluidanimateConfig::paper().build(cores)
+                }
+                BenchmarkKind::Lu => tw_workloads::lu::LuConfig::paper().build(cores),
+                BenchmarkKind::Fft => tw_workloads::fft::FftConfig::paper().build(cores),
+                BenchmarkKind::Radix => tw_workloads::radix::RadixConfig::paper().build(cores),
+                BenchmarkKind::Barnes => tw_workloads::barnes::BarnesConfig::paper().build(cores),
+                BenchmarkKind::KdTree => tw_workloads::kdtree::KdTreeConfig::paper().build(cores),
+            },
+            ScaleProfile::Scaled => build_scaled(bench, cores),
+            ScaleProfile::Tiny => build_tiny(bench, cores),
+        }
+    }
+}
+
+/// A set of (protocol × benchmark) runs.
+#[derive(Debug, Clone)]
+pub struct ExperimentMatrix {
+    /// Protocols to simulate (figure order).
+    pub protocols: Vec<ProtocolKind>,
+    /// Benchmarks to simulate (figure order).
+    pub benchmarks: Vec<BenchmarkKind>,
+    /// Input/system scale.
+    pub scale: ScaleProfile,
+}
+
+impl ExperimentMatrix {
+    /// The full matrix of the paper: all nine protocols on all six benchmarks.
+    pub fn full(scale: ScaleProfile) -> Self {
+        ExperimentMatrix {
+            protocols: ProtocolKind::ALL.to_vec(),
+            benchmarks: BenchmarkKind::ALL.to_vec(),
+            scale,
+        }
+    }
+
+    /// A reduced matrix (useful for tests): the given protocols on the given
+    /// benchmarks.
+    pub fn subset(
+        protocols: Vec<ProtocolKind>,
+        benchmarks: Vec<BenchmarkKind>,
+        scale: ScaleProfile,
+    ) -> Self {
+        ExperimentMatrix {
+            protocols,
+            benchmarks,
+            scale,
+        }
+    }
+
+    /// Runs every (protocol, benchmark) pair.
+    pub fn run(&self) -> RunOutcome {
+        let system = self.scale.system();
+        let mut reports = BTreeMap::new();
+        for &bench in &self.benchmarks {
+            let workload = self.scale.workload(bench, system.tiles());
+            for &protocol in &self.protocols {
+                let cfg = SimConfig::new(protocol).with_system(system.clone());
+                let report = Simulator::new(cfg, &workload).run();
+                reports.insert((bench, protocol), report);
+            }
+        }
+        RunOutcome {
+            protocols: self.protocols.clone(),
+            benchmarks: self.benchmarks.clone(),
+            reports,
+        }
+    }
+}
+
+/// Headline cross-benchmark averages (abstract / §5.1 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadlineSummary {
+    /// Mean traffic of DBypFull relative to MESI (paper: ≈ 0.605).
+    pub dbypfull_traffic_vs_mesi: f64,
+    /// Mean traffic of DBypFull relative to MMemL1 (paper: ≈ 0.648).
+    pub dbypfull_traffic_vs_mmeml1: f64,
+    /// Mean traffic of DBypFull relative to DFlexL1 (paper: ≈ 0.811).
+    pub dbypfull_traffic_vs_dflexl1: f64,
+    /// Mean traffic of baseline DeNovo relative to MESI (paper: ≈ 0.861).
+    pub denovo_traffic_vs_mesi: f64,
+    /// Mean execution time of DBypFull relative to MESI (paper: ≈ 0.895).
+    pub dbypfull_time_vs_mesi: f64,
+    /// Mean execution time of MMemL1 relative to MESI (paper: ≈ 0.962).
+    pub mmeml1_time_vs_mesi: f64,
+    /// Mean fraction of DBypFull's data traffic classified as waste
+    /// (paper: ≈ 0.088).
+    pub dbypfull_waste_fraction: f64,
+    /// Mean fraction of MESI traffic that is protocol overhead (paper: ≈ 0.136).
+    pub mesi_overhead_fraction: f64,
+}
+
+/// The collected reports of one experiment run plus figure extraction.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Protocols, in figure order.
+    pub protocols: Vec<ProtocolKind>,
+    /// Benchmarks, in figure order.
+    pub benchmarks: Vec<BenchmarkKind>,
+    /// One report per (benchmark, protocol) pair.
+    pub reports: BTreeMap<(BenchmarkKind, ProtocolKind), SimReport>,
+}
+
+impl RunOutcome {
+    /// The report for one (benchmark, protocol) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was not part of the matrix.
+    pub fn report(&self, bench: BenchmarkKind, protocol: ProtocolKind) -> &SimReport {
+        self.reports
+            .get(&(bench, protocol))
+            .unwrap_or_else(|| panic!("no report for {bench} / {protocol}"))
+    }
+
+    fn baseline(&self, bench: BenchmarkKind) -> &SimReport {
+        self.report(bench, ProtocolKind::Mesi)
+    }
+
+    fn row_label(bench: BenchmarkKind, protocol: ProtocolKind) -> String {
+        format!("{bench}/{protocol}")
+    }
+
+    /// Geometric-free arithmetic mean over benchmarks of `f(report,
+    /// baseline)`, matching the paper's "average of X%" statements.
+    fn mean_over_benchmarks<F: Fn(&SimReport, &SimReport) -> f64>(
+        &self,
+        protocol: ProtocolKind,
+        f: F,
+    ) -> f64 {
+        let values: Vec<f64> = self
+            .benchmarks
+            .iter()
+            .map(|&b| f(self.report(b, protocol), self.baseline(b)))
+            .collect();
+        values.iter().sum::<f64>() / values.len().max(1) as f64
+    }
+
+    /// Table 4.1: simulated system parameters.
+    pub fn table_4_1(&self, scale: ScaleProfile) -> FigureTable {
+        let mut t = FigureTable::new(
+            "Table 4.1: Simulated system parameters",
+            vec!["Component".into(), "".into()],
+        );
+        // Parameters are textual; encode them as rows with no numeric columns
+        // and describe them in the title instead.
+        let sys = scale.system();
+        t.columns = vec!["Component".into(), "Value".into()];
+        for (component, value) in sys.table_rows() {
+            t.push_row(format!("{component}: {value}"), vec![0.0]);
+        }
+        t
+    }
+
+    /// Table 4.2: application input sizes (paper input and the one actually
+    /// simulated at this scale).
+    pub fn table_4_2(&self) -> FigureTable {
+        let mut t = FigureTable::new(
+            "Table 4.2: Application input sizes (paper input -> simulated input)",
+            vec!["Application".into(), "Value".into()],
+        );
+        for &b in &self.benchmarks {
+            let input = self
+                .reports
+                .iter()
+                .find(|((bench, _), _)| *bench == b)
+                .map(|(_, r)| r.input.clone())
+                .unwrap_or_default();
+            t.push_row(format!("{b}: {} -> {input}", b.paper_input()), vec![0.0]);
+        }
+        t
+    }
+
+    /// Figure 5.1a: overall network traffic normalized to MESI, stacked by
+    /// LD/ST/WB/Overhead.
+    pub fn fig_5_1a(&self) -> FigureTable {
+        let mut t = FigureTable::new(
+            "Figure 5.1a: Overall network traffic (flit-hops, normalized to MESI)",
+            vec![
+                "bench/protocol".into(),
+                "LD".into(),
+                "ST".into(),
+                "WB".into(),
+                "Overhead".into(),
+                "Total".into(),
+            ],
+        );
+        for &b in &self.benchmarks {
+            let base = self.baseline(b).traffic.total();
+            for &p in &self.protocols {
+                let r = self.report(b, p);
+                let v = |c: MessageClass| r.traffic.class_total(c) / base;
+                t.push_row(
+                    Self::row_label(b, p),
+                    vec![
+                        v(MessageClass::Load),
+                        v(MessageClass::Store),
+                        v(MessageClass::Writeback),
+                        v(MessageClass::Overhead),
+                        r.traffic.total() / base,
+                    ],
+                );
+            }
+        }
+        t
+    }
+
+    fn request_response_figure(&self, title: &str, class: MessageClass) -> FigureTable {
+        let buckets = TrafficBucket::REQUEST_RESPONSE;
+        let mut columns = vec!["bench/protocol".into()];
+        columns.extend(buckets.iter().map(|b| b.label().to_string()));
+        let mut t = FigureTable::new(title, columns);
+        for &b in &self.benchmarks {
+            let base = self.baseline(b).traffic.class_total(class);
+            for &p in &self.protocols {
+                let r = self.report(b, p);
+                let values = buckets
+                    .iter()
+                    .map(|bucket| {
+                        if base == 0.0 {
+                            0.0
+                        } else {
+                            r.traffic.get(class, *bucket) / base
+                        }
+                    })
+                    .collect();
+                t.push_row(Self::row_label(b, p), values);
+            }
+        }
+        t
+    }
+
+    /// Figure 5.1b: load-traffic breakdown normalized to MESI's load traffic.
+    pub fn fig_5_1b(&self) -> FigureTable {
+        self.request_response_figure(
+            "Figure 5.1b: LD network traffic breakdown (normalized to MESI LD traffic)",
+            MessageClass::Load,
+        )
+    }
+
+    /// Figure 5.1c: store-traffic breakdown normalized to MESI's store traffic.
+    pub fn fig_5_1c(&self) -> FigureTable {
+        self.request_response_figure(
+            "Figure 5.1c: ST network traffic breakdown (normalized to MESI ST traffic)",
+            MessageClass::Store,
+        )
+    }
+
+    /// Figure 5.1d: writeback-traffic breakdown normalized to MESI's
+    /// writeback traffic.
+    pub fn fig_5_1d(&self) -> FigureTable {
+        let buckets = TrafficBucket::WRITEBACK;
+        let mut columns = vec!["bench/protocol".into()];
+        columns.extend(buckets.iter().map(|b| b.label().to_string()));
+        let mut t = FigureTable::new(
+            "Figure 5.1d: WB network traffic breakdown (normalized to MESI WB traffic)",
+            columns,
+        );
+        for &b in &self.benchmarks {
+            let base = self.baseline(b).traffic.class_total(MessageClass::Writeback);
+            for &p in &self.protocols {
+                let r = self.report(b, p);
+                let values = buckets
+                    .iter()
+                    .map(|bucket| {
+                        if base == 0.0 {
+                            0.0
+                        } else {
+                            r.traffic.get(MessageClass::Writeback, *bucket) / base
+                        }
+                    })
+                    .collect();
+                t.push_row(Self::row_label(b, p), values);
+            }
+        }
+        t
+    }
+
+    /// Figure 5.2: execution time normalized to MESI, stacked by component.
+    pub fn fig_5_2(&self) -> FigureTable {
+        let mut columns = vec!["bench/protocol".into()];
+        columns.extend(TimeClass::ALL.iter().map(|c| c.label().to_string()));
+        columns.push("Total".into());
+        let mut t = FigureTable::new(
+            "Figure 5.2: Execution time (normalized to MESI)",
+            columns,
+        );
+        for &b in &self.benchmarks {
+            let base = self.baseline(b).time.total().max(1) as f64;
+            for &p in &self.protocols {
+                let r = self.report(b, p);
+                let mut values: Vec<f64> = TimeClass::ALL
+                    .iter()
+                    .map(|c| r.time.get(*c) as f64 / base)
+                    .collect();
+                values.push(r.time.total() as f64 / base);
+                t.push_row(Self::row_label(b, p), values);
+            }
+        }
+        t
+    }
+
+    fn waste_figure<F: Fn(&SimReport) -> &tw_profiler::WasteReport>(
+        &self,
+        title: &str,
+        select: F,
+    ) -> FigureTable {
+        let cats = WasteCategory::ALL;
+        let mut columns = vec!["bench/protocol".into()];
+        columns.extend(cats.iter().map(|c| c.label().to_string()));
+        let mut t = FigureTable::new(title, columns);
+        for &b in &self.benchmarks {
+            let base = select(self.baseline(b)).total_words().max(1) as f64;
+            for &p in &self.protocols {
+                let r = select(self.report(b, p));
+                let values = cats.iter().map(|c| r.words(*c) as f64 / base).collect();
+                t.push_row(Self::row_label(b, p), values);
+            }
+        }
+        t
+    }
+
+    /// Figure 5.3a: words fetched into the L1s by waste category.
+    pub fn fig_5_3a(&self) -> FigureTable {
+        self.waste_figure(
+            "Figure 5.3a: L1 fetch waste (words fetched into L1, normalized to MESI)",
+            |r| &r.l1_waste,
+        )
+    }
+
+    /// Figure 5.3b: words fetched into the L2 by waste category.
+    pub fn fig_5_3b(&self) -> FigureTable {
+        self.waste_figure(
+            "Figure 5.3b: L2 fetch waste (words fetched into L2, normalized to MESI)",
+            |r| &r.l2_waste,
+        )
+    }
+
+    /// Figure 5.3c: words fetched from memory by waste category.
+    pub fn fig_5_3c(&self) -> FigureTable {
+        self.waste_figure(
+            "Figure 5.3c: Memory fetch waste (words fetched from memory, normalized to MESI)",
+            |r| &r.mem_waste,
+        )
+    }
+
+    /// The headline cross-benchmark averages quoted in the abstract and §5.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix did not include the protocols the headline quotes
+    /// (MESI, MMemL1, DeNovo, DFlexL1, DBypFull).
+    pub fn headline(&self) -> HeadlineSummary {
+        let rel_traffic = |p: ProtocolKind, q: ProtocolKind| {
+            self.benchmarks
+                .iter()
+                .map(|&b| self.report(b, p).total_flit_hops() / self.report(b, q).total_flit_hops())
+                .sum::<f64>()
+                / self.benchmarks.len() as f64
+        };
+        let rel_time = |p: ProtocolKind, q: ProtocolKind| {
+            self.benchmarks
+                .iter()
+                .map(|&b| {
+                    self.report(b, p).total_cycles as f64 / self.report(b, q).total_cycles as f64
+                })
+                .sum::<f64>()
+                / self.benchmarks.len() as f64
+        };
+        HeadlineSummary {
+            dbypfull_traffic_vs_mesi: rel_traffic(ProtocolKind::DBypFull, ProtocolKind::Mesi),
+            dbypfull_traffic_vs_mmeml1: rel_traffic(ProtocolKind::DBypFull, ProtocolKind::MMemL1),
+            dbypfull_traffic_vs_dflexl1: rel_traffic(ProtocolKind::DBypFull, ProtocolKind::DFlexL1),
+            denovo_traffic_vs_mesi: rel_traffic(ProtocolKind::DeNovo, ProtocolKind::Mesi),
+            dbypfull_time_vs_mesi: rel_time(ProtocolKind::DBypFull, ProtocolKind::Mesi),
+            mmeml1_time_vs_mesi: rel_time(ProtocolKind::MMemL1, ProtocolKind::Mesi),
+            dbypfull_waste_fraction: self
+                .mean_over_benchmarks(ProtocolKind::DBypFull, |r, _| r.waste_traffic_fraction()),
+            mesi_overhead_fraction: self.mean_over_benchmarks(ProtocolKind::Mesi, |r, _| {
+                r.traffic.class_total(MessageClass::Overhead) / r.traffic.total()
+            }),
+        }
+    }
+
+    /// Every figure of the evaluation section, in order.
+    pub fn all_figures(&self, scale: ScaleProfile) -> Vec<FigureTable> {
+        vec![
+            self.table_4_1(scale),
+            self.table_4_2(),
+            self.fig_5_1a(),
+            self.fig_5_1b(),
+            self.fig_5_1c(),
+            self.fig_5_1d(),
+            self.fig_5_2(),
+            self.fig_5_3a(),
+            self.fig_5_3b(),
+            self.fig_5_3c(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_outcome() -> RunOutcome {
+        ExperimentMatrix::subset(
+            vec![ProtocolKind::Mesi, ProtocolKind::DeNovo, ProtocolKind::DBypFull],
+            vec![BenchmarkKind::Fft, BenchmarkKind::Radix],
+            ScaleProfile::Tiny,
+        )
+        .run()
+    }
+
+    #[test]
+    fn matrix_runs_all_pairs() {
+        let out = tiny_outcome();
+        assert_eq!(out.reports.len(), 6);
+        assert!(out.report(BenchmarkKind::Fft, ProtocolKind::Mesi).total_cycles > 0);
+    }
+
+    #[test]
+    fn fig_5_1a_is_normalized_to_mesi() {
+        let out = tiny_outcome();
+        let fig = out.fig_5_1a();
+        let mesi_total = fig.value("FFT/MESI", "Total").unwrap();
+        assert!((mesi_total - 1.0).abs() < 1e-9, "MESI bar must be exactly 1.0");
+        let opt_total = fig.value("FFT/DBypFull", "Total").unwrap();
+        assert!(opt_total < 1.0, "optimized protocol must reduce traffic");
+    }
+
+    #[test]
+    fn fig_5_2_mesi_components_sum_to_one() {
+        let out = tiny_outcome();
+        let fig = out.fig_5_2();
+        let total = fig.value("radix/MESI", "Total").unwrap();
+        assert!((total - 1.0).abs() < 1e-9);
+        let parts: f64 = TimeClass::ALL
+            .iter()
+            .map(|c| fig.value("radix/MESI", c.label()).unwrap())
+            .sum();
+        assert!((parts - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn waste_figures_have_mesi_used_below_one() {
+        let out = tiny_outcome();
+        for fig in [out.fig_5_3a(), out.fig_5_3b(), out.fig_5_3c()] {
+            let used = fig.value("FFT/MESI", "Used Words").unwrap();
+            assert!(used > 0.0 && used <= 1.0, "{}: used={used}", fig.title);
+        }
+    }
+
+    #[test]
+    fn full_figure_set_has_ten_entries() {
+        let out = tiny_outcome();
+        assert_eq!(out.all_figures(ScaleProfile::Tiny).len(), 10);
+        assert!(out.table_4_2().rows.len() >= 2);
+    }
+
+    #[test]
+    fn scale_profiles_produce_distinct_systems() {
+        assert_eq!(ScaleProfile::Paper.system().cache.l2_slice_bytes, 256 * 1024);
+        assert_eq!(ScaleProfile::Scaled.system().cache.l2_slice_bytes, 64 * 1024);
+        assert!(ScaleProfile::Tiny.system().cache.l1_bytes < 32 * 1024);
+        assert!(ScaleProfile::Paper.system().validate().is_ok());
+        assert!(ScaleProfile::Scaled.system().validate().is_ok());
+        assert!(ScaleProfile::Tiny.system().validate().is_ok());
+    }
+}

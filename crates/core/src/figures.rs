@@ -1,0 +1,134 @@
+//! Plain-text figure/table rendering.
+
+use std::fmt;
+
+/// A labeled table of numeric series — the in-memory form of one paper figure
+/// or table, renderable as aligned text or CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTable {
+    /// Title ("Figure 5.1a: Overall network traffic ...").
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// Rows: a label plus one value per data column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureTable {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        FigureTable {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values does not match the data columns.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len().saturating_sub(1),
+            "row width must match the column headers"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// Looks up a value by row label and column header.
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().skip(1).position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|(label, _)| label == row)
+            .and_then(|(_, values)| values.get(col).copied())
+    }
+
+    /// Renders the table as comma-separated values.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(label);
+            for v in values {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(self.columns[0].len()))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let col_w = self.columns.iter().skip(1).map(|c| c.len()).max().unwrap_or(10).max(10);
+        write!(f, "{:label_w$}", self.columns[0])?;
+        for c in self.columns.iter().skip(1) {
+            write!(f, " {c:>col_w$}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:label_w$}")?;
+            for v in values {
+                write!(f, " {v:>col_w$.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureTable {
+        let mut t = FigureTable::new(
+            "Figure X",
+            vec!["protocol".into(), "LD".into(), "ST".into()],
+        );
+        t.push_row("MESI", vec![1.0, 0.5]);
+        t.push_row("DBypFull", vec![0.6, 0.25]);
+        t
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = sample();
+        assert_eq!(t.value("MESI", "LD"), Some(1.0));
+        assert_eq!(t.value("DBypFull", "ST"), Some(0.25));
+        assert_eq!(t.value("DBypFull", "WB"), None);
+        assert_eq!(t.value("nope", "LD"), None);
+    }
+
+    #[test]
+    fn csv_and_display_render_all_rows() {
+        let t = sample();
+        let csv = t.to_csv();
+        assert!(csv.starts_with("protocol,LD,ST\n"));
+        assert!(csv.contains("DBypFull,0.6000,0.2500"));
+        let text = t.to_string();
+        assert!(text.contains("== Figure X =="));
+        assert!(text.contains("MESI"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = sample();
+        t.push_row("bad", vec![1.0]);
+    }
+}

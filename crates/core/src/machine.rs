@@ -1,0 +1,127 @@
+//! Per-tile hardware state.
+
+use tw_bloom::{BloomBank, BloomConfig};
+use tw_dram::MemoryController;
+use tw_mem::{CacheArray, CacheGeometry, WriteCombineTable};
+use tw_protocols::{DenovoL1Line, DenovoL2Line, DirectoryEntry, MesiState};
+use tw_types::{ProtocolKind, RegionId, SystemConfig, TileId};
+
+/// Metadata an L1 line carries, depending on the protocol family.
+#[derive(Debug, Clone)]
+pub enum L1Meta {
+    /// MESI: line state plus the region of the data (regions are only used
+    /// for reporting under MESI).
+    Mesi {
+        /// MESI stable state.
+        state: MesiState,
+        /// Software region of the line.
+        region: RegionId,
+    },
+    /// DeNovo: per-word states plus the region (drives self-invalidation).
+    Denovo(DenovoL1Line),
+}
+
+impl L1Meta {
+    /// The software region the line belongs to.
+    pub fn region(&self) -> RegionId {
+        match self {
+            L1Meta::Mesi { region, .. } => *region,
+            L1Meta::Denovo(l) => l.region,
+        }
+    }
+}
+
+/// Metadata an L2 line carries, depending on the protocol family.
+#[derive(Debug, Clone)]
+pub enum L2Meta {
+    /// MESI: the directory entry for the (inclusive) line.
+    Mesi(DirectoryEntry),
+    /// DeNovo: per-word ownership (registration) state.
+    Denovo(DenovoL2Line),
+}
+
+/// One tile: private L1, L2 slice, and (on corner tiles) a memory controller.
+#[derive(Debug)]
+pub struct Tile {
+    /// Tile identifier.
+    pub id: TileId,
+    /// Private L1 data cache.
+    pub l1: CacheArray<L1Meta>,
+    /// This tile's slice of the shared L2.
+    pub l2: CacheArray<L2Meta>,
+    /// The DeNovo write-combining / non-blocking-write table of this core.
+    pub write_combine: WriteCombineTable,
+    /// Counting Bloom filters summarizing this L2 slice's dirty lines
+    /// (only consulted by `DBypFull`).
+    pub l2_bloom: BloomBank,
+    /// This core's shadow copies of every slice's Bloom filters, indexed by
+    /// slice tile id (only consulted by `DBypFull`).
+    pub l1_bloom: Vec<BloomBank>,
+    /// Memory controller, on corner tiles.
+    pub mc: Option<MemoryController>,
+}
+
+/// Builds the full set of tiles for a system configuration and protocol.
+pub fn build_tiles(cfg: &SystemConfig, protocol: ProtocolKind) -> Vec<Tile> {
+    let _ = protocol;
+    let l1_geom = CacheGeometry::new(cfg.cache.l1_bytes, cfg.cache.l1_ways, cfg.cache.line_bytes);
+    let l2_geom = CacheGeometry::new(
+        cfg.cache.l2_slice_bytes,
+        cfg.cache.l2_ways,
+        cfg.cache.line_bytes,
+    );
+    let bloom_cfg = BloomConfig::default();
+    let mc_tiles = cfg.memory_controller_tiles();
+    (0..cfg.tiles())
+        .map(|t| {
+            let id = TileId(t);
+            Tile {
+                id,
+                l1: CacheArray::new(l1_geom),
+                l2: CacheArray::new(l2_geom),
+                write_combine: WriteCombineTable::new(
+                    cfg.cache.write_table_entries,
+                    cfg.cache.write_combine_timeout,
+                    cfg.cache.words_per_line(),
+                ),
+                l2_bloom: BloomBank::counting(bloom_cfg),
+                l1_bloom: (0..cfg.tiles()).map(|_| BloomBank::plain(bloom_cfg)).collect(),
+                mc: if mc_tiles.contains(&id) {
+                    Some(MemoryController::new(cfg.dram.clone()))
+                } else {
+                    None
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_match_table_4_1_geometry() {
+        let cfg = SystemConfig::default();
+        let tiles = build_tiles(&cfg, ProtocolKind::Mesi);
+        assert_eq!(tiles.len(), 16);
+        assert_eq!(tiles[0].l1.geometry().lines(), 512); // 32 KB / 64 B
+        assert_eq!(tiles[0].l2.geometry().lines(), 4096); // 256 KB / 64 B
+        let with_mc = tiles.iter().filter(|t| t.mc.is_some()).count();
+        assert_eq!(with_mc, 4, "memory controllers on the four corners");
+        assert!(tiles[0].mc.is_some());
+        assert!(tiles[1].mc.is_none());
+        assert_eq!(tiles[5].l1_bloom.len(), 16);
+    }
+
+    #[test]
+    fn l1_meta_region_accessor() {
+        let m = L1Meta::Mesi {
+            state: MesiState::Shared,
+            region: RegionId(7),
+        };
+        assert_eq!(m.region(), RegionId(7));
+        let d = L1Meta::Denovo(DenovoL1Line::new(RegionId(3)));
+        assert_eq!(d.region(), RegionId(3));
+    }
+}

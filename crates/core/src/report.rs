@@ -1,0 +1,73 @@
+//! The result of one simulation run.
+
+use crate::timing::ExecutionBreakdown;
+use tw_profiler::{TrafficBreakdown, WasteReport};
+use tw_types::{Cycle, ProtocolKind};
+use tw_workloads::BenchmarkKind;
+
+/// Everything one simulation run produces: the inputs it was run with plus
+/// the three result families of the paper (traffic, execution time, fetched
+/// words by waste category).
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Protocol configuration simulated.
+    pub protocol: ProtocolKind,
+    /// Benchmark simulated.
+    pub benchmark: BenchmarkKind,
+    /// Workload input description.
+    pub input: String,
+    /// Total execution time (cycle at which the last core finished).
+    pub total_cycles: Cycle,
+    /// Execution-time breakdown summed over all cores (Figure 5.2).
+    pub time: ExecutionBreakdown,
+    /// Flit-hop breakdown (Figures 5.1a–5.1d).
+    pub traffic: TrafficBreakdown,
+    /// Words fetched into the L1s, by waste category (Figure 5.3a).
+    pub l1_waste: WasteReport,
+    /// Words fetched into the L2 from memory, by waste category (Figure 5.3b).
+    pub l2_waste: WasteReport,
+    /// Words fetched from memory, by waste category (Figure 5.3c).
+    pub mem_waste: WasteReport,
+    /// Total DRAM accesses (reads + writes) across all controllers.
+    pub dram_accesses: u64,
+    /// DRAM row-buffer hit rate.
+    pub dram_row_hit_rate: f64,
+}
+
+impl SimReport {
+    /// Total network traffic in flit-hops.
+    pub fn total_flit_hops(&self) -> f64 {
+        self.traffic.total()
+    }
+
+    /// Fraction of all traffic spent moving data that was classified as
+    /// waste (the paper's "8.8% of the remaining traffic" style metric).
+    pub fn waste_traffic_fraction(&self) -> f64 {
+        self.traffic.waste_fraction()
+    }
+
+    /// Ratio of this run's total traffic to a baseline run's.
+    pub fn traffic_relative_to(&self, baseline: &SimReport) -> f64 {
+        if baseline.total_flit_hops() == 0.0 {
+            return 1.0;
+        }
+        self.total_flit_hops() / baseline.total_flit_hops()
+    }
+
+    /// Ratio of this run's execution time to a baseline run's.
+    pub fn time_relative_to(&self, baseline: &SimReport) -> f64 {
+        if baseline.total_cycles == 0 {
+            return 1.0;
+        }
+        self.total_cycles as f64 / baseline.total_cycles as f64
+    }
+
+    /// Ratio of this run's words fetched from memory to a baseline run's.
+    pub fn memory_words_relative_to(&self, baseline: &SimReport) -> f64 {
+        let b = baseline.mem_waste.total_words();
+        if b == 0 {
+            return 1.0;
+        }
+        self.mem_waste.total_words() as f64 / b as f64
+    }
+}

@@ -1,0 +1,639 @@
+//! DeNovo transaction execution (all seven DeNovo configurations).
+
+use super::Simulator;
+use crate::machine::{L1Meta, L2Meta};
+use crate::timing::TimeClass;
+use tw_mem::LineEntry;
+use tw_protocols::{flex_fetch_plan, DenovoL1Line, DenovoL2Line, DenovoWordState, FlexPlan};
+use tw_types::{
+    Addr, CoreId, Cycle, LineAddr, MessageClass, MessageKind, RegionId, TileId, TrafficBucket,
+    WordMask,
+};
+
+/// How one cache line of a fetch plan was served.
+#[derive(Debug, Clone, Copy)]
+struct LineService {
+    arrival: Cycle,
+    reached_mc: Option<Cycle>,
+    dram_done: Option<Cycle>,
+}
+
+impl Simulator<'_> {
+    fn denovo_l1_line(&self, core: usize, line: LineAddr) -> Option<&DenovoL1Line> {
+        match self.tiles[core].l1.peek(line).map(|e| &e.meta) {
+            Some(L1Meta::Denovo(l)) => Some(l),
+            _ => None,
+        }
+    }
+
+    fn denovo_l2_meta(&self, home: TileId, line: LineAddr) -> Option<&DenovoL2Line> {
+        match self.tiles[home.0].l2.peek(line).map(|e| &e.meta) {
+            Some(L2Meta::Denovo(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Executes a load under any DeNovo configuration.
+    pub(crate) fn denovo_load(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
+        let lb = self.line_bytes();
+        let line = LineAddr::containing(addr, lb);
+        let l1_hit_cycles = self.system().timing.l1_hit_cycles;
+
+        if self.l1_word_present(core, addr) {
+            self.tiles[core].l1.get(line);
+            self.l1_prof[core].loaded(addr);
+            self.mem_prof.loaded(addr);
+            self.time[core].add(TimeClass::Compute, l1_hit_cycles);
+            return now + l1_hit_cycles;
+        }
+
+        // Build the fetch plan (Flex or whole-line).
+        let plan = if self.protocol().flex_on_chip() {
+            flex_fetch_plan(&self.workload.regions, addr, lb)
+        } else {
+            FlexPlan::whole_line(addr, lb)
+        };
+        let bypass = self.protocol().l2_response_bypass()
+            && self.workload.regions.bypasses_l2(region);
+
+        // L2 request bypass: consult the Bloom shadow and, when it says the
+        // line cannot be dirty on chip, go straight to the memory controller.
+        let mut t_start = now;
+        let mut direct_to_mc = false;
+        if self.protocol().l2_request_bypass() && bypass {
+            let home = self.home_of(line);
+            if !self.tiles[core].l1_bloom[home.0].has_copy_for(line) {
+                let rq = self.net.send(TileId(core), home, MessageKind::BloomCopyReq, 0, now);
+                let words = self.system().cache.words_per_line();
+                let rs = self.net.send(home, TileId(core), MessageKind::BloomCopyResp, words, rq.arrival + 1);
+                self.install_bloom_copy(core, home.0, line);
+                t_start = rs.arrival;
+            }
+            let shadow = &self.tiles[core].l1_bloom[home.0];
+            if shadow.has_copy_for(line) && !shadow.may_contain(line) {
+                direct_to_mc = true;
+            }
+        }
+
+        // Serve every line of the plan; remember the demanded line's path for
+        // the timing attribution.
+        let demanded = line;
+        let mut demand_service = None;
+        for (pl_line, want) in plan.lines.clone() {
+            let is_demand = pl_line == demanded;
+            // The request names only the words this L1 is actually missing;
+            // words it already holds (valid or registered) are never
+            // re-fetched.
+            let already = self
+                .denovo_l1_line(core, pl_line)
+                .map(|l| l.readable_mask())
+                .unwrap_or(WordMask::EMPTY);
+            let want = want.difference(already);
+            if want.is_empty() {
+                continue;
+            }
+            // Prefetching a handful of words from another line is not worth a
+            // dedicated packet; real Flex folds them into the demanded line's
+            // response, so small remote selections are simply skipped.
+            if !is_demand && want.count() < 4 {
+                continue;
+            }
+            let service = self.denovo_fetch_line(
+                core,
+                pl_line,
+                want,
+                region,
+                is_demand,
+                bypass,
+                direct_to_mc && is_demand,
+                t_start,
+            );
+            if is_demand {
+                demand_service = Some(service);
+            }
+        }
+        let service = demand_service.expect("plan always contains the demanded line");
+
+        self.l1_prof[core].loaded(addr);
+        self.mem_prof.loaded(addr);
+
+        match (service.reached_mc, service.dram_done) {
+            (Some(reached), Some(done)) => {
+                self.time[core].add(TimeClass::ToMc, reached.saturating_sub(now));
+                self.time[core].add(TimeClass::Mem, done.saturating_sub(reached));
+                self.time[core].add(TimeClass::FromMc, service.arrival.saturating_sub(done));
+            }
+            _ => {
+                self.time[core].add(TimeClass::OnChipHit, service.arrival.saturating_sub(now));
+            }
+        }
+        service.arrival.max(now + 1)
+    }
+
+    /// Serves one cache line of a load's fetch plan.
+    #[allow(clippy::too_many_arguments)]
+    fn denovo_fetch_line(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        want: WordMask,
+        region: RegionId,
+        is_demand: bool,
+        bypass: bool,
+        direct_to_mc: bool,
+        now: Cycle,
+    ) -> LineService {
+        let lb = self.line_bytes();
+        let me = TileId(core);
+        let home = self.home_of(line);
+        let occupancy = self.system().timing.l2_occupancy_cycles;
+        let l2_hit = self.system().timing.l2_hit_cycles;
+        let mem_to_l1 = self.protocol().mem_to_l1();
+        let flex_mem = self.protocol().flex_at_memory();
+
+        // Request control: one message for the demanded line; Flex combines
+        // the additional lines of the plan into the same request.
+        let t_home = if direct_to_mc {
+            now
+        } else if is_demand {
+            let rq = self.net.send(me, home, MessageKind::LoadReq, 0, now);
+            rq.arrival + occupancy
+        } else {
+            now + occupancy
+        };
+
+        // Split the wanted words by who can supply them.
+        let (at_l2, by_owner, missing) = if direct_to_mc {
+            (WordMask::EMPTY, Vec::new(), want)
+        } else {
+            match self.denovo_l2_meta(home, line) {
+                Some(meta) => {
+                    let at_l2 = want.intersect(meta.valid_at_l2());
+                    let mut by_owner: Vec<(CoreId, WordMask)> = Vec::new();
+                    for w in want.difference(at_l2).iter() {
+                        if let Some(owner) = meta.owner(w).registrant() {
+                            if owner.0 == core {
+                                continue;
+                            }
+                            match by_owner.iter_mut().find(|(c, _)| *c == owner) {
+                                Some((_, m)) => m.insert(w),
+                                None => by_owner.push((owner, WordMask::single(w))),
+                            }
+                        }
+                    }
+                    let owned: WordMask = by_owner
+                        .iter()
+                        .fold(WordMask::EMPTY, |acc, (_, m)| acc.union(*m));
+                    (at_l2, by_owner, want.difference(at_l2).difference(owned))
+                }
+                None => (WordMask::EMPTY, Vec::new(), want),
+            }
+        };
+
+        let mut arrival = t_home;
+        let mut reached_mc = None;
+        let mut dram_done = None;
+
+        // Words the L2 itself holds.
+        if !at_l2.is_empty() {
+            self.tiles[home.0].l2.get(line);
+            let d = self.net.send(home, me, MessageKind::DataToL1, at_l2.count(), t_home + l2_hit);
+            for w in at_l2.iter() {
+                self.l2_prof.loaded(line.word_addr(w));
+            }
+            self.denovo_fill_l1(core, line, region, at_l2, MessageClass::Load, d.per_word_hops, d.arrival);
+            arrival = arrival.max(d.arrival);
+        }
+
+        // Words registered to other cores: the L2 forwards the request and the
+        // owner responds directly (no sharer list, no unblock).
+        for (owner, mask) in by_owner {
+            let fwd = self.net.send(home, owner.tile(), MessageKind::LoadReq, 0, t_home);
+            let d = self.net.send(owner.tile(), me, MessageKind::DataToL1, mask.count(), fwd.arrival + 1);
+            self.denovo_fill_l1(core, line, region, mask, MessageClass::Load, d.per_word_hops, d.arrival);
+            arrival = arrival.max(d.arrival);
+        }
+
+        // Words nobody on chip has: fetch from memory. Non-demanded plan lines
+        // are only fetched from memory when Flex extends to the memory
+        // controller (DFlexL2 and later); otherwise the miss simply forgoes
+        // the prefetch (DFlexL1 behaviour).
+        if !missing.is_empty() && (is_demand || flex_mem) {
+            let mc = self.mc_of(line);
+            let reach = if direct_to_mc {
+                let rq = self.net.send(me, mc, MessageKind::LoadReqToMc, 0, now);
+                rq.arrival
+            } else {
+                let rq = self.net.send(home, mc, MessageKind::MemReadReq, 0, t_home);
+                rq.arrival
+            };
+            let done = self.dram_access(mc, line, false, reach);
+            reached_mc = Some(reach);
+            dram_done = Some(done);
+
+            // What the controller sends on chip: with memory-side Flex only
+            // the wanted words, otherwise the whole line.
+            let sent = if flex_mem { missing } else { WordMask::FULL };
+            if flex_mem {
+                for w in WordMask::FULL.difference(sent).iter() {
+                    self.mem_prof.dropped_at_controller(line.word_addr(w));
+                }
+            }
+
+            let fill_l2 = !bypass;
+            let l2_present = self.tiles[home.0].l2.peek(line).map(|e| !e.valid.is_empty()).unwrap_or(false);
+
+            if mem_to_l1 || direct_to_mc {
+                let d = self.net.send(mc, me, MessageKind::MemDataToL1, sent.count(), done);
+                for w in sent.iter() {
+                    self.mem_prof.fetched(line.word_addr(w), l2_present, d.per_word_hops);
+                }
+                self.denovo_fill_l1(core, line, region, sent, MessageClass::Load, d.per_word_hops, d.arrival);
+                arrival = arrival.max(d.arrival);
+                if fill_l2 {
+                    let d2 = self.net.send(mc, home, MessageKind::DataToL2, sent.count(), done);
+                    self.denovo_fill_l2(home, line, sent, MessageClass::Load, d2.per_word_hops, d2.arrival);
+                }
+            } else {
+                let d2 = self.net.send(mc, home, MessageKind::DataToL2, sent.count(), done);
+                for w in sent.iter() {
+                    self.mem_prof.fetched(line.word_addr(w), l2_present, d2.per_word_hops);
+                }
+                if fill_l2 {
+                    self.denovo_fill_l2(home, line, sent, MessageClass::Load, d2.per_word_hops, d2.arrival);
+                }
+                let d1 = self.net.send(home, me, MessageKind::DataToL1, sent.count(), d2.arrival + l2_hit);
+                self.denovo_fill_l1(core, line, region, sent, MessageClass::Load, d1.per_word_hops, d1.arrival);
+                arrival = arrival.max(d1.arrival);
+            }
+        }
+
+        let _ = lb;
+        LineService {
+            arrival,
+            reached_mc: if is_demand { reached_mc } else { None },
+            dram_done: if is_demand { dram_done } else { None },
+        }
+    }
+
+    /// Executes a store under any DeNovo configuration. Writes are
+    /// write-validate at the L1: the word is written locally and a
+    /// registration request is coalesced in the write-combining table.
+    pub(crate) fn denovo_store(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
+        let lb = self.line_bytes();
+        let line = LineAddr::containing(addr, lb);
+        let w = addr.word_in_line(lb);
+        self.time[core].add(TimeClass::Compute, 1);
+
+        if !self.tiles[core].l1.contains(line) {
+            let victim = self.tiles[core]
+                .l1
+                .insert(line, L1Meta::Denovo(DenovoL1Line::new(region)))
+                .1;
+            if let Some(v) = victim {
+                self.denovo_evict_l1(core, v, now);
+            }
+        }
+
+        let was_registered = self
+            .denovo_l1_line(core, line)
+            .map(|l| l.word(w).is_registered())
+            .unwrap_or(false);
+
+        self.l1_prof[core].stored(addr);
+        self.mem_prof.stored(addr);
+
+        if let Some(e) = self.tiles[core].l1.get(line) {
+            if let L1Meta::Denovo(l) = &mut e.meta {
+                l.set_word(w, DenovoWordState::Registered);
+            }
+            e.valid.insert(w);
+            e.dirty.insert(w);
+        }
+
+        if !was_registered {
+            let mut flushes = self.tiles[core].write_combine.record_write(line, w, now);
+            flushes.extend(self.tiles[core].write_combine.expire(now));
+            for (entry, _reason) in flushes {
+                self.denovo_send_registration(core, entry.line, entry.pending, now);
+            }
+        }
+        now + 1
+    }
+
+    /// Sends one registration request for `words` of `line` (a flushed
+    /// write-combining entry) and applies its effects at the home L2.
+    pub(crate) fn denovo_send_registration(&mut self, core: usize, line: LineAddr, words: WordMask, now: Cycle) {
+        if words.is_empty() {
+            return;
+        }
+        let me = TileId(core);
+        let home = self.home_of(line);
+        let occupancy = self.system().timing.l2_occupancy_cycles;
+
+        let rq = self.net.send(me, home, MessageKind::StoreReq, 0, now);
+        let t_home = rq.arrival + occupancy;
+
+        self.denovo_ensure_l2(home, line, true, t_home);
+
+        // Register the words, invalidating any previous registrant.
+        let displaced = {
+            match self.tiles[home.0].l2.get(line).map(|e| &mut e.meta) {
+                Some(L2Meta::Denovo(d)) => d.register(words, CoreId(core)),
+                _ => Vec::new(),
+            }
+        };
+        if let Some(e) = self.tiles[home.0].l2.get(line) {
+            e.valid = e.valid.difference(words);
+        }
+        for (word, prev) in displaced {
+            self.net.send(home, prev.tile(), MessageKind::Invalidation, 0, t_home);
+            let addr = line.word_addr(word);
+            if let Some(e) = self.tiles[prev.0].l1.get(line) {
+                if let L1Meta::Denovo(l) = &mut e.meta {
+                    l.set_word(word, DenovoWordState::Invalid);
+                }
+                e.valid.remove(word);
+                e.dirty.remove(word);
+            }
+            self.l1_prof[prev.0].invalidated(addr);
+        }
+        self.tiles[home.0].l2_bloom.insert(line);
+        self.net.send(home, me, MessageKind::StoreAck, 0, t_home + 1);
+    }
+
+    /// Installs `words` of `line` into the requesting L1 as `Valid`.
+    fn denovo_fill_l1(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        region: RegionId,
+        words: WordMask,
+        class: MessageClass,
+        per_word_hops: f64,
+        at: Cycle,
+    ) {
+        if words.is_empty() {
+            return;
+        }
+        if !self.tiles[core].l1.contains(line) {
+            let victim = self.tiles[core]
+                .l1
+                .insert(line, L1Meta::Denovo(DenovoL1Line::new(region)))
+                .1;
+            if let Some(v) = victim {
+                self.denovo_evict_l1(core, v, at);
+            }
+        }
+        // Record arrivals (with present/absent status) before mutating state.
+        let present = self
+            .denovo_l1_line(core, line)
+            .map(|l| l.readable_mask())
+            .unwrap_or(WordMask::EMPTY);
+        for w in words.iter() {
+            self.l1_prof[core].arrive(line.word_addr(w), present.contains(w), per_word_hops, class);
+        }
+        if let Some(e) = self.tiles[core].l1.get(line) {
+            if let L1Meta::Denovo(l) = &mut e.meta {
+                for w in words.iter() {
+                    if !l.word(w).is_registered() {
+                        l.set_word(w, DenovoWordState::Valid);
+                    }
+                }
+            }
+            e.valid = e.valid.union(words);
+        }
+    }
+
+    /// Installs `words` of `line` into the home L2 slice as valid-at-L2.
+    fn denovo_fill_l2(
+        &mut self,
+        home: TileId,
+        line: LineAddr,
+        words: WordMask,
+        class: MessageClass,
+        per_word_hops: f64,
+        at: Cycle,
+    ) {
+        if words.is_empty() {
+            return;
+        }
+        self.denovo_ensure_l2(home, line, false, at);
+        let present = self
+            .denovo_l2_meta(home, line)
+            .map(|m| m.valid_at_l2())
+            .unwrap_or(WordMask::EMPTY);
+        for w in words.iter() {
+            self.l2_prof.arrive(line.word_addr(w), present.contains(w), per_word_hops, class);
+        }
+        if let Some(e) = self.tiles[home.0].l2.get(line) {
+            if let L2Meta::Denovo(d) = &mut e.meta {
+                for w in words.iter() {
+                    if d.owner(w).registrant().is_none() {
+                        d.set_owner(w, tw_protocols::L2WordOwner::AtL2);
+                    }
+                }
+            }
+            e.valid = e.valid.union(words);
+        }
+    }
+
+    /// Ensures an L2 entry exists for `line`. In store context under the
+    /// baseline (fetch-on-write) L2 policy, a missing line is fetched from
+    /// memory in full before the registration is applied.
+    fn denovo_ensure_l2(&mut self, home: TileId, line: LineAddr, store_ctx: bool, at: Cycle) {
+        if self.tiles[home.0].l2.contains(line) {
+            return;
+        }
+        let victim = self.tiles[home.0]
+            .l2
+            .insert(line, L2Meta::Denovo(DenovoL2Line::default()))
+            .1;
+        if let Some(v) = victim {
+            self.denovo_evict_l2(home, v, at);
+        }
+
+        if store_ctx && !self.protocol().l2_write_validate() {
+            // Fetch-on-write at the L2: bring the whole line from memory.
+            let lb = self.line_bytes();
+            let wpl = self.system().cache.words_per_line();
+            let mc = self.mc_of(line);
+            let rq = self.net.send(home, mc, MessageKind::MemReadReq, 0, at);
+            let done = self.dram_access(mc, line, false, rq.arrival);
+            let d = self.net.send(mc, home, MessageKind::DataToL2, wpl, done);
+            for a in line.words(lb) {
+                self.mem_prof.fetched(a, false, d.per_word_hops);
+                self.l2_prof.arrive(a, false, d.per_word_hops, MessageClass::Store);
+            }
+            if let Some(e) = self.tiles[home.0].l2.get(line) {
+                if let L2Meta::Denovo(dl) = &mut e.meta {
+                    for w in WordMask::FULL.iter() {
+                        dl.set_owner(w, tw_protocols::L2WordOwner::AtL2);
+                    }
+                }
+                e.valid = WordMask::FULL;
+            }
+        }
+    }
+
+    /// Evicts an L1 line: registered (dirty) words are written back (and any
+    /// still-pending registrations are folded into the same message); valid
+    /// words are dropped silently.
+    pub(crate) fn denovo_evict_l1(&mut self, core: usize, victim: LineEntry<L1Meta>, at: Cycle) {
+        let L1Meta::Denovo(dl) = &victim.meta else {
+            return;
+        };
+        let me = TileId(core);
+        let home = self.home_of(victim.line);
+        let registered = dl.mask_in(DenovoWordState::Registered);
+        let valid = dl.mask_in(DenovoWordState::Valid);
+        let pending = self.tiles[core].write_combine.evict_line(victim.line);
+
+        if !registered.is_empty() {
+            let kind = if pending.is_some() {
+                MessageKind::WritebackAndRegister
+            } else {
+                MessageKind::L1Writeback
+            };
+            let wb = self.net.send(me, home, kind, registered.count(), at);
+            self.net.traffic.add(
+                MessageClass::Writeback,
+                TrafficBucket::WbL2Used,
+                wb.per_word_hops * registered.count() as f64,
+            );
+            self.denovo_ensure_l2(home, victim.line, false, at);
+            if let Some(e) = self.tiles[home.0].l2.get(victim.line) {
+                if let L2Meta::Denovo(d) = &mut e.meta {
+                    d.accept_writeback(registered, CoreId(core));
+                }
+                e.valid = e.valid.union(registered);
+                e.dirty = e.dirty.union(registered);
+            }
+            self.tiles[home.0].l2_bloom.insert(victim.line);
+        }
+
+        let line_in_l2 = self.tiles[home.0].l2.contains(victim.line);
+        for w in valid.iter() {
+            let a = victim.line.word_addr(w);
+            self.l1_prof[core].evicted(a);
+            if !line_in_l2 {
+                self.mem_prof.evicted(a);
+            }
+        }
+    }
+
+    /// Evicts an L2 line: words registered to L1s are recalled (written back
+    /// by their owners), then dirty words are written back to memory —
+    /// dirty-words-only when the protocol supports it, whole line otherwise.
+    fn denovo_evict_l2(&mut self, home: TileId, victim: LineEntry<L2Meta>, at: Cycle) {
+        let L2Meta::Denovo(dl) = &victim.meta else {
+            return;
+        };
+        let wpl = self.system().cache.words_per_line();
+        let mut dirty = victim.dirty;
+        let mut valid = victim.valid;
+
+        // Recall registered words from their owners.
+        let owners: Vec<(CoreId, WordMask)> = (0..self.tiles.len())
+            .map(|c| (CoreId(c), dl.registered_to(CoreId(c))))
+            .filter(|(_, m)| !m.is_empty())
+            .collect();
+        for (owner, mask) in owners {
+            self.net.send(home, owner.tile(), MessageKind::Invalidation, 0, at);
+            let wb = self.net.send(owner.tile(), home, MessageKind::L1Writeback, mask.count(), at + 1);
+            self.net.traffic.add(
+                MessageClass::Writeback,
+                TrafficBucket::WbL2Used,
+                wb.per_word_hops * mask.count() as f64,
+            );
+            if let Some(e) = self.tiles[owner.0].l1.get(victim.line) {
+                if let L1Meta::Denovo(l) = &mut e.meta {
+                    for w in mask.iter() {
+                        l.set_word(w, DenovoWordState::Invalid);
+                    }
+                }
+                e.valid = e.valid.difference(mask);
+                e.dirty = e.dirty.difference(mask);
+            }
+            dirty = dirty.union(mask);
+            valid = valid.union(mask);
+        }
+
+        if !dirty.is_empty() {
+            let carried = if self.protocol().dirty_words_only_writeback() {
+                dirty.count()
+            } else {
+                wpl
+            };
+            let mc = self.mc_of(victim.line);
+            let wb = self.net.send(home, mc, MessageKind::MemWriteback, carried, at + 2);
+            self.net.traffic.add(
+                MessageClass::Writeback,
+                TrafficBucket::WbMemUsed,
+                wb.per_word_hops * dirty.count() as f64,
+            );
+            self.net.traffic.add(
+                MessageClass::Writeback,
+                TrafficBucket::WbMemWaste,
+                wb.per_word_hops * (carried - dirty.count()) as f64,
+            );
+            self.dram_access(mc, victim.line, true, wb.arrival);
+        }
+
+        for w in valid.iter() {
+            let a = victim.line.word_addr(w);
+            self.l2_prof.evicted(a);
+            self.mem_prof.evicted(a);
+        }
+        self.tiles[home.0].l2_bloom.remove(victim.line);
+    }
+
+    /// Barrier-time protocol actions: drain the write-combining tables,
+    /// self-invalidate stale valid words, and clear the L1 Bloom shadows.
+    pub(crate) fn denovo_barrier_actions(&mut self, at: Cycle) {
+        let cores = self.tiles.len();
+        for core in 0..cores {
+            let flushed = self.tiles[core].write_combine.release_all();
+            for (entry, _) in flushed {
+                self.denovo_send_registration(core, entry.line, entry.pending, at);
+            }
+        }
+
+        for core in 0..cores {
+            // Collect the self-invalidations first, then report them, to keep
+            // the cache and profiler borrows apart.
+            let mut invalidated: Vec<Addr> = Vec::new();
+            let regions = self.workload.regions.clone();
+            for entry in self.tiles[core].l1.iter_mut() {
+                if let L1Meta::Denovo(l) = &mut entry.meta {
+                    let touched_in_parallel = regions
+                        .get(l.region)
+                        .map(|r| r.written_in_parallel_phases)
+                        .unwrap_or(true);
+                    if touched_in_parallel {
+                        let inv = l.self_invalidate();
+                        entry.valid = entry.valid.difference(inv);
+                        for w in inv.iter() {
+                            invalidated.push(entry.line.word_addr(w));
+                        }
+                    }
+                }
+            }
+            for a in invalidated {
+                self.l1_prof[core].invalidated(a);
+            }
+            if self.protocol().l2_request_bypass() {
+                for bank in self.tiles[core].l1_bloom.iter_mut() {
+                    bank.clear();
+                }
+            }
+        }
+    }
+
+    /// Copies the home slice's Bloom filter covering `line` into this core's
+    /// shadow bank.
+    fn install_bloom_copy(&mut self, core: usize, home: usize, line: LineAddr) {
+        let src = self.tiles[home].l2_bloom.clone();
+        self.tiles[core].l1_bloom[home].install_copy(line, &src);
+    }
+}

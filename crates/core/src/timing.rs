@@ -1,0 +1,126 @@
+//! Execution-time attribution (Figure 5.2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use tw_types::Cycle;
+
+/// The execution-time components of Figure 5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TimeClass {
+    /// CPU busy time (non-memory instructions and L1 hits).
+    Compute,
+    /// Stall on hits in the L2 or a remote L1.
+    OnChipHit,
+    /// Time for a memory-bound request to reach the memory controller.
+    ToMc,
+    /// Time spent at the memory controller waiting for DRAM.
+    Mem,
+    /// Time from the memory controller back to the requesting L1.
+    FromMc,
+    /// Time stalled at barriers.
+    Sync,
+}
+
+impl TimeClass {
+    /// All components in the stacking order of Figure 5.2.
+    pub const ALL: [TimeClass; 6] = [
+        TimeClass::Compute,
+        TimeClass::OnChipHit,
+        TimeClass::FromMc,
+        TimeClass::ToMc,
+        TimeClass::Mem,
+        TimeClass::Sync,
+    ];
+
+    /// Figure label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            TimeClass::Compute => "Compute",
+            TimeClass::OnChipHit => "On-chip Hit",
+            TimeClass::ToMc => "To MC",
+            TimeClass::Mem => "Mem",
+            TimeClass::FromMc => "From MC",
+            TimeClass::Sync => "Sync",
+        }
+    }
+}
+
+impl fmt::Display for TimeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cycles attributed to each [`TimeClass`] (per core or aggregated).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionBreakdown {
+    cycles: BTreeMap<TimeClass, Cycle>,
+}
+
+impl ExecutionBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        ExecutionBreakdown::default()
+    }
+
+    /// Adds `cycles` to `class`.
+    pub fn add(&mut self, class: TimeClass, cycles: Cycle) {
+        if cycles > 0 {
+            *self.cycles.entry(class).or_insert(0) += cycles;
+        }
+    }
+
+    /// Cycles attributed to `class`.
+    pub fn get(&self, class: TimeClass) -> Cycle {
+        self.cycles.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Total attributed cycles.
+    pub fn total(&self) -> Cycle {
+        self.cycles.values().sum()
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &ExecutionBreakdown) {
+        for (class, c) in &other.cycles {
+            *self.cycles.entry(*class).or_insert(0) += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total() {
+        let mut b = ExecutionBreakdown::new();
+        b.add(TimeClass::Compute, 100);
+        b.add(TimeClass::Mem, 50);
+        b.add(TimeClass::Mem, 25);
+        b.add(TimeClass::Sync, 0);
+        assert_eq!(b.get(TimeClass::Compute), 100);
+        assert_eq!(b.get(TimeClass::Mem), 75);
+        assert_eq!(b.get(TimeClass::Sync), 0);
+        assert_eq!(b.total(), 175);
+    }
+
+    #[test]
+    fn merge_sums_components() {
+        let mut a = ExecutionBreakdown::new();
+        a.add(TimeClass::Compute, 10);
+        let mut b = ExecutionBreakdown::new();
+        b.add(TimeClass::Compute, 5);
+        b.add(TimeClass::OnChipHit, 7);
+        a.merge(&b);
+        assert_eq!(a.get(TimeClass::Compute), 15);
+        assert_eq!(a.get(TimeClass::OnChipHit), 7);
+    }
+
+    #[test]
+    fn labels_match_figure_legend() {
+        assert_eq!(TimeClass::ALL.len(), 6);
+        assert_eq!(TimeClass::OnChipHit.to_string(), "On-chip Hit");
+        assert_eq!(TimeClass::FromMc.label(), "From MC");
+    }
+}

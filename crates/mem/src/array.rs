@@ -1,0 +1,379 @@
+//! Set-associative cache arrays with per-word valid/dirty state.
+
+use std::collections::HashMap;
+use tw_types::{LineAddr, WordMask};
+
+/// Geometry of a cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not describe a whole number of sets.
+    pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        assert!(ways > 0 && line_bytes > 0);
+        assert_eq!(
+            capacity_bytes % (ways as u64 * line_bytes),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        CacheGeometry {
+            capacity_bytes,
+            ways,
+            line_bytes,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / (self.ways as u64 * self.line_bytes)) as usize
+    }
+
+    /// Number of lines the array can hold.
+    pub fn lines(&self) -> usize {
+        self.sets() * self.ways
+    }
+
+    /// Set index of a line address.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        ((line.byte() / self.line_bytes) as usize) % self.sets()
+    }
+}
+
+/// One resident cache line with per-word state plus protocol metadata `M`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineEntry<M> {
+    /// Line address (tag).
+    pub line: LineAddr,
+    /// Which words hold valid data.
+    pub valid: WordMask,
+    /// Which words are dirty with respect to the next level.
+    pub dirty: WordMask,
+    /// Protocol-specific metadata (MESI state, DeNovo registration, ...).
+    pub meta: M,
+    lru: u64,
+}
+
+impl<M> LineEntry<M> {
+    /// Whether any word of the line is dirty.
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+}
+
+/// A set-associative cache array with true-LRU replacement.
+///
+/// The array tracks only line residency and per-word state; protocol
+/// behaviour lives in the protocol crates, which store their state in the
+/// metadata parameter `M`.
+#[derive(Debug, Clone)]
+pub struct CacheArray<M> {
+    geom: CacheGeometry,
+    sets: Vec<Vec<LineEntry<M>>>,
+    index: HashMap<LineAddr, usize>,
+    tick: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl<M> CacheArray<M> {
+    /// Creates an empty array with the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        CacheArray {
+            sets: (0..geom.sets()).map(|_| Vec::with_capacity(geom.ways)).collect(),
+            index: HashMap::new(),
+            geom,
+            tick: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the array holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total lines inserted over the array's lifetime.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Total lines evicted (capacity/conflict) over the array's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up a line without affecting LRU order.
+    pub fn peek(&self, line: LineAddr) -> Option<&LineEntry<M>> {
+        let set = self.geom.set_of(line);
+        self.sets[set].iter().find(|e| e.line == line)
+    }
+
+    /// Looks up a line and refreshes its LRU position.
+    pub fn get(&mut self, line: LineAddr) -> Option<&mut LineEntry<M>> {
+        if self.peek(line).is_none() {
+            return None;
+        }
+        let tick = self.bump();
+        let set = self.geom.set_of(line);
+        let entry = self.sets[set].iter_mut().find(|e| e.line == line)?;
+        entry.lru = tick;
+        Some(entry)
+    }
+
+    /// Whether the line is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.index.contains_key(&line)
+    }
+
+    /// Inserts a line, evicting the LRU line of the set if it is full.
+    ///
+    /// Returns the new entry and the evicted victim, if any. If the line is
+    /// already resident the existing entry is returned (metadata untouched)
+    /// and no eviction happens.
+    pub fn insert(&mut self, line: LineAddr, meta: M) -> (&mut LineEntry<M>, Option<LineEntry<M>>) {
+        let tick = self.bump();
+        let set = self.geom.set_of(line);
+        let ways = self.geom.ways;
+
+        if let Some(pos) = self.sets[set].iter().position(|e| e.line == line) {
+            self.sets[set][pos].lru = tick;
+            return (&mut self.sets[set][pos], None);
+        }
+
+        let victim = if self.sets[set].len() >= ways {
+            let (vpos, _) = self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .expect("full set has at least one entry");
+            let victim = self.sets[set].swap_remove(vpos);
+            self.index.remove(&victim.line);
+            self.evictions += 1;
+            Some(victim)
+        } else {
+            None
+        };
+
+        self.sets[set].push(LineEntry {
+            line,
+            valid: WordMask::EMPTY,
+            dirty: WordMask::EMPTY,
+            meta,
+            lru: tick,
+        });
+        self.index.insert(line, set);
+        self.insertions += 1;
+        let pos = self.sets[set].len() - 1;
+        (&mut self.sets[set][pos], victim)
+    }
+
+    /// Removes a line (protocol invalidation or explicit eviction), returning
+    /// it if it was resident. Does not count as a capacity eviction.
+    pub fn remove(&mut self, line: LineAddr) -> Option<LineEntry<M>> {
+        let set = *self.index.get(&line)?;
+        let pos = self.sets[set].iter().position(|e| e.line == line)?;
+        self.index.remove(&line);
+        Some(self.sets[set].swap_remove(pos))
+    }
+
+    /// The line that would be evicted if `line` were inserted now, if any.
+    pub fn victim_for(&self, line: LineAddr) -> Option<&LineEntry<M>> {
+        if self.contains(line) {
+            return None;
+        }
+        let set = self.geom.set_of(line);
+        if self.sets[set].len() < self.geom.ways {
+            return None;
+        }
+        self.sets[set].iter().min_by_key(|e| e.lru)
+    }
+
+    /// Iterator over all resident lines (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &LineEntry<M>> {
+        self.sets.iter().flatten()
+    }
+
+    /// Mutable iterator over all resident lines (unspecified order).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut LineEntry<M>> {
+        self.sets.iter_mut().flatten()
+    }
+
+    /// Removes every line for which `pred` returns true, returning them.
+    /// Used for DeNovo self-invalidation sweeps at barriers.
+    pub fn drain_matching<F>(&mut self, mut pred: F) -> Vec<LineEntry<M>>
+    where
+        F: FnMut(&LineEntry<M>) -> bool,
+    {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                if pred(&set[i]) {
+                    let e = set.swap_remove(i);
+                    self.index.remove(&e.line);
+                    out.push(e);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_types::{Addr, WordIdx};
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_aligned(n * 64)
+    }
+
+    fn small() -> CacheArray<u32> {
+        // 2 sets x 2 ways of 64-byte lines.
+        CacheArray::new(CacheGeometry::new(256, 2, 64))
+    }
+
+    #[test]
+    fn geometry_derivations() {
+        let g = CacheGeometry::new(32 * 1024, 8, 64);
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.lines(), 512);
+        assert_eq!(g.set_of(LineAddr::from_aligned(64 * 64)), 0);
+        assert_eq!(g.set_of(LineAddr::from_aligned(65 * 64)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn geometry_rejects_fractional_sets() {
+        CacheGeometry::new(100, 3, 64);
+    }
+
+    #[test]
+    fn insert_lookup_and_word_state() {
+        let mut c = small();
+        let l = line(4);
+        let (e, v) = c.insert(l, 7);
+        assert!(v.is_none());
+        e.valid.insert(WordIdx(3));
+        e.dirty.insert(WordIdx(3));
+        assert!(c.contains(l));
+        let e = c.get(l).unwrap();
+        assert!(e.valid.contains(WordIdx(3)));
+        assert!(e.is_dirty());
+        assert_eq!(e.meta, 7);
+        assert!(c.peek(line(5)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recently_used() {
+        let mut c = small();
+        // Lines 0, 2, 4 all map to set 0 (even line numbers).
+        c.insert(line(0), 0);
+        c.insert(line(2), 0);
+        // Touch line 0 so line 2 becomes LRU.
+        c.get(line(0));
+        let (_, victim) = c.insert(line(4), 0);
+        let victim = victim.expect("set was full");
+        assert_eq!(victim.line, line(2));
+        assert!(c.contains(line(0)));
+        assert!(c.contains(line(4)));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn victim_for_predicts_eviction() {
+        let mut c = small();
+        c.insert(line(0), 0);
+        assert!(c.victim_for(line(2)).is_none(), "set not yet full");
+        c.insert(line(2), 0);
+        c.get(line(2));
+        let v = c.victim_for(line(4)).expect("full set");
+        assert_eq!(v.line, line(0));
+        assert!(c.victim_for(line(0)).is_none(), "already resident");
+    }
+
+    #[test]
+    fn reinsert_existing_line_does_not_evict() {
+        let mut c = small();
+        c.insert(line(0), 1);
+        c.insert(line(2), 2);
+        let (e, v) = c.insert(line(0), 99);
+        assert!(v.is_none());
+        assert_eq!(e.meta, 1, "metadata of resident line untouched");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.insertions(), 2);
+    }
+
+    #[test]
+    fn remove_does_not_count_as_eviction() {
+        let mut c = small();
+        c.insert(line(0), 0);
+        assert!(c.remove(line(0)).is_some());
+        assert!(c.remove(line(0)).is_none());
+        assert_eq!(c.evictions(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn drain_matching_removes_selected_lines() {
+        let mut c = small();
+        c.insert(line(0), 1);
+        c.insert(line(1), 2);
+        c.insert(line(2), 1);
+        let drained = c.drain_matching(|e| e.meta == 1);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(line(1)));
+    }
+
+    #[test]
+    fn index_stays_consistent_under_churn() {
+        let mut c = CacheArray::new(CacheGeometry::new(1024, 4, 64));
+        for i in 0..200u64 {
+            c.insert(line(i % 37), i as u32);
+            if i % 3 == 0 {
+                c.remove(line((i * 7) % 37));
+            }
+        }
+        let resident: Vec<_> = c.iter().map(|e| e.line).collect();
+        for l in resident {
+            assert!(c.contains(l));
+            assert_eq!(c.peek(l).unwrap().line, l);
+        }
+        assert!(c.len() <= c.geometry().lines());
+    }
+
+    #[test]
+    fn line_addr_helper_matches_containing() {
+        assert_eq!(line(2), LineAddr::containing(Addr::new(130), 64));
+    }
+}

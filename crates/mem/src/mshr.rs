@@ -1,0 +1,165 @@
+//! Miss-status holding registers.
+//!
+//! An [`MshrFile`] tracks outstanding misses per cache line so that multiple
+//! accesses to a line with a miss already in flight are merged into the
+//! existing entry instead of generating duplicate network requests.
+
+use std::collections::HashMap;
+use tw_types::{Cycle, LineAddr, WordMask};
+
+/// One outstanding miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mshr {
+    /// Line being fetched.
+    pub line: LineAddr,
+    /// Words wanted by merged requests.
+    pub wanted: WordMask,
+    /// Cycle at which the primary miss was issued.
+    pub issued_at: Cycle,
+    /// Number of requests merged into this entry (including the primary).
+    pub merged: usize,
+}
+
+/// A file of MSHRs with a fixed number of entries.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<LineAddr, Mshr>,
+    peak: usize,
+}
+
+/// Result of trying to allocate an MSHR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAlloc {
+    /// A new entry was allocated: this is the primary miss and a request must
+    /// be sent.
+    Primary,
+    /// The miss was merged into an existing entry: no new request needed.
+    Merged,
+    /// The file is full: the requester must stall and retry.
+    Full,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+            peak: 0,
+        }
+    }
+
+    /// Number of outstanding misses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no outstanding misses.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Whether a miss for `line` is already outstanding.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Records a miss for `line` wanting `words`.
+    pub fn allocate(&mut self, line: LineAddr, words: WordMask, now: Cycle) -> MshrAlloc {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.wanted = e.wanted.union(words);
+            e.merged += 1;
+            return MshrAlloc::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrAlloc::Full;
+        }
+        self.entries.insert(
+            line,
+            Mshr {
+                line,
+                wanted: words,
+                issued_at: now,
+                merged: 1,
+            },
+        );
+        self.peak = self.peak.max(self.entries.len());
+        MshrAlloc::Primary
+    }
+
+    /// Completes the miss for `line`, returning its entry.
+    pub fn complete(&mut self, line: LineAddr) -> Option<Mshr> {
+        self.entries.remove(&line)
+    }
+
+    /// The outstanding entry for `line`, if any.
+    pub fn get(&self, line: LineAddr) -> Option<&Mshr> {
+        self.entries.get(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_types::WordIdx;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_aligned(n * 64)
+    }
+
+    #[test]
+    fn primary_then_merge() {
+        let mut f = MshrFile::new(4);
+        assert_eq!(
+            f.allocate(line(1), WordMask::single(WordIdx(0)), 10),
+            MshrAlloc::Primary
+        );
+        assert_eq!(
+            f.allocate(line(1), WordMask::single(WordIdx(5)), 12),
+            MshrAlloc::Merged
+        );
+        let e = f.get(line(1)).unwrap();
+        assert_eq!(e.merged, 2);
+        assert_eq!(e.issued_at, 10);
+        assert!(e.wanted.contains(WordIdx(0)) && e.wanted.contains(WordIdx(5)));
+    }
+
+    #[test]
+    fn full_file_rejects_new_primaries_but_still_merges() {
+        let mut f = MshrFile::new(2);
+        assert_eq!(f.allocate(line(1), WordMask::FULL, 0), MshrAlloc::Primary);
+        assert_eq!(f.allocate(line(2), WordMask::FULL, 0), MshrAlloc::Primary);
+        assert_eq!(f.allocate(line(3), WordMask::FULL, 0), MshrAlloc::Full);
+        assert_eq!(f.allocate(line(2), WordMask::FULL, 0), MshrAlloc::Merged);
+        assert_eq!(f.peak_occupancy(), 2);
+    }
+
+    #[test]
+    fn complete_frees_the_entry() {
+        let mut f = MshrFile::new(1);
+        f.allocate(line(9), WordMask::FULL, 3);
+        assert!(f.contains(line(9)));
+        let e = f.complete(line(9)).unwrap();
+        assert_eq!(e.line, line(9));
+        assert!(f.is_empty());
+        assert!(f.complete(line(9)).is_none());
+        assert_eq!(f.allocate(line(10), WordMask::FULL, 5), MshrAlloc::Primary);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_is_rejected() {
+        MshrFile::new(0);
+    }
+}

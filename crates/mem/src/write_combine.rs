@@ -1,0 +1,243 @@
+//! DeNovo write-combining (registration-coalescing) table.
+//!
+//! The baseline DeNovo implementation in the paper (§4.2) batches pending
+//! registration requests for the same cache line into a single message
+//! instead of issuing one per written word. An entry is held until one of:
+//! the entire line has been written, a 10 000-cycle timeout expires, a
+//! release/barrier is issued, or the line is evicted from the L1. The table
+//! has 32 entries; MESI's non-blocking write table is modelled with the same
+//! structure (one pending GetM per line).
+
+use std::collections::HashMap;
+use tw_types::{Cycle, LineAddr, WordIdx, WordMask};
+
+/// A pending set of unregistered written words for one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteCombineEntry {
+    /// The cache line.
+    pub line: LineAddr,
+    /// Words written but not yet registered with the L2.
+    pub pending: WordMask,
+    /// Cycle of the first pending write.
+    pub first_write: Cycle,
+}
+
+/// Why an entry was flushed from the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFlush {
+    /// Every word of the line has been written.
+    LineFull,
+    /// The oldest pending write exceeded the timeout.
+    Timeout,
+    /// A release operation (barrier) forced all entries out.
+    Release,
+    /// The line was evicted from the L1 while writes were pending.
+    Eviction,
+    /// The table was full and the LRU entry was displaced to make room.
+    CapacityReplacement,
+}
+
+/// Fixed-capacity write-combining table.
+#[derive(Debug, Clone)]
+pub struct WriteCombineTable {
+    capacity: usize,
+    timeout: u64,
+    words_per_line: usize,
+    entries: HashMap<LineAddr, WriteCombineEntry>,
+    flushes: u64,
+}
+
+impl WriteCombineTable {
+    /// Creates a table with `capacity` entries, a flush `timeout` in cycles,
+    /// and `words_per_line` words per cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `words_per_line` is zero.
+    pub fn new(capacity: usize, timeout: u64, words_per_line: usize) -> Self {
+        assert!(capacity > 0 && words_per_line > 0);
+        WriteCombineTable {
+            capacity,
+            timeout,
+            words_per_line,
+            entries: HashMap::new(),
+            flushes: 0,
+        }
+    }
+
+    /// Number of lines with pending registrations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no registrations are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of entries flushed over the table lifetime.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Pending words for `line`, if an entry exists.
+    pub fn pending(&self, line: LineAddr) -> Option<WordMask> {
+        self.entries.get(&line).map(|e| e.pending)
+    }
+
+    /// Records a write to `word` of `line` at cycle `now`.
+    ///
+    /// Returns the entries that must be flushed (turned into registration
+    /// messages) as a consequence: the written line itself if it became
+    /// fully written, plus a capacity victim if the table was full.
+    pub fn record_write(
+        &mut self,
+        line: LineAddr,
+        word: WordIdx,
+        now: Cycle,
+    ) -> Vec<(WriteCombineEntry, WriteFlush)> {
+        let mut out = Vec::new();
+
+        if !self.entries.contains_key(&line) && self.entries.len() >= self.capacity {
+            // Displace the oldest entry.
+            if let Some(&victim) = self
+                .entries
+                .values()
+                .min_by_key(|e| e.first_write)
+                .map(|e| &e.line)
+            {
+                let e = self.entries.remove(&victim).expect("victim present");
+                self.flushes += 1;
+                out.push((e, WriteFlush::CapacityReplacement));
+            }
+        }
+
+        let entry = self.entries.entry(line).or_insert(WriteCombineEntry {
+            line,
+            pending: WordMask::EMPTY,
+            first_write: now,
+        });
+        entry.pending.insert(word);
+
+        if entry.pending.count() >= self.words_per_line {
+            let e = self.entries.remove(&line).expect("just inserted");
+            self.flushes += 1;
+            out.push((e, WriteFlush::LineFull));
+        }
+        out
+    }
+
+    /// Flushes all entries whose first pending write is older than the
+    /// timeout at cycle `now`.
+    pub fn expire(&mut self, now: Cycle) -> Vec<(WriteCombineEntry, WriteFlush)> {
+        let expired: Vec<LineAddr> = self
+            .entries
+            .values()
+            .filter(|e| now.saturating_sub(e.first_write) >= self.timeout)
+            .map(|e| e.line)
+            .collect();
+        expired
+            .into_iter()
+            .map(|l| {
+                self.flushes += 1;
+                (self.entries.remove(&l).expect("listed"), WriteFlush::Timeout)
+            })
+            .collect()
+    }
+
+    /// Flushes every entry (release / barrier semantics).
+    pub fn release_all(&mut self) -> Vec<(WriteCombineEntry, WriteFlush)> {
+        let mut out: Vec<_> = self
+            .entries
+            .drain()
+            .map(|(_, e)| (e, WriteFlush::Release))
+            .collect();
+        out.sort_by_key(|(e, _)| e.line);
+        self.flushes += out.len() as u64;
+        out
+    }
+
+    /// Flushes the entry for an evicted line, if one exists.
+    pub fn evict_line(&mut self, line: LineAddr) -> Option<(WriteCombineEntry, WriteFlush)> {
+        self.entries.remove(&line).map(|e| {
+            self.flushes += 1;
+            (e, WriteFlush::Eviction)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_aligned(n * 64)
+    }
+
+    fn table() -> WriteCombineTable {
+        WriteCombineTable::new(4, 10_000, 16)
+    }
+
+    #[test]
+    fn writes_accumulate_until_line_full() {
+        let mut t = table();
+        for w in 0..15u8 {
+            assert!(t.record_write(line(1), WordIdx(w), 100).is_empty());
+        }
+        assert_eq!(t.pending(line(1)).unwrap().count(), 15);
+        let flushed = t.record_write(line(1), WordIdx(15), 200);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].1, WriteFlush::LineFull);
+        assert!(flushed[0].0.pending.is_full());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn timeout_expiry_flushes_old_entries_only() {
+        let mut t = table();
+        t.record_write(line(1), WordIdx(0), 0);
+        t.record_write(line(2), WordIdx(0), 9_000);
+        let expired = t.expire(10_000);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].0.line, line(1));
+        assert_eq!(expired[0].1, WriteFlush::Timeout);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn release_flushes_everything_in_line_order() {
+        let mut t = table();
+        t.record_write(line(3), WordIdx(0), 0);
+        t.record_write(line(1), WordIdx(0), 0);
+        let released = t.release_all();
+        assert_eq!(released.len(), 2);
+        assert_eq!(released[0].0.line, line(1));
+        assert!(released.iter().all(|(_, f)| *f == WriteFlush::Release));
+        assert!(t.is_empty());
+        assert_eq!(t.flushes(), 2);
+    }
+
+    #[test]
+    fn capacity_displacement_evicts_oldest() {
+        let mut t = table();
+        for (i, cyc) in [(1u64, 10u64), (2, 5), (3, 20), (4, 15)] {
+            t.record_write(line(i), WordIdx(0), cyc);
+        }
+        let flushed = t.record_write(line(5), WordIdx(0), 30);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].0.line, line(2), "oldest first_write displaced");
+        assert_eq!(flushed[0].1, WriteFlush::CapacityReplacement);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn eviction_flush_returns_pending_words() {
+        let mut t = table();
+        t.record_write(line(7), WordIdx(2), 0);
+        t.record_write(line(7), WordIdx(3), 1);
+        let (e, why) = t.evict_line(line(7)).unwrap();
+        assert_eq!(why, WriteFlush::Eviction);
+        assert_eq!(e.pending.count(), 2);
+        assert!(t.evict_line(line(7)).is_none());
+    }
+}

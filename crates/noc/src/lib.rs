@@ -1,0 +1,37 @@
+//! On-chip mesh network model.
+//!
+//! The study reports all traffic in *flit-hops*: each 16-byte flit counts
+//! once per link it traverses. This crate models the 4×4 mesh of the paper
+//! with XY dimension-order routing, computes packet sizes in flits (one
+//! control flit plus up to four data flits), accounts flit-hops, and provides
+//! a wormhole-style latency model with per-link contention.
+//!
+//! Per the substitution note in `DESIGN.md`, the NoC is analytic rather than
+//! a per-flit wormhole simulator: flit-hops are exact under XY routing, and
+//! latency is per-hop pipeline delay plus serialization plus a per-link
+//! queueing term derived from link occupancy.
+//!
+//! # Example
+//!
+//! ```
+//! use tw_noc::{Mesh, PacketSize};
+//! use tw_types::{NocConfig, TileId};
+//!
+//! let mesh = Mesh::new(NocConfig::default());
+//! let size = PacketSize::with_data_words(&NocConfig::default(), 6);
+//! assert_eq!(size.data_flits, 2);
+//! let hops = mesh.hops(TileId(0), TileId(15));
+//! assert_eq!(hops, 6);
+//! assert_eq!(mesh.flit_hops(TileId(0), TileId(15), size), 6 * 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod mesh;
+pub mod packet;
+
+pub use link::{LinkId, LinkState};
+pub use mesh::Mesh;
+pub use packet::PacketSize;

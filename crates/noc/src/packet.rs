@@ -1,0 +1,112 @@
+//! Packet sizing in flits.
+
+use tw_types::NocConfig;
+
+/// Size of one network packet in flits.
+///
+/// Every packet carries one control flit (header, address, bit-vectors);
+/// packets carrying data add one data flit per four words, capped at the
+/// configured maximum (four data flits ⇒ 64 bytes, paper §4.2). Requests and
+/// pure protocol messages are control-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketSize {
+    /// Number of control flits (always ≥ 1).
+    pub control_flits: usize,
+    /// Number of data flits.
+    pub data_flits: usize,
+    /// Number of data words actually carried (may under-fill the last flit).
+    pub data_words: usize,
+}
+
+impl PacketSize {
+    /// A control-only packet (request, ack, invalidation, ...).
+    pub const fn control_only() -> Self {
+        PacketSize {
+            control_flits: 1,
+            data_flits: 0,
+            data_words: 0,
+        }
+    }
+
+    /// A packet carrying `words` data words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` exceeds the configured maximum packet payload —
+    /// callers must split larger transfers into multiple packets.
+    pub fn with_data_words(cfg: &NocConfig, words: usize) -> Self {
+        assert!(
+            words <= cfg.max_data_words(),
+            "payload of {} words exceeds the {}-word packet limit",
+            words,
+            cfg.max_data_words()
+        );
+        let wpf = cfg.words_per_flit();
+        PacketSize {
+            control_flits: 1,
+            data_flits: words.div_ceil(wpf),
+            data_words: words,
+        }
+    }
+
+    /// Total flits in the packet.
+    pub const fn total_flits(self) -> usize {
+        self.control_flits + self.data_flits
+    }
+
+    /// Fraction of the data flits that is actually filled with words
+    /// (1.0 when full; the unfilled remainder is accounted as control traffic
+    /// in the figures, per paper §5.2).
+    pub fn data_fill_fraction(self, cfg: &NocConfig) -> f64 {
+        if self.data_flits == 0 {
+            return 1.0;
+        }
+        self.data_words as f64 / (self.data_flits * cfg.words_per_flit()) as f64
+    }
+
+    /// Flit-count equivalent of the unfilled tail of the last data flit.
+    pub fn unfilled_data_flits(self, cfg: &NocConfig) -> f64 {
+        self.data_flits as f64 * (1.0 - self.data_fill_fraction(cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NocConfig {
+        NocConfig::default()
+    }
+
+    #[test]
+    fn control_only_packets_are_one_flit() {
+        let p = PacketSize::control_only();
+        assert_eq!(p.total_flits(), 1);
+        assert_eq!(p.data_words, 0);
+        assert!((p.data_fill_fraction(&cfg()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_flit_count_rounds_up() {
+        assert_eq!(PacketSize::with_data_words(&cfg(), 1).data_flits, 1);
+        assert_eq!(PacketSize::with_data_words(&cfg(), 4).data_flits, 1);
+        assert_eq!(PacketSize::with_data_words(&cfg(), 5).data_flits, 2);
+        assert_eq!(PacketSize::with_data_words(&cfg(), 16).data_flits, 4);
+        assert_eq!(PacketSize::with_data_words(&cfg(), 16).total_flits(), 5);
+    }
+
+    #[test]
+    fn unfilled_fraction_of_partial_flit() {
+        // 5 words in 2 flits: 8 word slots, 3 empty -> 3/8 of 2 flits = 0.75.
+        let p = PacketSize::with_data_words(&cfg(), 5);
+        assert!((p.unfilled_data_flits(&cfg()) - 0.75).abs() < 1e-12);
+        let full = PacketSize::with_data_words(&cfg(), 8);
+        assert_eq!(full.unfilled_data_flits(&cfg()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_payload_panics() {
+        PacketSize::with_data_words(&cfg(), 17);
+    }
+}

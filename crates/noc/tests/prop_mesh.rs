@@ -1,0 +1,92 @@
+//! Property-based tests of mesh routing and flit-hop accounting.
+
+use proptest::prelude::*;
+use tw_noc::{Mesh, PacketSize};
+use tw_types::{NocConfig, TileId};
+
+fn mesh() -> Mesh {
+    Mesh::new(NocConfig::default())
+}
+
+proptest! {
+    /// XY routes are loop-free, have exactly Manhattan-distance links, and
+    /// every consecutive pair of links shares a router.
+    #[test]
+    fn routes_are_minimal_and_connected(src in 0usize..16, dst in 0usize..16) {
+        let m = mesh();
+        let route = m.route(TileId(src), TileId(dst));
+        prop_assert_eq!(route.len(), m.hops(TileId(src), TileId(dst)));
+        if !route.is_empty() {
+            prop_assert_eq!(route[0].from, TileId(src));
+            prop_assert_eq!(route[route.len() - 1].to, TileId(dst));
+            for pair in route.windows(2) {
+                prop_assert_eq!(pair[0].to, pair[1].from);
+            }
+        }
+        // No router is visited twice (loop freedom).
+        let mut visited: Vec<_> = route.iter().map(|l| l.from).collect();
+        visited.sort_by_key(|t| t.0);
+        let before = visited.len();
+        visited.dedup();
+        prop_assert_eq!(before, visited.len());
+    }
+
+    /// Flit-hop accounting is exactly hops × flits for every send, and the
+    /// running mesh total equals the sum over all sends.
+    #[test]
+    fn flit_hop_totals_are_additive(
+        sends in prop::collection::vec((0usize..16, 0usize..16, 0usize..17), 1..100)
+    ) {
+        let cfg = NocConfig::default();
+        let mut m = mesh();
+        let mut expected = 0.0;
+        for (src, dst, words) in sends {
+            let size = if words == 0 {
+                PacketSize::control_only()
+            } else {
+                PacketSize::with_data_words(&cfg, words.min(16))
+            };
+            expected += m.flit_hops(TileId(src), TileId(dst), size) as f64;
+            m.send(TileId(src), TileId(dst), size, 0);
+        }
+        prop_assert!((m.total_flit_hops() - expected).abs() < 1e-9);
+    }
+
+    /// Latency is monotone: a packet sent later on the same path never
+    /// arrives earlier, and arrival is never before the unloaded latency.
+    #[test]
+    fn latency_is_monotone_and_bounded_below(
+        times in prop::collection::vec(0u64..1000, 2..40),
+        words in 1usize..17,
+    ) {
+        let cfg = NocConfig::default();
+        let mut m = mesh();
+        let size = PacketSize::with_data_words(&cfg, words);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut last_arrival = 0;
+        for t in sorted {
+            let arrival = m.send(TileId(0), TileId(15), size, t);
+            prop_assert!(arrival >= t + m.unloaded_latency(TileId(0), TileId(15), size));
+            prop_assert!(arrival >= last_arrival);
+            last_arrival = arrival;
+        }
+    }
+
+    /// Packet sizing: data words never exceed the payload of the computed
+    /// flit count, and the unfilled fraction is consistent with it.
+    #[test]
+    fn packet_sizing_is_consistent(words in 0usize..17) {
+        let cfg = NocConfig::default();
+        let size = if words == 0 {
+            PacketSize::control_only()
+        } else {
+            PacketSize::with_data_words(&cfg, words)
+        };
+        prop_assert!(size.data_words <= size.data_flits * cfg.words_per_flit());
+        prop_assert!(size.data_flits <= cfg.max_data_flits);
+        let unfilled = size.unfilled_data_flits(&cfg);
+        prop_assert!(unfilled >= 0.0);
+        prop_assert!(unfilled < 1.0 + 1e-9);
+    }
+}

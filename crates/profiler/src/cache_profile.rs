@@ -1,0 +1,244 @@
+//! The L1 and L2 waste-profiling state machines (Figures 4.1 and 4.2).
+
+use crate::category::{WasteCategory, WasteReport};
+use std::collections::HashMap;
+use tw_types::{Addr, MessageClass};
+
+/// Which cache level a [`CacheWasteProfiler`] instruments.
+///
+/// The two levels share the arrival/evict/fetch/unevicted behaviour; they
+/// differ in what counts as *use* (a program load at the L1, serving an L1
+/// request at the L2) and in whether protocol invalidations occur (L1 only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLevel {
+    /// A private L1 data cache.
+    L1,
+    /// The shared L2 (any slice).
+    L2,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    flit_hops: f64,
+    class: MessageClass,
+}
+
+/// Per-cache waste profiler implementing the decision diagrams of §4.1.
+///
+/// The caller (the simulator's cache controllers) reports word-granularity
+/// events; the profiler defers classification until a word's fate is known.
+/// Words that arrive while the same address is still pending are classified
+/// as `Fetch` waste immediately (the cache already had the word).
+#[derive(Debug, Clone)]
+pub struct CacheWasteProfiler {
+    level: CacheLevel,
+    pending: HashMap<Addr, Pending>,
+    report: WasteReport,
+}
+
+impl CacheWasteProfiler {
+    /// Creates a profiler for one cache of the given level.
+    pub fn new(level: CacheLevel) -> Self {
+        CacheWasteProfiler {
+            level,
+            pending: HashMap::new(),
+            report: WasteReport::new(),
+        }
+    }
+
+    /// The level this profiler instruments.
+    pub fn level(&self) -> CacheLevel {
+        self.level
+    }
+
+    /// Number of words whose classification is still pending.
+    pub fn pending_words(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// A word arrived at the cache in a response of class `class`, having
+    /// spent `flit_hops` flit-hops on its final network leg.
+    ///
+    /// `already_present` must be true when the cache already held valid or
+    /// dirty data for the word; the arrival is then immediately classified as
+    /// `Fetch` waste (paper §4.1) and the older instance keeps its pending
+    /// state.
+    pub fn arrive(&mut self, addr: Addr, already_present: bool, flit_hops: f64, class: MessageClass) {
+        let addr = addr.word_aligned();
+        if already_present || self.pending.contains_key(&addr) {
+            self.report.record(WasteCategory::Fetch, class, flit_hops);
+            return;
+        }
+        self.pending.insert(addr, Pending { flit_hops, class });
+    }
+
+    fn finalize(&mut self, addr: Addr, category: WasteCategory) -> bool {
+        let addr = addr.word_aligned();
+        if let Some(p) = self.pending.remove(&addr) {
+            self.report.record(category, p.class, p.flit_hops);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The program loaded the word (L1), or the cache returned it in a
+    /// response to an L1 (L2): the pending instance becomes `Used`.
+    pub fn loaded(&mut self, addr: Addr) {
+        self.finalize(addr, WasteCategory::Used);
+    }
+
+    /// The word was overwritten before use: a program store at the L1, or an
+    /// L1 writeback overwriting it at the L2.
+    pub fn stored(&mut self, addr: Addr) {
+        self.finalize(addr, WasteCategory::Write);
+    }
+
+    /// The coherence protocol invalidated the word before use (L1 only:
+    /// MESI invalidation messages or DeNovo self-invalidation).
+    pub fn invalidated(&mut self, addr: Addr) {
+        debug_assert_eq!(self.level, CacheLevel::L1, "L2 words are not invalidated in this study");
+        self.finalize(addr, WasteCategory::Invalidate);
+    }
+
+    /// The word was evicted before use.
+    pub fn evicted(&mut self, addr: Addr) {
+        self.finalize(addr, WasteCategory::Evict);
+    }
+
+    /// Ends the simulation: all still-pending words become `Unevicted` and the
+    /// final report is returned.
+    pub fn finish(mut self) -> WasteReport {
+        let leftovers: Vec<Addr> = self.pending.keys().copied().collect();
+        for addr in leftovers {
+            self.finalize(addr, WasteCategory::Unevicted);
+        }
+        self.report
+    }
+
+    /// Snapshot of the report accumulated so far (pending words excluded).
+    pub fn report_so_far(&self) -> &WasteReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> Addr {
+        Addr::new(n * 4)
+    }
+
+    fn l1() -> CacheWasteProfiler {
+        CacheWasteProfiler::new(CacheLevel::L1)
+    }
+
+    #[test]
+    fn load_after_arrival_is_used() {
+        let mut p = l1();
+        p.arrive(addr(1), false, 2.0, MessageClass::Load);
+        p.loaded(addr(1));
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Used), 1);
+        assert_eq!(r.used_flit_hops(MessageClass::Load), 2.0);
+    }
+
+    #[test]
+    fn store_before_load_is_write_waste() {
+        let mut p = l1();
+        p.arrive(addr(1), false, 1.0, MessageClass::Store);
+        p.stored(addr(1));
+        // A later load must not resurrect the record.
+        p.loaded(addr(1));
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Write), 1);
+        assert_eq!(r.words(WasteCategory::Used), 0);
+    }
+
+    #[test]
+    fn arrival_on_top_of_pending_word_is_fetch_waste() {
+        let mut p = l1();
+        p.arrive(addr(1), false, 1.0, MessageClass::Load);
+        p.arrive(addr(1), false, 3.0, MessageClass::Load);
+        p.loaded(addr(1));
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Fetch), 1);
+        assert_eq!(r.words(WasteCategory::Used), 1);
+        assert_eq!(r.flit_hops(MessageClass::Load, WasteCategory::Fetch), 3.0);
+        assert_eq!(r.used_flit_hops(MessageClass::Load), 1.0);
+    }
+
+    #[test]
+    fn arrival_when_cache_reports_present_is_fetch_waste() {
+        let mut p = l1();
+        p.arrive(addr(2), true, 2.5, MessageClass::Load);
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Fetch), 1);
+    }
+
+    #[test]
+    fn invalidate_and_evict_before_use() {
+        let mut p = l1();
+        p.arrive(addr(1), false, 1.0, MessageClass::Load);
+        p.arrive(addr(2), false, 1.0, MessageClass::Load);
+        p.invalidated(addr(1));
+        p.evicted(addr(2));
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Invalidate), 1);
+        assert_eq!(r.words(WasteCategory::Evict), 1);
+    }
+
+    #[test]
+    fn use_then_evict_stays_used() {
+        let mut p = l1();
+        p.arrive(addr(1), false, 1.0, MessageClass::Load);
+        p.loaded(addr(1));
+        p.evicted(addr(1));
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Used), 1);
+        assert_eq!(r.words(WasteCategory::Evict), 0);
+    }
+
+    #[test]
+    fn unclassified_words_become_unevicted_at_finish() {
+        let mut p = l1();
+        p.arrive(addr(1), false, 1.0, MessageClass::Load);
+        p.arrive(addr(2), false, 1.0, MessageClass::Store);
+        assert_eq!(p.pending_words(), 2);
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Unevicted), 2);
+    }
+
+    #[test]
+    fn events_without_arrival_are_ignored() {
+        let mut p = l1();
+        p.loaded(addr(5));
+        p.evicted(addr(5));
+        p.stored(addr(5));
+        let r = p.finish();
+        assert_eq!(r.total_words(), 0);
+    }
+
+    #[test]
+    fn l2_level_uses_same_fsm_without_invalidation() {
+        let mut p = CacheWasteProfiler::new(CacheLevel::L2);
+        assert_eq!(p.level(), CacheLevel::L2);
+        p.arrive(addr(1), false, 1.0, MessageClass::Load);
+        p.loaded(addr(1)); // served to an L1
+        p.arrive(addr(2), false, 1.0, MessageClass::Load);
+        p.stored(addr(2)); // overwritten by an L1 writeback
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Used), 1);
+        assert_eq!(r.words(WasteCategory::Write), 1);
+    }
+
+    #[test]
+    fn addresses_are_word_aligned_internally() {
+        let mut p = l1();
+        p.arrive(Addr::new(0x101), false, 1.0, MessageClass::Load);
+        p.loaded(Addr::new(0x103));
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Used), 1);
+    }
+}

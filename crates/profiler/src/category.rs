@@ -1,0 +1,205 @@
+//! Waste categories and aggregated reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use tw_types::MessageClass;
+
+/// Classification of one word moved through the memory hierarchy (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WasteCategory {
+    /// The word's value was read by the program (or returned by the L2 in a
+    /// response): useful data movement.
+    Used,
+    /// The word was overwritten before being used.
+    Write,
+    /// The word was brought into a cache that already held it.
+    Fetch,
+    /// The word was invalidated by the coherence protocol before being used.
+    Invalidate,
+    /// The word was evicted before being used or overwritten.
+    Evict,
+    /// The word was still unclassified when the simulation ended.
+    Unevicted,
+    /// The word was fetched from DRAM but dropped at the memory controller
+    /// (L2-Flex without sub-line DRAM support); memory-level only.
+    Excess,
+}
+
+impl WasteCategory {
+    /// All categories, in the stacking order of Figure 5.3.
+    pub const ALL: [WasteCategory; 7] = [
+        WasteCategory::Used,
+        WasteCategory::Fetch,
+        WasteCategory::Write,
+        WasteCategory::Invalidate,
+        WasteCategory::Evict,
+        WasteCategory::Unevicted,
+        WasteCategory::Excess,
+    ];
+
+    /// Whether the category represents wasted movement.
+    pub const fn is_waste(self) -> bool {
+        !matches!(self, WasteCategory::Used)
+    }
+
+    /// Figure label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            WasteCategory::Used => "Used Words",
+            WasteCategory::Fetch => "Fetch Waste",
+            WasteCategory::Write => "Write Waste",
+            WasteCategory::Invalidate => "Invalidate Waste",
+            WasteCategory::Evict => "Evict Waste",
+            WasteCategory::Unevicted => "Unevicted Waste",
+            WasteCategory::Excess => "Excess Waste",
+        }
+    }
+}
+
+impl fmt::Display for WasteCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Aggregated outcome of one profiler: word counts and the flit-hops the
+/// classified words were responsible for, split by category and, for
+/// flit-hops, by the message class (load vs. store response) that moved them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WasteReport {
+    words: BTreeMap<WasteCategory, u64>,
+    flit_hops: BTreeMap<(MessageClass, WasteCategory), f64>,
+}
+
+impl WasteReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        WasteReport::default()
+    }
+
+    /// Records one classified word that cost `flit_hops` to move as part of a
+    /// `class` response.
+    pub fn record(&mut self, category: WasteCategory, class: MessageClass, flit_hops: f64) {
+        *self.words.entry(category).or_insert(0) += 1;
+        *self.flit_hops.entry((class, category)).or_insert(0.0) += flit_hops;
+    }
+
+    /// Number of words classified into `category`.
+    pub fn words(&self, category: WasteCategory) -> u64 {
+        self.words.get(&category).copied().unwrap_or(0)
+    }
+
+    /// Total words profiled.
+    pub fn total_words(&self) -> u64 {
+        self.words.values().sum()
+    }
+
+    /// Total words classified as waste.
+    pub fn wasted_words(&self) -> u64 {
+        WasteCategory::ALL
+            .iter()
+            .filter(|c| c.is_waste())
+            .map(|c| self.words(*c))
+            .sum()
+    }
+
+    /// Fraction of profiled words that were waste (0 when nothing profiled).
+    pub fn waste_fraction(&self) -> f64 {
+        let total = self.total_words();
+        if total == 0 {
+            0.0
+        } else {
+            self.wasted_words() as f64 / total as f64
+        }
+    }
+
+    /// Flit-hops spent moving words of `category` in responses of `class`.
+    pub fn flit_hops(&self, class: MessageClass, category: WasteCategory) -> f64 {
+        self.flit_hops.get(&(class, category)).copied().unwrap_or(0.0)
+    }
+
+    /// Flit-hops spent on *used* words in responses of `class`.
+    pub fn used_flit_hops(&self, class: MessageClass) -> f64 {
+        self.flit_hops(class, WasteCategory::Used)
+    }
+
+    /// Flit-hops spent on *wasted* words in responses of `class`.
+    pub fn wasted_flit_hops(&self, class: MessageClass) -> f64 {
+        WasteCategory::ALL
+            .iter()
+            .filter(|c| c.is_waste())
+            .map(|c| self.flit_hops(class, *c))
+            .sum()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &WasteReport) {
+        for (cat, n) in &other.words {
+            *self.words.entry(*cat).or_insert(0) += n;
+        }
+        for (key, h) in &other.flit_hops {
+            *self.flit_hops.entry(*key).or_insert(0.0) += h;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_waste_predicate() {
+        assert!(!WasteCategory::Used.is_waste());
+        for c in [
+            WasteCategory::Write,
+            WasteCategory::Fetch,
+            WasteCategory::Invalidate,
+            WasteCategory::Evict,
+            WasteCategory::Unevicted,
+            WasteCategory::Excess,
+        ] {
+            assert!(c.is_waste(), "{c} should be waste");
+        }
+    }
+
+    #[test]
+    fn report_accumulates_words_and_hops() {
+        let mut r = WasteReport::new();
+        r.record(WasteCategory::Used, MessageClass::Load, 2.0);
+        r.record(WasteCategory::Used, MessageClass::Load, 1.0);
+        r.record(WasteCategory::Evict, MessageClass::Store, 4.0);
+        assert_eq!(r.words(WasteCategory::Used), 2);
+        assert_eq!(r.words(WasteCategory::Evict), 1);
+        assert_eq!(r.total_words(), 3);
+        assert_eq!(r.wasted_words(), 1);
+        assert!((r.waste_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.used_flit_hops(MessageClass::Load), 3.0);
+        assert_eq!(r.wasted_flit_hops(MessageClass::Store), 4.0);
+        assert_eq!(r.wasted_flit_hops(MessageClass::Load), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_reports() {
+        let mut a = WasteReport::new();
+        a.record(WasteCategory::Used, MessageClass::Load, 1.0);
+        let mut b = WasteReport::new();
+        b.record(WasteCategory::Used, MessageClass::Load, 2.0);
+        b.record(WasteCategory::Write, MessageClass::Store, 0.5);
+        a.merge(&b);
+        assert_eq!(a.words(WasteCategory::Used), 2);
+        assert_eq!(a.flit_hops(MessageClass::Load, WasteCategory::Used), 3.0);
+        assert_eq!(a.words(WasteCategory::Write), 1);
+    }
+
+    #[test]
+    fn empty_report_has_zero_waste_fraction() {
+        assert_eq!(WasteReport::new().waste_fraction(), 0.0);
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(WasteCategory::Used.label(), "Used Words");
+        assert_eq!(WasteCategory::Excess.to_string(), "Excess Waste");
+        assert_eq!(WasteCategory::ALL.len(), 7);
+    }
+}

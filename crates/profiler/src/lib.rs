@@ -1,0 +1,39 @@
+//! Waste characterization: the profiling methodology of paper §4.1.
+//!
+//! Every word moved into an L1, into the L2, or fetched from memory is
+//! classified into one of six categories — `Used`, `Write`, `Fetch`,
+//! `Invalidate`, `Evict`, `Unevicted` (plus `Excess` at the memory level for
+//! words dropped at the memory controller by the L2-Flex optimization).
+//! Classification is deferred: a word's fate is only known once it is read,
+//! overwritten, invalidated, evicted, or the simulation ends. The profilers in
+//! this crate implement the three finite-state machines of Figures 4.1–4.3
+//! and, because each tracked word also remembers the flit-hops spent moving
+//! it, they retroactively attribute response data traffic to the
+//! `Used`/`Waste` buckets of Figures 5.1b–5.1c.
+//!
+//! # Example
+//!
+//! ```
+//! use tw_profiler::{CacheLevel, CacheWasteProfiler, WasteCategory};
+//! use tw_types::{Addr, MessageClass};
+//!
+//! let mut l1 = CacheWasteProfiler::new(CacheLevel::L1);
+//! let a = Addr::new(0x100);
+//! l1.arrive(a, false, 1.5, MessageClass::Load);
+//! l1.loaded(a);
+//! let report = l1.finish();
+//! assert_eq!(report.words(WasteCategory::Used), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache_profile;
+pub mod category;
+pub mod memory_profile;
+pub mod traffic;
+
+pub use cache_profile::{CacheLevel, CacheWasteProfiler};
+pub use category::{WasteCategory, WasteReport};
+pub use memory_profile::MemoryWasteProfiler;
+pub use traffic::TrafficBreakdown;

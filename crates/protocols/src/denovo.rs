@@ -1,0 +1,334 @@
+//! DeNovo word-granularity coherence state.
+//!
+//! DeNovo replaces sharer lists and invalidation traffic with three per-word
+//! states and software-guaranteed data-race freedom (paper §2):
+//!
+//! * at an L1, a word is `Invalid`, `Valid` (a clean copy readable until the
+//!   next self-invalidation), or `Registered` (this core owns the only
+//!   up-to-date copy and may read and write it);
+//! * at the shared L2, a word is either valid (the L2 holds the data), or
+//!   registered to some core (the L2's data array stores *which* core instead
+//!   of data — "the L2 cache is used to store per-word ownership"), or
+//!   invalid.
+
+use std::fmt;
+use tw_types::{CoreId, RegionId, WordIdx, WordMask, WORDS_PER_LINE};
+
+/// State of one word in a private L1 under DeNovo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub enum DenovoWordState {
+    /// No usable copy.
+    #[default]
+    Invalid,
+    /// Clean copy, readable until self-invalidated.
+    Valid,
+    /// This core holds the registered (owned, writable) copy.
+    Registered,
+}
+
+impl DenovoWordState {
+    /// Whether a load hits on this word.
+    pub const fn can_read(self) -> bool {
+        !matches!(self, DenovoWordState::Invalid)
+    }
+
+    /// Whether a store completes locally without a registration request.
+    pub const fn is_registered(self) -> bool {
+        matches!(self, DenovoWordState::Registered)
+    }
+}
+
+impl fmt::Display for DenovoWordState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DenovoWordState::Invalid => "I",
+            DenovoWordState::Valid => "V",
+            DenovoWordState::Registered => "R",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-line DeNovo metadata in an L1: the word states plus the region of the
+/// data (used to make self-invalidation precise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenovoL1Line {
+    /// State of each word.
+    pub words: [DenovoWordState; WORDS_PER_LINE],
+    /// Region of the line's data (one region per line is sufficient for the
+    /// generated workloads, whose regions are line-aligned arrays).
+    pub region: RegionId,
+}
+
+impl Default for DenovoL1Line {
+    fn default() -> Self {
+        DenovoL1Line {
+            words: [DenovoWordState::Invalid; WORDS_PER_LINE],
+            region: RegionId::DEFAULT,
+        }
+    }
+}
+
+impl DenovoL1Line {
+    /// Creates an all-invalid line tagged with `region`.
+    pub fn new(region: RegionId) -> Self {
+        DenovoL1Line {
+            words: [DenovoWordState::Invalid; WORDS_PER_LINE],
+            region,
+        }
+    }
+
+    /// State of one word.
+    pub fn word(&self, w: WordIdx) -> DenovoWordState {
+        self.words[w.index()]
+    }
+
+    /// Sets the state of one word.
+    pub fn set_word(&mut self, w: WordIdx, state: DenovoWordState) {
+        self.words[w.index()] = state;
+    }
+
+    /// Mask of words in a given state.
+    pub fn mask_in(&self, state: DenovoWordState) -> WordMask {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == state)
+            .map(|(i, _)| WordIdx(i as u8))
+            .collect()
+    }
+
+    /// Mask of words that can satisfy a load (valid or registered).
+    pub fn readable_mask(&self) -> WordMask {
+        self.mask_in(DenovoWordState::Valid)
+            .union(self.mask_in(DenovoWordState::Registered))
+    }
+
+    /// Applies self-invalidation: every `Valid` word becomes `Invalid`,
+    /// `Registered` words are kept (they are the up-to-date copy). Returns
+    /// the mask of words invalidated.
+    pub fn self_invalidate(&mut self) -> WordMask {
+        let mut invalidated = WordMask::EMPTY;
+        for (i, s) in self.words.iter_mut().enumerate() {
+            if *s == DenovoWordState::Valid {
+                *s = DenovoWordState::Invalid;
+                invalidated.insert(WordIdx(i as u8));
+            }
+        }
+        invalidated
+    }
+
+    /// Whether the line holds no readable word and can be dropped.
+    pub fn is_empty(&self) -> bool {
+        self.readable_mask().is_empty()
+    }
+}
+
+/// Who holds the up-to-date copy of a word, from the L2's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub enum L2WordOwner {
+    /// No valid copy anywhere on chip (must fetch from memory).
+    #[default]
+    Invalid,
+    /// The L2 data array holds the valid copy.
+    AtL2,
+    /// The word is registered to (owned by) a core's L1.
+    RegisteredTo(CoreId),
+}
+
+impl L2WordOwner {
+    /// Whether the L2 can serve the word itself.
+    pub const fn servable_by_l2(self) -> bool {
+        matches!(self, L2WordOwner::AtL2)
+    }
+
+    /// The registered core, if any.
+    pub const fn registrant(self) -> Option<CoreId> {
+        match self {
+            L2WordOwner::RegisteredTo(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Per-line DeNovo metadata at the shared L2: word ownership plus per-word
+/// dirty bits (set when a registered word's data is written back).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenovoL2Line {
+    /// Ownership of each word.
+    pub owners: [L2WordOwner; WORDS_PER_LINE],
+}
+
+impl Default for DenovoL2Line {
+    fn default() -> Self {
+        DenovoL2Line {
+            owners: [L2WordOwner::Invalid; WORDS_PER_LINE],
+        }
+    }
+}
+
+impl DenovoL2Line {
+    /// Ownership of one word.
+    pub fn owner(&self, w: WordIdx) -> L2WordOwner {
+        self.owners[w.index()]
+    }
+
+    /// Sets the ownership of one word.
+    pub fn set_owner(&mut self, w: WordIdx, owner: L2WordOwner) {
+        self.owners[w.index()] = owner;
+    }
+
+    /// Registers `words` to `core`, returning for each word the previous
+    /// registrant (if different from `core`) so the caller can send the
+    /// invalidation the protocol requires.
+    pub fn register(&mut self, words: WordMask, core: CoreId) -> Vec<(WordIdx, CoreId)> {
+        let mut displaced = Vec::new();
+        for w in words.iter() {
+            if let L2WordOwner::RegisteredTo(prev) = self.owners[w.index()] {
+                if prev != core {
+                    displaced.push((w, prev));
+                }
+            }
+            self.owners[w.index()] = L2WordOwner::RegisteredTo(core);
+        }
+        displaced
+    }
+
+    /// Accepts a writeback of `words` from `core`: the words become valid at
+    /// the L2 again. Words registered to a *different* core are left alone
+    /// (a stale writeback racing a newer registration).
+    pub fn accept_writeback(&mut self, words: WordMask, core: CoreId) -> WordMask {
+        let mut accepted = WordMask::EMPTY;
+        for w in words.iter() {
+            match self.owners[w.index()] {
+                L2WordOwner::RegisteredTo(c) if c != core => {}
+                _ => {
+                    self.owners[w.index()] = L2WordOwner::AtL2;
+                    accepted.insert(w);
+                }
+            }
+        }
+        accepted
+    }
+
+    /// Mask of words the L2 itself can serve.
+    pub fn valid_at_l2(&self) -> WordMask {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.servable_by_l2())
+            .map(|(i, _)| WordIdx(i as u8))
+            .collect()
+    }
+
+    /// Mask of words registered to any core.
+    pub fn registered_mask(&self) -> WordMask {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.registrant().is_some())
+            .map(|(i, _)| WordIdx(i as u8))
+            .collect()
+    }
+
+    /// Mask of words registered to a specific core.
+    pub fn registered_to(&self, core: CoreId) -> WordMask {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.registrant() == Some(core))
+            .map(|(i, _)| WordIdx(i as u8))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_state_predicates() {
+        assert!(!DenovoWordState::Invalid.can_read());
+        assert!(DenovoWordState::Valid.can_read());
+        assert!(DenovoWordState::Registered.can_read());
+        assert!(DenovoWordState::Registered.is_registered());
+        assert!(!DenovoWordState::Valid.is_registered());
+        assert_eq!(DenovoWordState::Registered.to_string(), "R");
+    }
+
+    #[test]
+    fn l1_line_masks_and_self_invalidation() {
+        let mut line = DenovoL1Line::new(RegionId(4));
+        line.set_word(WordIdx(0), DenovoWordState::Valid);
+        line.set_word(WordIdx(1), DenovoWordState::Registered);
+        line.set_word(WordIdx(2), DenovoWordState::Valid);
+        assert_eq!(line.readable_mask().count(), 3);
+        assert_eq!(line.region, RegionId(4));
+
+        let invalidated = line.self_invalidate();
+        assert_eq!(invalidated.count(), 2);
+        assert!(invalidated.contains(WordIdx(0)));
+        assert!(!invalidated.contains(WordIdx(1)));
+        assert_eq!(line.word(WordIdx(1)), DenovoWordState::Registered);
+        assert_eq!(line.word(WordIdx(0)), DenovoWordState::Invalid);
+        assert!(!line.is_empty());
+    }
+
+    #[test]
+    fn empty_line_detection() {
+        let mut line = DenovoL1Line::default();
+        assert!(line.is_empty());
+        line.set_word(WordIdx(5), DenovoWordState::Valid);
+        assert!(!line.is_empty());
+        line.self_invalidate();
+        assert!(line.is_empty());
+    }
+
+    #[test]
+    fn l2_registration_displaces_previous_registrant() {
+        let mut l2 = DenovoL2Line::default();
+        let words = WordMask::from_bits(0b1111);
+        assert!(l2.register(words, CoreId(1)).is_empty());
+        // Re-registration by the same core displaces nobody.
+        assert!(l2.register(WordMask::from_bits(0b0011), CoreId(1)).is_empty());
+        // Another core registering two of the words displaces core 1 for them.
+        let displaced = l2.register(WordMask::from_bits(0b0110), CoreId(2));
+        assert_eq!(displaced.len(), 2);
+        assert!(displaced.iter().all(|(_, c)| *c == CoreId(1)));
+        assert_eq!(l2.registered_to(CoreId(2)).count(), 2);
+        assert_eq!(l2.registered_to(CoreId(1)).count(), 2);
+    }
+
+    #[test]
+    fn l2_writeback_restores_l2_validity() {
+        let mut l2 = DenovoL2Line::default();
+        l2.register(WordMask::from_bits(0b11), CoreId(3));
+        let accepted = l2.accept_writeback(WordMask::from_bits(0b11), CoreId(3));
+        assert_eq!(accepted.count(), 2);
+        assert_eq!(l2.valid_at_l2().count(), 2);
+        assert!(l2.registered_mask().is_empty());
+    }
+
+    #[test]
+    fn stale_writeback_from_displaced_core_is_ignored() {
+        let mut l2 = DenovoL2Line::default();
+        l2.register(WordMask::from_bits(0b1), CoreId(1));
+        l2.register(WordMask::from_bits(0b1), CoreId(2));
+        let accepted = l2.accept_writeback(WordMask::from_bits(0b1), CoreId(1));
+        assert!(accepted.is_empty());
+        assert_eq!(l2.owner(WordIdx(0)), L2WordOwner::RegisteredTo(CoreId(2)));
+    }
+
+    #[test]
+    fn ownership_queries() {
+        let mut l2 = DenovoL2Line::default();
+        assert_eq!(l2.owner(WordIdx(0)), L2WordOwner::Invalid);
+        assert!(!L2WordOwner::Invalid.servable_by_l2());
+        l2.set_owner(WordIdx(0), L2WordOwner::AtL2);
+        assert!(l2.owner(WordIdx(0)).servable_by_l2());
+        l2.set_owner(WordIdx(1), L2WordOwner::RegisteredTo(CoreId(9)));
+        assert_eq!(l2.owner(WordIdx(1)).registrant(), Some(CoreId(9)));
+        assert_eq!(l2.valid_at_l2().count(), 1);
+        assert_eq!(l2.registered_mask().count(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Coherence-protocol state machines: directory-based MESI and DeNovo.
+//!
+//! The two protocol families keep very different state:
+//!
+//! * **MESI** tracks a line-granularity state (`I`/`S`/`E`/`M`) in each L1
+//!   and a directory entry (owner + sharer set) alongside the inclusive L2.
+//!   Stores to `S` lines need an Upgrade, stores to `I` lines a GetM with a
+//!   full-line data response (fetch-on-write), and the blocking directory
+//!   produces unblock messages, invalidations and acknowledgements.
+//! * **DeNovo** tracks word-granularity state (`Invalid`/`Valid`/`Registered`)
+//!   in the L1s, and the shared L2 doubles as the registry: each word is
+//!   either valid at the L2 or registered to the core that owns it. There are
+//!   no sharer lists; stale data is removed by self-invalidation at barriers.
+//!
+//! The transaction *choreography* (which messages travel where, with what
+//! latency) lives in the simulator crate (`denovo-waste`); this crate owns the
+//! state types, their legal transitions, and the pure decision functions
+//! (response sizing under Flex, store policies, self-invalidation filters)
+//! so they can be tested exhaustively in isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod denovo;
+pub mod flex;
+pub mod mesi;
+
+pub use denovo::{DenovoL1Line, DenovoL2Line, DenovoWordState, L2WordOwner};
+pub use flex::{flex_fetch_plan, FlexPlan};
+pub use mesi::{DirectoryEntry, MesiState, SharerSet};

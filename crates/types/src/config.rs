@@ -1,0 +1,388 @@
+//! Simulated system configuration (paper Table 4.1) and validation.
+
+use crate::addr::{WORDS_PER_LINE, WORD_BYTES};
+use crate::error::ConfigError;
+use crate::geometry::TileId;
+
+/// Cache geometry parameters for the private L1s and the shared L2 slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Cache line size in bytes (64 in the paper).
+    pub line_bytes: u64,
+    /// Private L1 data cache size in bytes (32 KB).
+    pub l1_bytes: u64,
+    /// L1 associativity (8-way).
+    pub l1_ways: usize,
+    /// Per-tile shared L2 slice size in bytes (256 KB; 4 MB total).
+    pub l2_slice_bytes: u64,
+    /// L2 associativity (16-way).
+    pub l2_ways: usize,
+    /// Number of entries in the non-blocking write / write-combining table
+    /// (32 pending writes per core).
+    pub write_table_entries: usize,
+    /// Write-combining timeout in cycles (10 000 in the paper).
+    pub write_combine_timeout: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            line_bytes: 64,
+            l1_bytes: 32 * 1024,
+            l1_ways: 8,
+            l2_slice_bytes: 256 * 1024,
+            l2_ways: 16,
+            write_table_entries: 32,
+            write_combine_timeout: 10_000,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Number of words per cache line.
+    pub fn words_per_line(&self) -> usize {
+        (self.line_bytes / WORD_BYTES) as usize
+    }
+
+    /// Number of sets in an L1.
+    pub fn l1_sets(&self) -> usize {
+        (self.l1_bytes / self.line_bytes) as usize / self.l1_ways
+    }
+
+    /// Number of sets in one L2 slice.
+    pub fn l2_sets(&self) -> usize {
+        (self.l2_slice_bytes / self.line_bytes) as usize / self.l2_ways
+    }
+}
+
+/// On-chip network parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Mesh columns (4).
+    pub cols: usize,
+    /// Mesh rows (4).
+    pub rows: usize,
+    /// Link width in bytes (16) — one flit per link per cycle.
+    pub link_bytes: u64,
+    /// Per-link latency in cycles (3).
+    pub link_latency: u64,
+    /// Per-router pipeline latency in cycles.
+    pub router_latency: u64,
+    /// Maximum number of data flits per packet (4 ⇒ at most 64 B of data).
+    pub max_data_flits: usize,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            cols: 4,
+            rows: 4,
+            link_bytes: 16,
+            link_latency: 3,
+            router_latency: 1,
+            max_data_flits: 4,
+        }
+    }
+}
+
+impl NocConfig {
+    /// Number of tiles in the mesh.
+    pub fn tiles(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Words carried per data flit.
+    pub fn words_per_flit(&self) -> usize {
+        (self.link_bytes / WORD_BYTES) as usize
+    }
+
+    /// Maximum data words per packet.
+    pub fn max_data_words(&self) -> usize {
+        self.max_data_flits * self.words_per_flit()
+    }
+}
+
+/// DRAM and memory-controller parameters (DDR3-1066-like).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of memory controllers (one per corner tile).
+    pub controllers: usize,
+    /// Banks per channel.
+    pub banks: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Row-buffer size in bytes (open-page policy granularity).
+    pub row_bytes: u64,
+    /// Row-buffer hit latency in core cycles.
+    pub row_hit_cycles: u64,
+    /// Row-buffer miss (activate + CAS) latency in core cycles.
+    pub row_miss_cycles: u64,
+    /// Cycles per data burst transferring one cache line on the channel.
+    pub burst_cycles: u64,
+    /// Maximum outstanding requests queued per controller before requests
+    /// back-pressure.
+    pub queue_depth: usize,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // DDR3-1066 at a 2 GHz core clock: tCAS ~ 13 ns ≈ 26 cycles,
+        // activate+CAS ~ 26 ns ≈ 52 cycles, 64-byte burst ≈ 15 ns ≈ 30 cycles
+        // of channel occupancy at 8.5 GB/s.
+        DramConfig {
+            controllers: 4,
+            banks: 8,
+            ranks: 2,
+            row_bytes: 8 * 1024,
+            row_hit_cycles: 26,
+            row_miss_cycles: 78,
+            burst_cycles: 15,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Core and miscellaneous timing parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Core clock in MHz (2000 — used only for reporting).
+    pub core_mhz: u64,
+    /// L1 hit latency in cycles.
+    pub l1_hit_cycles: u64,
+    /// L2 slice access latency in cycles (tag + data).
+    pub l2_hit_cycles: u64,
+    /// Directory/L2 controller occupancy per request in cycles.
+    pub l2_occupancy_cycles: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            core_mhz: 2000,
+            l1_hit_cycles: 1,
+            l2_hit_cycles: 10,
+            l2_occupancy_cycles: 2,
+        }
+    }
+}
+
+/// Complete simulated-system configuration (paper Table 4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SystemConfig {
+    /// Cache hierarchy geometry.
+    pub cache: CacheConfig,
+    /// Mesh network parameters.
+    pub noc: NocConfig,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+    /// Core/cache timing parameters.
+    pub timing: TimingConfig,
+}
+
+impl SystemConfig {
+    /// Number of tiles (= cores = L1s = L2 slices).
+    pub fn tiles(&self) -> usize {
+        self.noc.tiles()
+    }
+
+    /// Tiles that host a memory controller: the four mesh corners.
+    pub fn memory_controller_tiles(&self) -> Vec<TileId> {
+        let (c, r) = (self.noc.cols, self.noc.rows);
+        vec![
+            TileId(0),
+            TileId(c - 1),
+            TileId((r - 1) * c),
+            TileId(r * c - 1),
+        ]
+    }
+
+    /// Home L2 slice for a cache line (static line interleaving).
+    pub fn home_tile(&self, line_byte_addr: u64) -> TileId {
+        TileId(((line_byte_addr / self.cache.line_bytes) as usize) % self.tiles())
+    }
+
+    /// Memory controller responsible for a cache line (row-interleaved across
+    /// the corner controllers).
+    pub fn mc_tile(&self, line_byte_addr: u64) -> TileId {
+        let mcs = self.memory_controller_tiles();
+        let idx = ((line_byte_addr / self.dram.row_bytes) as usize) % mcs.len();
+        mcs[idx]
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if a parameter is zero, not a power of two
+    /// where required, or inconsistent with another parameter (for example a
+    /// line size that is not a whole number of flits).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let c = &self.cache;
+        if !c.line_bytes.is_power_of_two() || c.line_bytes < WORD_BYTES {
+            return Err(ConfigError::new("line_bytes must be a power of two ≥ word size"));
+        }
+        if c.line_bytes / WORD_BYTES > WORDS_PER_LINE as u64 {
+            return Err(ConfigError::new(
+                "line_bytes larger than the supported 16-word line",
+            ));
+        }
+        if c.l1_ways == 0 || c.l2_ways == 0 {
+            return Err(ConfigError::new("associativity must be non-zero"));
+        }
+        if c.l1_bytes % (c.line_bytes * c.l1_ways as u64) != 0 {
+            return Err(ConfigError::new("L1 size must be a multiple of way size"));
+        }
+        if c.l2_slice_bytes % (c.line_bytes * c.l2_ways as u64) != 0 {
+            return Err(ConfigError::new("L2 slice size must be a multiple of way size"));
+        }
+        if self.noc.cols < 2 || self.noc.rows < 2 {
+            return Err(ConfigError::new("mesh must be at least 2x2"));
+        }
+        if self.noc.link_bytes == 0 || self.noc.link_bytes % WORD_BYTES != 0 {
+            return Err(ConfigError::new("link width must be a multiple of the word size"));
+        }
+        if self.noc.max_data_flits == 0 {
+            return Err(ConfigError::new("packets must allow at least one data flit"));
+        }
+        if self.dram.controllers == 0 || self.dram.banks == 0 {
+            return Err(ConfigError::new("DRAM must have controllers and banks"));
+        }
+        if self.dram.row_bytes < self.cache.line_bytes {
+            return Err(ConfigError::new("DRAM row must be at least one cache line"));
+        }
+        Ok(())
+    }
+
+    /// Renders the configuration as the rows of paper Table 4.1.
+    pub fn table_rows(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "Core".into(),
+                format!("{} MHz, in-order", self.timing.core_mhz),
+            ),
+            (
+                "L1D Cache (private)".into(),
+                format!(
+                    "{} KB, {}-way set associative, {} byte cache lines",
+                    self.cache.l1_bytes / 1024,
+                    self.cache.l1_ways,
+                    self.cache.line_bytes
+                ),
+            ),
+            (
+                "L2 Cache (shared)".into(),
+                format!(
+                    "{} KB slices ({} MB total), {}-way set associative, {} byte cache lines",
+                    self.cache.l2_slice_bytes / 1024,
+                    self.cache.l2_slice_bytes * self.tiles() as u64 / (1024 * 1024),
+                    self.cache.l2_ways,
+                    self.cache.line_bytes
+                ),
+            ),
+            (
+                "Network".into(),
+                format!(
+                    "{}x{} mesh, {} byte links, {} cycle link latency",
+                    self.noc.cols, self.noc.rows, self.noc.link_bytes, self.noc.link_latency
+                ),
+            ),
+            (
+                "Memory Controller".into(),
+                "FR-FCFS scheduling, open page policy".into(),
+            ),
+            (
+                "DRAM".into(),
+                format!(
+                    "DDR3-1066, {} banks, {} ranks",
+                    self.dram.banks, self.dram.ranks
+                ),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_table_4_1() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.tiles(), 16);
+        assert_eq!(cfg.cache.l1_bytes, 32 * 1024);
+        assert_eq!(cfg.cache.l1_ways, 8);
+        assert_eq!(cfg.cache.l2_slice_bytes, 256 * 1024);
+        assert_eq!(cfg.cache.l2_ways, 16);
+        assert_eq!(cfg.cache.line_bytes, 64);
+        assert_eq!(cfg.noc.link_bytes, 16);
+        assert_eq!(cfg.noc.link_latency, 3);
+        assert_eq!(cfg.noc.max_data_flits, 4);
+        assert_eq!(cfg.dram.banks, 8);
+        assert_eq!(cfg.dram.ranks, 2);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn derived_geometry() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.cache.words_per_line(), 16);
+        assert_eq!(cfg.cache.l1_sets(), 64);
+        assert_eq!(cfg.cache.l2_sets(), 256);
+        assert_eq!(cfg.noc.words_per_flit(), 4);
+        assert_eq!(cfg.noc.max_data_words(), 16);
+    }
+
+    #[test]
+    fn memory_controllers_sit_on_corners() {
+        let cfg = SystemConfig::default();
+        assert_eq!(
+            cfg.memory_controller_tiles(),
+            vec![TileId(0), TileId(3), TileId(12), TileId(15)]
+        );
+    }
+
+    #[test]
+    fn home_tile_interleaves_by_line() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.home_tile(0), TileId(0));
+        assert_eq!(cfg.home_tile(64), TileId(1));
+        assert_eq!(cfg.home_tile(64 * 16), TileId(0));
+    }
+
+    #[test]
+    fn mc_tile_is_always_a_corner() {
+        let cfg = SystemConfig::default();
+        let corners = cfg.memory_controller_tiles();
+        for addr in (0..1 << 20).step_by(4096) {
+            assert!(corners.contains(&cfg.mc_tile(addr)));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = SystemConfig::default();
+        cfg.cache.line_bytes = 48;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::default();
+        cfg.cache.l1_ways = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::default();
+        cfg.noc.cols = 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::default();
+        cfg.dram.row_bytes = 32;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn table_rows_cover_all_components() {
+        let rows = SystemConfig::default().table_rows();
+        assert_eq!(rows.len(), 6);
+        assert!(rows[1].1.contains("32 KB"));
+        assert!(rows[2].1.contains("4 MB total"));
+        assert!(rows[5].1.contains("DDR3-1066"));
+    }
+}

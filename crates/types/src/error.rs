@@ -1,0 +1,50 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid or inconsistent system configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given explanation.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The explanation of what is wrong with the configuration.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("line size");
+        assert!(e.to_string().contains("line size"));
+        assert_eq!(e.message(), "line size");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(ConfigError::new("x"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Tiled-mesh geometry: tiles, cores, and mesh coordinates.
+//!
+//! The simulated processor (paper §4.2) is a 4×4 tiled design. Each tile has
+//! one core, one private L1, and one slice of the shared L2; the four corner
+//! tiles additionally host a memory controller.
+
+use std::fmt;
+
+/// Identifier of a tile in the mesh (`0..tiles`), row-major order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TileId(pub usize);
+
+/// Identifier of a core. Tiles and cores are in one-to-one correspondence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// The tile hosting this core.
+    pub const fn tile(self) -> TileId {
+        TileId(self.0)
+    }
+}
+
+impl TileId {
+    /// The core hosted on this tile.
+    pub const fn core(self) -> CoreId {
+        CoreId(self.0)
+    }
+
+    /// Mesh coordinate of this tile for a mesh of `cols` columns.
+    pub const fn coord(self, cols: usize) -> MeshCoord {
+        MeshCoord {
+            x: self.0 % cols,
+            y: self.0 / cols,
+        }
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// (x, y) position of a tile in the mesh; x grows east, y grows south.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MeshCoord {
+    /// Column (0-based, west to east).
+    pub x: usize,
+    /// Row (0-based, north to south).
+    pub y: usize,
+}
+
+impl MeshCoord {
+    /// Manhattan distance (number of links traversed under XY routing).
+    pub fn hops_to(self, other: MeshCoord) -> usize {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// Tile id of this coordinate for a mesh of `cols` columns.
+    pub const fn tile(self, cols: usize) -> TileId {
+        TileId(self.y * cols + self.x)
+    }
+}
+
+impl fmt::Display for MeshCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_coord_round_trip() {
+        for t in 0..16 {
+            let tile = TileId(t);
+            assert_eq!(tile.coord(4).tile(4), tile);
+        }
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = TileId(0).coord(4); // (0,0)
+        let b = TileId(15).coord(4); // (3,3)
+        assert_eq!(a.hops_to(b), 6);
+        assert_eq!(b.hops_to(a), 6);
+        assert_eq!(a.hops_to(a), 0);
+    }
+
+    #[test]
+    fn core_tile_correspondence() {
+        assert_eq!(CoreId(5).tile(), TileId(5));
+        assert_eq!(TileId(7).core(), CoreId(7));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TileId(3).to_string(), "T3");
+        assert_eq!(CoreId(3).to_string(), "C3");
+        assert_eq!(TileId(6).coord(4).to_string(), "(2,1)");
+    }
+}

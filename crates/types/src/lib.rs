@@ -1,0 +1,45 @@
+//! Shared vocabulary for the on-chip traffic-waste study.
+//!
+//! This crate defines the basic quantities every other crate in the workspace
+//! speaks in: word/line addresses, the tiled-mesh geometry, software regions
+//! (including Flex communication regions and bypass regions), the protocol
+//! configuration space studied by the paper, the message and traffic taxonomy
+//! used for flit-hop accounting, memory-reference traces, and the simulated
+//! system configuration (Table 4.1 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use tw_types::{Addr, LineAddr, SystemConfig, ProtocolKind};
+//!
+//! let cfg = SystemConfig::default();
+//! assert_eq!(cfg.tiles(), 16);
+//! let a = Addr::new(0x1040);
+//! assert_eq!(LineAddr::containing(a, cfg.cache.line_bytes).byte(), 0x1040);
+//! assert!(ProtocolKind::DBypFull.is_denovo());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod error;
+pub mod geometry;
+pub mod mask;
+pub mod message;
+pub mod protocol;
+pub mod region;
+pub mod stats;
+pub mod trace;
+
+pub use addr::{Addr, LineAddr, WordIdx, WORDS_PER_LINE, WORD_BYTES};
+pub use config::{CacheConfig, DramConfig, NocConfig, SystemConfig, TimingConfig};
+pub use error::ConfigError;
+pub use geometry::{CoreId, MeshCoord, TileId};
+pub use mask::WordMask;
+pub use message::{MessageClass, MessageKind, TrafficBucket};
+pub use protocol::ProtocolKind;
+pub use region::{BypassKind, CommRegion, RegionId, RegionInfo, RegionTable};
+pub use stats::Cycle;
+pub use trace::{MemKind, TraceOp};

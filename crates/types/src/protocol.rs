@@ -1,0 +1,245 @@
+//! The protocol configuration space studied by the paper (§3.2–§3.3).
+//!
+//! Two MESI variants and seven DeNovo variants are evaluated. Each variant is
+//! a point in a feature lattice; [`ProtocolKind`] enumerates the points and
+//! exposes the feature predicates the simulator queries.
+
+use std::fmt;
+
+/// One of the nine protocol configurations evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtocolKind {
+    /// Baseline directory-based MESI (GEMS-style, blocking directory,
+    /// inclusive L2, fetch-on-write).
+    Mesi,
+    /// MESI + "Memory Controller to L1 Transfer" (unblock+data messages;
+    /// write-miss fills are not forwarded to the L2).
+    MMemL1,
+    /// Baseline DeNovo line protocol with write-combining registration.
+    DeNovo,
+    /// DeNovo + Flex for responses served by on-chip caches (L1/L2).
+    DFlexL1,
+    /// DeNovo + L2 write-validate + dirty-words-only L2→memory writebacks.
+    DValidateL2,
+    /// `DValidateL2` + memory-controller-to-L1 parallel transfer.
+    DMemL1,
+    /// `DMemL1` + Flex on-chip and at the memory controller.
+    DFlexL2,
+    /// `DFlexL2` + L2 response bypass for annotated regions.
+    DBypL2,
+    /// `DBypL2` + L2 request bypass using Bloom filters.
+    DBypFull,
+}
+
+impl ProtocolKind {
+    /// Every configuration, in the order the paper's figures present them.
+    pub const ALL: [ProtocolKind; 9] = [
+        ProtocolKind::Mesi,
+        ProtocolKind::MMemL1,
+        ProtocolKind::DeNovo,
+        ProtocolKind::DFlexL1,
+        ProtocolKind::DValidateL2,
+        ProtocolKind::DMemL1,
+        ProtocolKind::DFlexL2,
+        ProtocolKind::DBypL2,
+        ProtocolKind::DBypFull,
+    ];
+
+    /// Whether this is a DeNovo-family configuration.
+    pub const fn is_denovo(self) -> bool {
+        !matches!(self, ProtocolKind::Mesi | ProtocolKind::MMemL1)
+    }
+
+    /// Whether this is a MESI-family configuration.
+    pub const fn is_mesi(self) -> bool {
+        !self.is_denovo()
+    }
+
+    /// L1 write policy is write-validate (no fetch on L1 write miss).
+    /// True for every DeNovo variant; MESI is fetch-on-write throughout.
+    pub const fn l1_write_validate(self) -> bool {
+        self.is_denovo()
+    }
+
+    /// L2 write policy is write-validate (no memory fetch on L2 write miss).
+    pub const fn l2_write_validate(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::DValidateL2
+                | ProtocolKind::DMemL1
+                | ProtocolKind::DFlexL2
+                | ProtocolKind::DBypL2
+                | ProtocolKind::DBypFull
+        )
+    }
+
+    /// L2→memory writebacks carry only dirty words.
+    pub const fn dirty_words_only_writeback(self) -> bool {
+        self.l2_write_validate()
+    }
+
+    /// L1→L2 writebacks carry only dirty words (all DeNovo variants).
+    pub const fn l1_dirty_words_only_writeback(self) -> bool {
+        self.is_denovo()
+    }
+
+    /// Memory-controller-to-L1 transfer (data sent to L1 and L2 in parallel;
+    /// for MESI, the unblock+data variant).
+    pub const fn mem_to_l1(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::MMemL1
+                | ProtocolKind::DMemL1
+                | ProtocolKind::DFlexL2
+                | ProtocolKind::DBypL2
+                | ProtocolKind::DBypFull
+        )
+    }
+
+    /// Flex applied to responses served by on-chip caches.
+    pub const fn flex_on_chip(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::DFlexL1
+                | ProtocolKind::DFlexL2
+                | ProtocolKind::DBypL2
+                | ProtocolKind::DBypFull
+        )
+    }
+
+    /// Flex applied at the memory controller ("L2 Flex").
+    pub const fn flex_at_memory(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::DFlexL2 | ProtocolKind::DBypL2 | ProtocolKind::DBypFull
+        )
+    }
+
+    /// L2 response bypass for annotated regions.
+    pub const fn l2_response_bypass(self) -> bool {
+        matches!(self, ProtocolKind::DBypL2 | ProtocolKind::DBypFull)
+    }
+
+    /// L2 request bypass (Bloom-filter-guarded direct-to-MC requests).
+    pub const fn l2_request_bypass(self) -> bool {
+        matches!(self, ProtocolKind::DBypFull)
+    }
+
+    /// Whether the shared L2 is inclusive of the L1s (MESI) or non-inclusive
+    /// (DeNovo).
+    pub const fn inclusive_l2(self) -> bool {
+        self.is_mesi()
+    }
+
+    /// Short name used in figures and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Mesi => "MESI",
+            ProtocolKind::MMemL1 => "MMemL1",
+            ProtocolKind::DeNovo => "DeNovo",
+            ProtocolKind::DFlexL1 => "DFlexL1",
+            ProtocolKind::DValidateL2 => "DValidateL2",
+            ProtocolKind::DMemL1 => "DMemL1",
+            ProtocolKind::DFlexL2 => "DFlexL2",
+            ProtocolKind::DBypL2 => "DBypL2",
+            ProtocolKind::DBypFull => "DBypFull",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_nine_in_figure_order() {
+        assert_eq!(ProtocolKind::ALL.len(), 9);
+        assert_eq!(ProtocolKind::ALL[0], ProtocolKind::Mesi);
+        assert_eq!(ProtocolKind::ALL[8], ProtocolKind::DBypFull);
+    }
+
+    #[test]
+    fn feature_lattice_is_monotone_in_denovo_chain() {
+        // Each successive DeNovo variant only adds features.
+        let chain = [
+            ProtocolKind::DValidateL2,
+            ProtocolKind::DMemL1,
+            ProtocolKind::DFlexL2,
+            ProtocolKind::DBypL2,
+            ProtocolKind::DBypFull,
+        ];
+        let features = |p: ProtocolKind| {
+            [
+                p.l2_write_validate(),
+                p.mem_to_l1(),
+                p.flex_at_memory(),
+                p.l2_response_bypass(),
+                p.l2_request_bypass(),
+            ]
+        };
+        for w in chain.windows(2) {
+            let (a, b) = (features(w[0]), features(w[1]));
+            for i in 0..a.len() {
+                assert!(!a[i] || b[i], "{:?} lost a feature moving to {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn mesi_variants() {
+        assert!(ProtocolKind::Mesi.is_mesi());
+        assert!(!ProtocolKind::Mesi.mem_to_l1());
+        assert!(ProtocolKind::MMemL1.mem_to_l1());
+        assert!(ProtocolKind::Mesi.inclusive_l2());
+        assert!(!ProtocolKind::Mesi.l1_write_validate());
+        assert!(!ProtocolKind::MMemL1.flex_on_chip());
+    }
+
+    #[test]
+    fn denovo_baselines() {
+        assert!(ProtocolKind::DeNovo.is_denovo());
+        assert!(ProtocolKind::DeNovo.l1_write_validate());
+        assert!(!ProtocolKind::DeNovo.l2_write_validate());
+        assert!(!ProtocolKind::DeNovo.inclusive_l2());
+        assert!(ProtocolKind::DFlexL1.flex_on_chip());
+        assert!(!ProtocolKind::DFlexL1.flex_at_memory());
+    }
+
+    #[test]
+    fn fully_optimized_protocol_has_every_feature() {
+        let p = ProtocolKind::DBypFull;
+        assert!(p.l1_write_validate());
+        assert!(p.l2_write_validate());
+        assert!(p.dirty_words_only_writeback());
+        assert!(p.mem_to_l1());
+        assert!(p.flex_on_chip());
+        assert!(p.flex_at_memory());
+        assert!(p.l2_response_bypass());
+        assert!(p.l2_request_bypass());
+    }
+
+    #[test]
+    fn names_are_paper_names() {
+        let names: Vec<_> = ProtocolKind::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "MESI",
+                "MMemL1",
+                "DeNovo",
+                "DFlexL1",
+                "DValidateL2",
+                "DMemL1",
+                "DFlexL2",
+                "DBypL2",
+                "DBypFull"
+            ]
+        );
+    }
+}

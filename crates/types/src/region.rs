@@ -1,0 +1,313 @@
+//! Software regions, Flex communication regions, and bypass annotations.
+//!
+//! DeNovo relies on the software (language/compiler, DPJ-style) to partition
+//! program data into *regions*. Regions serve three purposes in the study:
+//!
+//! 1. Self-invalidation at barriers invalidates only data in regions that may
+//!    have been written in the previous phase (paper §2).
+//! 2. The *Flex* optimization attaches a *communication region* to a region —
+//!    the set of struct fields actually communicated — so a responder sends
+//!    only those words, potentially gathered across several cache lines
+//!    (paper §2, §3.1 "L2 Flex").
+//! 3. The *L2 Response Bypass* optimization lets the programmer mark regions
+//!    whose data should not be installed in the L2 (paper §3.1).
+
+use crate::addr::{Addr, LineAddr, WORD_BYTES};
+use crate::mask::WordMask;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a software data region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RegionId(pub u16);
+
+impl RegionId {
+    /// The catch-all region used for data with no specific annotation
+    /// (stack, scalars, untracked heap).
+    pub const DEFAULT: RegionId = RegionId(0);
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// How a region interacts with the L2 bypass optimizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BypassKind {
+    /// Normal region: responses are installed in the L2 as usual.
+    #[default]
+    None,
+    /// Read-then-overwritten by the same core within a phase
+    /// (paper §3.1, access pattern 1).
+    ReadThenOverwritten,
+    /// Streaming data whose footprint exceeds the L2 and is read once per
+    /// phase (paper §3.1, access pattern 2).
+    StreamingOncePerPhase,
+}
+
+impl BypassKind {
+    /// Whether responses for this region should bypass the L2.
+    pub const fn bypasses_l2(self) -> bool {
+        !matches!(self, BypassKind::None)
+    }
+}
+
+/// Flex communication region: which words of an object are actually
+/// communicated, expressed relative to the object base.
+///
+/// A communication region describes the layout of one *object* of a region:
+/// the object size (in bytes, possibly spanning several cache lines) and the
+/// byte offsets of the fields that are useful to the consuming phase. The
+/// hardware tables at each cache controller (paper §2) are modelled by
+/// storing one `CommRegion` per region in the [`RegionTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommRegion {
+    /// Size of one object of the region, in bytes.
+    pub object_bytes: u64,
+    /// Byte offsets (relative to the object base) of the communicated fields.
+    pub useful_offsets: Vec<u64>,
+}
+
+impl CommRegion {
+    /// A communication region covering the entire object (Flex degenerates to
+    /// whole-object transfer).
+    pub fn whole_object(object_bytes: u64) -> Self {
+        let useful_offsets = (0..object_bytes / WORD_BYTES).map(|i| i * WORD_BYTES).collect();
+        CommRegion {
+            object_bytes,
+            useful_offsets,
+        }
+    }
+
+    /// Number of useful words per object.
+    pub fn useful_words(&self) -> usize {
+        self.useful_offsets.len()
+    }
+
+    /// Byte address of the base of the object containing `addr`, given the
+    /// base address of the region's backing array.
+    pub fn object_base(&self, region_base: Addr, addr: Addr) -> Addr {
+        let rel = addr.byte() - region_base.byte();
+        let obj = rel / self.object_bytes;
+        Addr::new(region_base.byte() + obj * self.object_bytes)
+    }
+
+    /// All useful word addresses of the object containing `addr`.
+    pub fn useful_addrs(&self, region_base: Addr, addr: Addr) -> Vec<Addr> {
+        let base = self.object_base(region_base, addr);
+        self.useful_offsets
+            .iter()
+            .map(|off| Addr::new(base.byte() + off).word_aligned())
+            .collect()
+    }
+
+    /// Groups the useful words of the object containing `addr` by cache line,
+    /// returning `(line, mask-of-useful-words)` pairs sorted by line address.
+    pub fn useful_words_by_line(
+        &self,
+        region_base: Addr,
+        addr: Addr,
+        line_bytes: u64,
+    ) -> Vec<(LineAddr, WordMask)> {
+        let mut by_line: BTreeMap<LineAddr, WordMask> = BTreeMap::new();
+        for a in self.useful_addrs(region_base, addr) {
+            let line = LineAddr::containing(a, line_bytes);
+            by_line
+                .entry(line)
+                .or_insert(WordMask::EMPTY)
+                .insert(a.word_in_line(line_bytes));
+        }
+        by_line.into_iter().collect()
+    }
+}
+
+/// Static description of one region of program data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Region identifier.
+    pub id: RegionId,
+    /// Human-readable name ("bodies", "edges", "dest array", ...).
+    pub name: String,
+    /// Base byte address of the region's backing storage.
+    pub base: Addr,
+    /// Total size of the region in bytes.
+    pub bytes: u64,
+    /// Flex communication region, if the software supplies one.
+    pub comm: Option<CommRegion>,
+    /// L2 bypass annotation.
+    pub bypass: BypassKind,
+    /// Whether data in this region may be written during parallel phases
+    /// (drives self-invalidation precision).
+    pub written_in_parallel_phases: bool,
+}
+
+impl RegionInfo {
+    /// Creates a plain region with no Flex or bypass annotations.
+    pub fn plain(id: RegionId, name: impl Into<String>, base: Addr, bytes: u64) -> Self {
+        RegionInfo {
+            id,
+            name: name.into(),
+            base,
+            bytes,
+            comm: None,
+            bypass: BypassKind::None,
+            written_in_parallel_phases: true,
+        }
+    }
+
+    /// Whether `addr` falls within this region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.byte() >= self.base.byte() && addr.byte() < self.base.byte() + self.bytes
+    }
+}
+
+/// The per-application table of regions: the information the software hands
+/// to the hardware (region sizes, communication regions, bypass marks).
+#[derive(Debug, Clone, Default)]
+pub struct RegionTable {
+    regions: Vec<RegionInfo>,
+}
+
+impl RegionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RegionTable::default()
+    }
+
+    /// Adds a region and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a region with the same id is already present.
+    pub fn insert(&mut self, info: RegionInfo) -> RegionId {
+        assert!(
+            self.get(info.id).is_none(),
+            "duplicate region id {:?}",
+            info.id
+        );
+        let id = info.id;
+        self.regions.push(info);
+        id
+    }
+
+    /// Looks a region up by id.
+    pub fn get(&self, id: RegionId) -> Option<&RegionInfo> {
+        self.regions.iter().find(|r| r.id == id)
+    }
+
+    /// Finds the region containing a byte address, if any.
+    pub fn region_of(&self, addr: Addr) -> Option<&RegionInfo> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    /// Iterator over all regions.
+    pub fn iter(&self) -> impl Iterator<Item = &RegionInfo> {
+        self.regions.iter()
+    }
+
+    /// Number of regions in the table.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the table contains no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Whether the region should bypass the L2 (false for unknown regions).
+    pub fn bypasses_l2(&self, id: RegionId) -> bool {
+        self.get(id).map(|r| r.bypass.bypasses_l2()).unwrap_or(false)
+    }
+
+    /// The Flex communication region for `id`, if one was supplied.
+    pub fn comm_region(&self, id: RegionId) -> Option<(&RegionInfo, &CommRegion)> {
+        self.get(id).and_then(|r| r.comm.as_ref().map(|c| (r, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn struct_region() -> RegionInfo {
+        // 96-byte objects (1.5 cache lines), of which only 4 words are useful.
+        RegionInfo {
+            id: RegionId(3),
+            name: "bodies".into(),
+            base: Addr::new(0x1_0000),
+            bytes: 96 * 100,
+            comm: Some(CommRegion {
+                object_bytes: 96,
+                useful_offsets: vec![0, 8, 16, 80],
+            }),
+            bypass: BypassKind::None,
+            written_in_parallel_phases: true,
+        }
+    }
+
+    #[test]
+    fn region_lookup_by_address() {
+        let mut t = RegionTable::new();
+        t.insert(RegionInfo::plain(RegionId(1), "a", Addr::new(0), 4096));
+        t.insert(RegionInfo::plain(RegionId(2), "b", Addr::new(4096), 4096));
+        assert_eq!(t.region_of(Addr::new(10)).unwrap().id, RegionId(1));
+        assert_eq!(t.region_of(Addr::new(5000)).unwrap().id, RegionId(2));
+        assert!(t.region_of(Addr::new(100_000)).is_none());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate region id")]
+    fn duplicate_region_panics() {
+        let mut t = RegionTable::new();
+        t.insert(RegionInfo::plain(RegionId(1), "a", Addr::new(0), 64));
+        t.insert(RegionInfo::plain(RegionId(1), "b", Addr::new(64), 64));
+    }
+
+    #[test]
+    fn comm_region_object_base_and_words() {
+        let r = struct_region();
+        let comm = r.comm.as_ref().unwrap();
+        // Address inside the second object (object 1 spans bytes 96..192).
+        let addr = Addr::new(0x1_0000 + 96 + 20);
+        let base = comm.object_base(r.base, addr);
+        assert_eq!(base.byte(), 0x1_0000 + 96);
+        let addrs = comm.useful_addrs(r.base, addr);
+        assert_eq!(addrs.len(), 4);
+        assert_eq!(addrs[0].byte(), 0x1_0000 + 96);
+        assert_eq!(addrs[3].byte(), 0x1_0000 + 96 + 80);
+    }
+
+    #[test]
+    fn comm_region_grouping_spans_lines() {
+        let r = struct_region();
+        let comm = r.comm.as_ref().unwrap();
+        // Object 1 occupies bytes 96..192 which spans lines at 64 and 128.
+        let addr = Addr::new(0x1_0000 + 100);
+        let by_line = comm.useful_words_by_line(r.base, addr, 64);
+        assert_eq!(by_line.len(), 2);
+        let total: usize = by_line.iter().map(|(_, m)| m.count()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn whole_object_comm_region_covers_every_word() {
+        let c = CommRegion::whole_object(64);
+        assert_eq!(c.useful_words(), 16);
+    }
+
+    #[test]
+    fn bypass_annotations() {
+        let mut t = RegionTable::new();
+        let mut r = RegionInfo::plain(RegionId(9), "edges", Addr::new(0), 1 << 20);
+        r.bypass = BypassKind::StreamingOncePerPhase;
+        t.insert(r);
+        assert!(t.bypasses_l2(RegionId(9)));
+        assert!(!t.bypasses_l2(RegionId(42)));
+        assert!(BypassKind::ReadThenOverwritten.bypasses_l2());
+        assert!(!BypassKind::None.bypasses_l2());
+    }
+}

@@ -1,0 +1,4 @@
+//! Time base shared by all components.
+
+/// A simulation cycle count (core clock domain).
+pub type Cycle = u64;

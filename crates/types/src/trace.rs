@@ -1,0 +1,117 @@
+//! Per-core memory-reference traces.
+//!
+//! The study drives the memory system with the reference stream of each core.
+//! A workload is a set of per-core [`TraceOp`] sequences separated into
+//! barrier-synchronized phases; non-memory work appears as `Compute` records
+//! (the in-order core model of the paper completes all non-memory
+//! instructions in one cycle, so a `Compute(n)` record stands for `n` such
+//! instructions).
+
+use crate::addr::Addr;
+use crate::region::RegionId;
+use std::fmt;
+
+/// Kind of memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// A load (read) of one word.
+    Load,
+    /// A store (write) of one word.
+    Store,
+}
+
+impl fmt::Display for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemKind::Load => f.write_str("LD"),
+            MemKind::Store => f.write_str("ST"),
+        }
+    }
+}
+
+/// One record of a core's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A word-sized memory access tagged with its software region.
+    Mem {
+        /// Load or store.
+        kind: MemKind,
+        /// Word-aligned byte address.
+        addr: Addr,
+        /// Software region of the accessed data.
+        region: RegionId,
+    },
+    /// `cycles` of non-memory work on the issuing core.
+    Compute {
+        /// Number of busy cycles.
+        cycles: u32,
+    },
+    /// A global barrier; all cores must reach barrier `id` before any
+    /// proceeds. DeNovo self-invalidates at barriers.
+    Barrier {
+        /// Barrier sequence number (must be identical across cores).
+        id: u32,
+    },
+}
+
+impl TraceOp {
+    /// Convenience constructor for a load.
+    pub fn load(addr: Addr, region: RegionId) -> Self {
+        TraceOp::Mem {
+            kind: MemKind::Load,
+            addr: addr.word_aligned(),
+            region,
+        }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(addr: Addr, region: RegionId) -> Self {
+        TraceOp::Mem {
+            kind: MemKind::Store,
+            addr: addr.word_aligned(),
+            region,
+        }
+    }
+
+    /// Convenience constructor for compute work.
+    pub fn compute(cycles: u32) -> Self {
+        TraceOp::Compute { cycles }
+    }
+
+    /// Convenience constructor for a barrier.
+    pub fn barrier(id: u32) -> Self {
+        TraceOp::Barrier { id }
+    }
+
+    /// Whether this record is a memory access.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, TraceOp::Mem { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_word_align_addresses() {
+        let op = TraceOp::load(Addr::new(0x1003), RegionId(1));
+        match op {
+            TraceOp::Mem { addr, kind, region } => {
+                assert_eq!(addr, Addr::new(0x1000));
+                assert_eq!(kind, MemKind::Load);
+                assert_eq!(region, RegionId(1));
+            }
+            _ => panic!("expected Mem"),
+        }
+        assert!(op.is_mem());
+        assert!(!TraceOp::compute(5).is_mem());
+        assert!(!TraceOp::barrier(0).is_mem());
+    }
+
+    #[test]
+    fn memkind_display() {
+        assert_eq!(MemKind::Load.to_string(), "LD");
+        assert_eq!(MemKind::Store.to_string(), "ST");
+    }
+}

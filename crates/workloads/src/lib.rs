@@ -1,0 +1,64 @@
+//! Synthetic workload generators for the six benchmarks of the study.
+//!
+//! The paper drives its simulator with SPLASH-2 (FFT, LU, radix, Barnes-Hut),
+//! PARSEC (fluidanimate) and a parallel kD-tree builder running under a
+//! full-system simulator. This crate substitutes trace generators that
+//! reproduce each application's data-structure layout, sharing pattern, phase
+//! structure and region annotations — the properties the paper's analysis
+//! attributes every traffic-waste effect to (see `DESIGN.md` §1 for the
+//! substitution rationale and §7 for the scaled default input sizes).
+//!
+//! Each generator produces a [`Workload`]: a [`tw_types::RegionTable`]
+//! describing the software-supplied region, Flex and bypass annotations, and
+//! one [`tw_types::TraceOp`] stream per core.
+//!
+//! # Example
+//!
+//! ```
+//! use tw_workloads::{fft::FftConfig, Workload};
+//!
+//! let wl: Workload = FftConfig::scaled().build(16);
+//! assert_eq!(wl.cores(), 16);
+//! assert!(wl.total_mem_ops() > 10_000);
+//! assert!(wl.regions.len() >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barnes;
+pub mod builder;
+pub mod fft;
+pub mod fluidanimate;
+pub mod kdtree;
+pub mod lu;
+pub mod radix;
+pub mod workload;
+
+pub use builder::TraceBuilder;
+pub use workload::{BenchmarkKind, Workload};
+
+/// Builds the default (scaled) workload for a benchmark with `cores` cores.
+pub fn build_scaled(kind: BenchmarkKind, cores: usize) -> Workload {
+    match kind {
+        BenchmarkKind::Fluidanimate => fluidanimate::FluidanimateConfig::scaled().build(cores),
+        BenchmarkKind::Lu => lu::LuConfig::scaled().build(cores),
+        BenchmarkKind::Fft => fft::FftConfig::scaled().build(cores),
+        BenchmarkKind::Radix => radix::RadixConfig::scaled().build(cores),
+        BenchmarkKind::Barnes => barnes::BarnesConfig::scaled().build(cores),
+        BenchmarkKind::KdTree => kdtree::KdTreeConfig::scaled().build(cores),
+    }
+}
+
+/// Builds a miniature workload for a benchmark, suitable for unit tests and
+/// Criterion benches where run time matters more than fidelity.
+pub fn build_tiny(kind: BenchmarkKind, cores: usize) -> Workload {
+    match kind {
+        BenchmarkKind::Fluidanimate => fluidanimate::FluidanimateConfig::tiny().build(cores),
+        BenchmarkKind::Lu => lu::LuConfig::tiny().build(cores),
+        BenchmarkKind::Fft => fft::FftConfig::tiny().build(cores),
+        BenchmarkKind::Radix => radix::RadixConfig::tiny().build(cores),
+        BenchmarkKind::Barnes => barnes::BarnesConfig::tiny().build(cores),
+        BenchmarkKind::KdTree => kdtree::KdTreeConfig::tiny().build(cores),
+    }
+}

@@ -1,0 +1,202 @@
+//! The [`Workload`] container and benchmark identifiers.
+
+use std::fmt;
+use tw_types::{RegionTable, TraceOp};
+
+/// The six applications evaluated in the paper (Table 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BenchmarkKind {
+    /// PARSEC fluidanimate (ghost-cell variant).
+    Fluidanimate,
+    /// SPLASH-2 LU (contiguous/aligned variant).
+    Lu,
+    /// SPLASH-2 FFT.
+    Fft,
+    /// SPLASH-2 radix sort.
+    Radix,
+    /// SPLASH-2 Barnes-Hut (sequential tree build, as in the paper).
+    Barnes,
+    /// Parallel SAH kD-tree construction.
+    KdTree,
+}
+
+impl BenchmarkKind {
+    /// All benchmarks in the order the paper's figures present them.
+    pub const ALL: [BenchmarkKind; 6] = [
+        BenchmarkKind::Fluidanimate,
+        BenchmarkKind::Lu,
+        BenchmarkKind::Fft,
+        BenchmarkKind::Radix,
+        BenchmarkKind::Barnes,
+        BenchmarkKind::KdTree,
+    ];
+
+    /// Figure label.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BenchmarkKind::Fluidanimate => "fluidanimate",
+            BenchmarkKind::Lu => "LU",
+            BenchmarkKind::Fft => "FFT",
+            BenchmarkKind::Radix => "radix",
+            BenchmarkKind::Barnes => "barnes",
+            BenchmarkKind::KdTree => "kD-tree",
+        }
+    }
+
+    /// The input size used by the paper (Table 4.2).
+    pub const fn paper_input(self) -> &'static str {
+        match self {
+            BenchmarkKind::Fluidanimate => "simmedium",
+            BenchmarkKind::Lu => "512x512 matrix, 16x16 blocks",
+            BenchmarkKind::Fft => "256K points",
+            BenchmarkKind::Radix => "4 million keys, 1024 radix",
+            BenchmarkKind::Barnes => "16K bodies",
+            BenchmarkKind::KdTree => "bunny",
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete workload: region annotations plus one trace per core.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which benchmark this is.
+    pub kind: BenchmarkKind,
+    /// Human-readable description of the input size actually generated.
+    pub input: String,
+    /// Software-supplied region / Flex / bypass annotations.
+    pub regions: RegionTable,
+    /// Per-core traces (index = core id).
+    pub traces: Vec<Vec<TraceOp>>,
+}
+
+impl Workload {
+    /// Number of cores the workload was generated for.
+    pub fn cores(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total memory operations across all cores.
+    pub fn total_mem_ops(&self) -> usize {
+        self.traces
+            .iter()
+            .map(|t| t.iter().filter(|op| op.is_mem()).count())
+            .sum()
+    }
+
+    /// Number of barriers in core 0's trace (all cores must agree).
+    pub fn barriers(&self) -> usize {
+        self.traces
+            .first()
+            .map(|t| {
+                t.iter()
+                    .filter(|op| matches!(op, TraceOp::Barrier { .. }))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Checks the structural invariants every generator must uphold: at least
+    /// one core, every core sees the same barrier sequence, and every memory
+    /// access falls in a declared region.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if an invariant is violated; used by
+    /// tests and debug assertions in the simulator.
+    pub fn assert_well_formed(&self) {
+        assert!(!self.traces.is_empty(), "workload has no cores");
+        let barrier_seq = |t: &Vec<TraceOp>| {
+            t.iter()
+                .filter_map(|op| match op {
+                    TraceOp::Barrier { id } => Some(*id),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let reference = barrier_seq(&self.traces[0]);
+        for (i, t) in self.traces.iter().enumerate() {
+            assert_eq!(
+                barrier_seq(t),
+                reference,
+                "core {i} disagrees on the barrier sequence"
+            );
+        }
+        for t in &self.traces {
+            for op in t {
+                if let TraceOp::Mem { addr, .. } = op {
+                    assert!(
+                        self.regions.region_of(*addr).is_some(),
+                        "access to {addr} falls outside every declared region"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_types::{Addr, RegionId, RegionInfo};
+
+    #[test]
+    fn benchmark_names_match_figures() {
+        let names: Vec<_> = BenchmarkKind::ALL.iter().map(|b| b.to_string()).collect();
+        assert_eq!(
+            names,
+            vec!["fluidanimate", "LU", "FFT", "radix", "barnes", "kD-tree"]
+        );
+        assert_eq!(BenchmarkKind::Radix.paper_input(), "4 million keys, 1024 radix");
+    }
+
+    fn tiny_workload() -> Workload {
+        let mut regions = RegionTable::new();
+        regions.insert(RegionInfo::plain(RegionId(1), "a", Addr::new(0), 4096));
+        Workload {
+            kind: BenchmarkKind::Fft,
+            input: "test".into(),
+            regions,
+            traces: vec![
+                vec![
+                    TraceOp::load(Addr::new(0), RegionId(1)),
+                    TraceOp::barrier(0),
+                ],
+                vec![
+                    TraceOp::store(Addr::new(64), RegionId(1)),
+                    TraceOp::barrier(0),
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_and_validation() {
+        let wl = tiny_workload();
+        assert_eq!(wl.cores(), 2);
+        assert_eq!(wl.total_mem_ops(), 2);
+        assert_eq!(wl.barriers(), 1);
+        wl.assert_well_formed();
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier sequence")]
+    fn mismatched_barriers_are_detected() {
+        let mut wl = tiny_workload();
+        wl.traces[1].push(TraceOp::barrier(1));
+        wl.assert_well_formed();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside every declared region")]
+    fn out_of_region_access_is_detected() {
+        let mut wl = tiny_workload();
+        wl.traces[0].push(TraceOp::load(Addr::new(1 << 30), RegionId(1)));
+        wl.assert_well_formed();
+    }
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration: every protocol on every benchmark produces a
+//! structurally sound report.
+
+use denovo_waste::{SimConfig, Simulator, TimeClass};
+use tw_types::{MessageClass, ProtocolKind, SystemConfig};
+use tw_workloads::{build_tiny, BenchmarkKind};
+
+#[test]
+fn every_report_is_internally_consistent() {
+    for &bench in &BenchmarkKind::ALL {
+        let workload = build_tiny(bench, 16);
+        workload.assert_well_formed();
+        for &protocol in &ProtocolKind::ALL {
+            let report = Simulator::new(SimConfig::new(protocol), &workload).run();
+
+            // Traffic: every class total is non-negative and the sum matches
+            // the grand total.
+            let class_sum: f64 = MessageClass::ALL
+                .iter()
+                .map(|c| report.traffic.class_total(*c))
+                .sum();
+            assert!(
+                (class_sum - report.traffic.total()).abs() < 1e-6,
+                "{bench}/{protocol}: class totals {class_sum} != total {}",
+                report.traffic.total()
+            );
+            assert!(report.traffic.waste_total() <= report.traffic.total() + 1e-9);
+
+            // Time: the per-class breakdown never exceeds #cores × makespan.
+            let budget = report.total_cycles * 16;
+            assert!(
+                report.time.total() <= budget,
+                "{bench}/{protocol}: attributed time {} exceeds the budget {budget}",
+                report.time.total()
+            );
+            assert!(report.time.get(TimeClass::Compute) > 0);
+
+            // Waste: words fetched into the L1 must be at least the words
+            // fetched from memory that were used (every used word reaches an
+            // L1), and every report is non-empty for these workloads.
+            assert!(report.l1_waste.total_words() > 0, "{bench}/{protocol}: no L1 words profiled");
+            assert!(report.mem_waste.total_words() > 0, "{bench}/{protocol}: no memory words profiled");
+
+            // DRAM was exercised and the row-hit rate is a valid fraction.
+            assert!(report.dram_accesses > 0);
+            assert!((0.0..=1.0).contains(&report.dram_row_hit_rate));
+        }
+    }
+}
+
+#[test]
+fn inclusive_mesi_fetches_at_least_as_many_l2_words_as_denovo_variants() {
+    // DeNovo's non-inclusive L2 plus write-validate means it never brings
+    // *more* words into the L2 from memory than MESI does.
+    for &bench in &[BenchmarkKind::Fft, BenchmarkKind::Radix, BenchmarkKind::Fluidanimate] {
+        let workload = build_tiny(bench, 16);
+        let mesi = Simulator::new(SimConfig::new(ProtocolKind::Mesi), &workload).run();
+        let opt = Simulator::new(SimConfig::new(ProtocolKind::DBypL2), &workload).run();
+        assert!(
+            opt.l2_waste.total_words() <= mesi.l2_waste.total_words(),
+            "{bench}: DBypL2 fetched more L2 words ({}) than MESI ({})",
+            opt.l2_waste.total_words(),
+            mesi.l2_waste.total_words()
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let workload = build_tiny(BenchmarkKind::KdTree, 16);
+    let a = Simulator::new(SimConfig::new(ProtocolKind::DBypFull), &workload).run();
+    let b = Simulator::new(SimConfig::new(ProtocolKind::DBypFull), &workload).run();
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.traffic, b.traffic);
+    assert_eq!(a.l1_waste, b.l1_waste);
+    assert_eq!(a.mem_waste, b.mem_waste);
+}
+
+#[test]
+fn alternative_system_configurations_are_respected() {
+    // Shrinking the L2 must increase DRAM pressure; the simulator must accept
+    // any validated configuration, not just Table 4.1.
+    let workload = build_tiny(BenchmarkKind::Fft, 16);
+    let big = Simulator::new(SimConfig::new(ProtocolKind::Mesi), &workload).run();
+
+    let mut small_sys = SystemConfig::default();
+    small_sys.cache.l2_slice_bytes = 16 * 1024;
+    small_sys.validate().unwrap();
+    let small = Simulator::new(
+        SimConfig::new(ProtocolKind::Mesi).with_system(small_sys),
+        &workload,
+    )
+    .run();
+
+    assert!(
+        small.dram_accesses >= big.dram_accesses,
+        "a 16x smaller L2 should not reduce DRAM accesses ({} vs {})",
+        small.dram_accesses,
+        big.dram_accesses
+    );
+}
