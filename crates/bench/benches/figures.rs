@@ -20,24 +20,44 @@ fn bench_tables(c: &mut Criterion) {
     c.bench_function("table4_1_config", |b| {
         b.iter(|| black_box(outcome.table_4_1(ScaleProfile::Tiny)))
     });
-    c.bench_function("table4_2_inputs", |b| b.iter(|| black_box(outcome.table_4_2())));
+    c.bench_function("table4_2_inputs", |b| {
+        b.iter(|| black_box(outcome.table_4_2()))
+    });
 }
 
 fn bench_traffic_figures(c: &mut Criterion) {
     let outcome = matrix();
-    c.bench_function("fig5_1a_overall_traffic", |b| b.iter(|| black_box(outcome.fig_5_1a())));
-    c.bench_function("fig5_1b_load_traffic", |b| b.iter(|| black_box(outcome.fig_5_1b())));
-    c.bench_function("fig5_1c_store_traffic", |b| b.iter(|| black_box(outcome.fig_5_1c())));
-    c.bench_function("fig5_1d_writeback_traffic", |b| b.iter(|| black_box(outcome.fig_5_1d())));
+    c.bench_function("fig5_1a_overall_traffic", |b| {
+        b.iter(|| black_box(outcome.fig_5_1a()))
+    });
+    c.bench_function("fig5_1b_load_traffic", |b| {
+        b.iter(|| black_box(outcome.fig_5_1b()))
+    });
+    c.bench_function("fig5_1c_store_traffic", |b| {
+        b.iter(|| black_box(outcome.fig_5_1c()))
+    });
+    c.bench_function("fig5_1d_writeback_traffic", |b| {
+        b.iter(|| black_box(outcome.fig_5_1d()))
+    });
 }
 
 fn bench_time_and_waste_figures(c: &mut Criterion) {
     let outcome = matrix();
-    c.bench_function("fig5_2_execution_time", |b| b.iter(|| black_box(outcome.fig_5_2())));
-    c.bench_function("fig5_3a_l1_waste", |b| b.iter(|| black_box(outcome.fig_5_3a())));
-    c.bench_function("fig5_3b_l2_waste", |b| b.iter(|| black_box(outcome.fig_5_3b())));
-    c.bench_function("fig5_3c_memory_waste", |b| b.iter(|| black_box(outcome.fig_5_3c())));
-    c.bench_function("headline_summary", |b| b.iter(|| black_box(outcome.headline())));
+    c.bench_function("fig5_2_execution_time", |b| {
+        b.iter(|| black_box(outcome.fig_5_2()))
+    });
+    c.bench_function("fig5_3a_l1_waste", |b| {
+        b.iter(|| black_box(outcome.fig_5_3a()))
+    });
+    c.bench_function("fig5_3b_l2_waste", |b| {
+        b.iter(|| black_box(outcome.fig_5_3b()))
+    });
+    c.bench_function("fig5_3c_memory_waste", |b| {
+        b.iter(|| black_box(outcome.fig_5_3c()))
+    });
+    c.bench_function("headline_summary", |b| {
+        b.iter(|| black_box(outcome.headline()))
+    });
 }
 
 fn bench_single_runs(c: &mut Criterion) {

@@ -10,9 +10,7 @@ use tw_mem::{CacheArray, CacheGeometry};
 use tw_noc::{Mesh, PacketSize};
 use tw_profiler::{CacheLevel, CacheWasteProfiler};
 use tw_protocols::flex_fetch_plan;
-use tw_types::{
-    Addr, DramConfig, LineAddr, MessageClass, NocConfig, SystemConfig, TileId,
-};
+use tw_types::{Addr, DramConfig, LineAddr, MessageClass, NocConfig, SystemConfig, TileId};
 use tw_workloads::{build_tiny, BenchmarkKind};
 
 fn bench_cache_array(c: &mut Criterion) {
@@ -69,7 +67,11 @@ fn bench_dram(c: &mut Criterion) {
             let mut mc = MemoryController::new(DramConfig::default());
             let mut t = 0;
             for i in 0..2048u64 {
-                t = mc.access(LineAddr::from_aligned(i * 64 * 7 % (1 << 24)), i % 3 == 0, t);
+                t = mc.access(
+                    LineAddr::from_aligned(i * 64 * 7 % (1 << 24)),
+                    i % 3 == 0,
+                    t,
+                );
             }
             black_box(mc.stats().row_hits)
         })

@@ -6,11 +6,15 @@
 //! cargo run -p tw-bench --release --bin experiments -- all
 //! cargo run -p tw-bench --release --bin experiments -- fig5_1a headline
 //! cargo run -p tw-bench --release --bin experiments -- --paper all
+//! cargo run -p tw-bench --release --bin experiments -- all --json
 //! ```
 //!
-//! With no arguments, `all` at the scaled profile is assumed.
+//! With no arguments, `all` at the scaled profile is assumed. `--json`
+//! additionally writes a machine-readable `BENCH_results.json` (matrix wall
+//! time, headline averages, per-figure values) to the current directory.
 
 use denovo_waste::{ExperimentMatrix, RunOutcome, ScaleProfile};
+use std::time::Instant;
 
 fn print_headline(outcome: &RunOutcome) {
     let h = outcome.headline();
@@ -49,8 +53,27 @@ fn print_headline(outcome: &RunOutcome) {
     );
 }
 
+const FIGURES: [&str; 12] = [
+    "all", "table4_1", "table4_2", "fig5_1a", "fig5_1b", "fig5_1c", "fig5_1d", "fig5_2", "fig5_3a",
+    "fig5_3b", "fig5_3c", "headline",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Reject anything unrecognized up front: a typo'd `--json` or figure
+    // name must not silently cost a multi-minute matrix run.
+    for a in &args {
+        if a.starts_with("--")
+            && !matches!(a.as_str(), "--paper" | "--scaled" | "--tiny" | "--json")
+        {
+            eprintln!("unknown flag {a}; expected --paper | --scaled | --tiny | --json");
+            std::process::exit(2);
+        }
+        if !a.starts_with("--") && !FIGURES.contains(&a.as_str()) {
+            eprintln!("unknown figure {a}; expected one of: {}", FIGURES.join(" "));
+            std::process::exit(2);
+        }
+    }
     let scale = if args.iter().any(|a| a == "--paper") {
         ScaleProfile::Paper
     } else if args.iter().any(|a| a == "--tiny") {
@@ -58,16 +81,28 @@ fn main() {
     } else {
         ScaleProfile::Scaled
     };
-    let mut wanted: Vec<String> = args
-        .into_iter()
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let json = args.iter().any(|a| a == "--json");
+    let mut wanted: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
 
     eprintln!("running the experiment matrix ({scale:?} profile); this takes a little while...");
+    let started = Instant::now();
     let outcome = ExperimentMatrix::full(scale).run();
+    let matrix_wall = started.elapsed();
+    eprintln!(
+        "matrix of {} cells finished in {:.2?}",
+        outcome.reports.len(),
+        matrix_wall
+    );
+
+    if json {
+        let path = "BENCH_results.json";
+        let doc = tw_bench::results_json(&outcome, scale, matrix_wall);
+        std::fs::write(path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
 
     let emit_all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| emit_all || wanted.iter().any(|w| w == name);

@@ -2,13 +2,17 @@
 //!
 //! The `experiments` binary regenerates every table and figure of the paper's
 //! evaluation section (run `cargo run -p tw-bench --release --bin experiments
-//! -- all`); the Criterion benches under `benches/` cover the same figures at
-//! a reduced scale plus microbenchmarks of every substrate crate.
+//! -- all`, or `-- all --json` for a machine-readable `BENCH_results.json`);
+//! the Criterion benches under `benches/` cover the same figures at a reduced
+//! scale plus microbenchmarks of every substrate crate. The experiment index
+//! and recorded full-scale numbers live in `EXPERIMENTS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use denovo_waste::{ExperimentMatrix, RunOutcome, ScaleProfile};
+use denovo_waste::{ExperimentMatrix, FigureTable, RunOutcome, ScaleProfile};
+use std::fmt::Write as _;
+use std::time::Duration;
 use tw_types::ProtocolKind;
 use tw_workloads::BenchmarkKind;
 
@@ -33,4 +37,177 @@ pub fn run_bench_matrix() -> RunOutcome {
         ScaleProfile::Tiny,
     )
     .run()
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite `f64` as JSON (JSON has no NaN/inf; those become null).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn figure_json(fig: &FigureTable, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"title\":\"{}\",\"columns\":[",
+        json_escape(&fig.title)
+    );
+    for (i, c) in fig.columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", json_escape(c));
+    }
+    out.push_str("],\"rows\":[");
+    for (i, (label, values)) in fig.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"label\":\"{}\",\"values\":[", json_escape(label));
+        for (j, v) in values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_num(*v));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+/// Serializes one experiment run — matrix wall time, headline averages and
+/// every figure of the evaluation section — as the `BENCH_results.json`
+/// document consumed by the performance-trajectory tooling.
+pub fn results_json(outcome: &RunOutcome, scale: ScaleProfile, matrix_wall: Duration) -> String {
+    let h = outcome.headline();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"denovo-waste/bench-results/v1\",\n");
+    let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
+    let _ = write!(out, "  \"protocols\": [");
+    for (i, p) in outcome.protocols.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{p}\"");
+    }
+    out.push_str("],\n");
+    let _ = write!(out, "  \"benchmarks\": [");
+    for (i, b) in outcome.benchmarks.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{b}\"");
+    }
+    out.push_str("],\n");
+    let _ = writeln!(out, "  \"cells\": {},", outcome.reports.len());
+    let _ = writeln!(
+        out,
+        "  \"matrix_wall_ms\": {},",
+        json_num(matrix_wall.as_secs_f64() * 1e3)
+    );
+    out.push_str("  \"headline\": {\n");
+    let headline_fields = [
+        ("dbypfull_traffic_vs_mesi", h.dbypfull_traffic_vs_mesi),
+        ("dbypfull_traffic_vs_mmeml1", h.dbypfull_traffic_vs_mmeml1),
+        ("dbypfull_traffic_vs_dflexl1", h.dbypfull_traffic_vs_dflexl1),
+        ("denovo_traffic_vs_mesi", h.denovo_traffic_vs_mesi),
+        ("dbypfull_time_vs_mesi", h.dbypfull_time_vs_mesi),
+        ("mmeml1_time_vs_mesi", h.mmeml1_time_vs_mesi),
+        ("dbypfull_waste_fraction", h.dbypfull_waste_fraction),
+        ("mesi_overhead_fraction", h.mesi_overhead_fraction),
+    ];
+    for (i, (name, value)) in headline_fields.iter().enumerate() {
+        let comma = if i + 1 < headline_fields.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "    \"{name}\": {}{comma}", json_num(*value));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"figures\": [\n");
+    let figures = outcome.all_figures(scale);
+    for (i, fig) in figures.iter().enumerate() {
+        out.push_str("    ");
+        figure_json(fig, &mut out);
+        if i + 1 < figures.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak"), "line\\nbreak");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn json_numbers_are_finite_or_null() {
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn results_json_is_structurally_sound() {
+        let outcome = ExperimentMatrix::subset(
+            vec![
+                ProtocolKind::Mesi,
+                ProtocolKind::MMemL1,
+                ProtocolKind::DeNovo,
+                ProtocolKind::DFlexL1,
+                ProtocolKind::DBypFull,
+            ],
+            vec![BenchmarkKind::Fft, BenchmarkKind::Radix],
+            ScaleProfile::Tiny,
+        )
+        .run();
+        let json = results_json(&outcome, ScaleProfile::Tiny, Duration::from_millis(1234));
+        // Structural sanity without a JSON parser: balanced delimiters and
+        // the expected top-level keys.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"schema\"",
+            "\"matrix_wall_ms\"",
+            "\"headline\"",
+            "\"figures\"",
+            "\"cells\": 10",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.contains("\"matrix_wall_ms\": 1234"));
+        assert!(json.contains("Figure 5.1a"));
+    }
 }

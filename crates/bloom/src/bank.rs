@@ -69,7 +69,10 @@ impl BloomBank {
             .map(|i| CountingBloomFilter::new(cfg.entries_per_filter, cfg.seed ^ (i as u64) << 32))
             .collect();
         BloomBank {
-            select: H3Hash::new(cfg.filters_per_bank.trailing_zeros().max(1), cfg.seed ^ 0xFEED),
+            select: H3Hash::new(
+                cfg.filters_per_bank.trailing_zeros().max(1),
+                cfg.seed ^ 0xFEED,
+            ),
             kind: BankKind::Counting(filters),
             copied: vec![true; cfg.filters_per_bank],
             cfg,
@@ -82,7 +85,10 @@ impl BloomBank {
             .map(|i| BloomFilter::new(cfg.entries_per_filter, cfg.seed ^ (i as u64) << 32))
             .collect();
         BloomBank {
-            select: H3Hash::new(cfg.filters_per_bank.trailing_zeros().max(1), cfg.seed ^ 0xFEED),
+            select: H3Hash::new(
+                cfg.filters_per_bank.trailing_zeros().max(1),
+                cfg.seed ^ 0xFEED,
+            ),
             kind: BankKind::Plain(filters),
             copied: vec![false; cfg.filters_per_bank],
             cfg,

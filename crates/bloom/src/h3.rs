@@ -20,7 +20,10 @@ impl H3Hash {
     ///
     /// Panics if `index_bits` is zero or greater than 32.
     pub fn new(index_bits: u32, seed: u64) -> Self {
-        assert!(index_bits > 0 && index_bits <= 32, "index_bits must be 1..=32");
+        assert!(
+            index_bits > 0 && index_bits <= 32,
+            "index_bits must be 1..=32"
+        );
         // SplitMix64: small, deterministic, good avalanche behaviour.
         let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut next = move || {
@@ -81,7 +84,9 @@ mod tests {
     fn different_seeds_give_different_functions() {
         let a = H3Hash::new(9, 1);
         let b = H3Hash::new(9, 2);
-        let differing = (0..256u64).filter(|&k| a.hash(k * 64) != b.hash(k * 64)).count();
+        let differing = (0..256u64)
+            .filter(|&k| a.hash(k * 64) != b.hash(k * 64))
+            .count();
         assert!(differing > 128, "only {differing} of 256 keys differed");
     }
 
@@ -89,7 +94,11 @@ mod tests {
     fn distribution_covers_most_buckets() {
         let h = H3Hash::new(9, 7);
         let buckets: HashSet<usize> = (0..4096u64).map(|k| h.hash(k * 64)).collect();
-        assert!(buckets.len() > 400, "poor spread: {} buckets", buckets.len());
+        assert!(
+            buckets.len() > 400,
+            "poor spread: {} buckets",
+            buckets.len()
+        );
     }
 
     #[test]

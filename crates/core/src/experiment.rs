@@ -10,6 +10,7 @@ use crate::figures::FigureTable;
 use crate::report::SimReport;
 use crate::sim::{SimConfig, Simulator};
 use crate::timing::TimeClass;
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 use tw_profiler::WasteCategory;
 use tw_types::{MessageClass, ProtocolKind, SystemConfig, TrafficBucket};
@@ -104,17 +105,39 @@ impl ExperimentMatrix {
     }
 
     /// Runs every (protocol, benchmark) pair.
+    ///
+    /// Every cell of the matrix is an independent simulation, so the cells
+    /// are executed in parallel with `rayon`: workload generation fans out
+    /// per benchmark first (traces are shared across the protocols of a
+    /// row), then the full cell list is mapped on the pool. Per-cell cost is
+    /// very uneven (MESI cells move far more messages than optimized DeNovo
+    /// cells), which the work-stealing distribution absorbs.
     pub fn run(&self) -> RunOutcome {
         let system = self.scale.system();
-        let mut reports = BTreeMap::new();
-        for &bench in &self.benchmarks {
-            let workload = self.scale.workload(bench, system.tiles());
-            for &protocol in &self.protocols {
+        let workloads: Vec<(BenchmarkKind, Workload)> = self
+            .benchmarks
+            .par_iter()
+            .map(|&bench| (bench, self.scale.workload(bench, system.tiles())))
+            .collect();
+
+        let cells: Vec<(BenchmarkKind, ProtocolKind)> = self
+            .benchmarks
+            .iter()
+            .flat_map(|&b| self.protocols.iter().map(move |&p| (b, p)))
+            .collect();
+        let reports: BTreeMap<(BenchmarkKind, ProtocolKind), SimReport> = cells
+            .par_iter()
+            .map(|&(bench, protocol)| {
+                let workload = &workloads
+                    .iter()
+                    .find(|(b, _)| *b == bench)
+                    .expect("workload built for every benchmark in the matrix")
+                    .1;
                 let cfg = SimConfig::new(protocol).with_system(system.clone());
-                let report = Simulator::new(cfg, &workload).run();
-                reports.insert((bench, protocol), report);
-            }
-        }
+                ((bench, protocol), Simulator::new(cfg, workload).run())
+            })
+            .collect();
+
         RunOutcome {
             protocols: self.protocols.clone(),
             benchmarks: self.benchmarks.clone(),
@@ -312,7 +335,10 @@ impl RunOutcome {
             columns,
         );
         for &b in &self.benchmarks {
-            let base = self.baseline(b).traffic.class_total(MessageClass::Writeback);
+            let base = self
+                .baseline(b)
+                .traffic
+                .class_total(MessageClass::Writeback);
             for &p in &self.protocols {
                 let r = self.report(b, p);
                 let values = buckets
@@ -336,10 +362,7 @@ impl RunOutcome {
         let mut columns = vec!["bench/protocol".into()];
         columns.extend(TimeClass::ALL.iter().map(|c| c.label().to_string()));
         columns.push("Total".into());
-        let mut t = FigureTable::new(
-            "Figure 5.2: Execution time (normalized to MESI)",
-            columns,
-        );
+        let mut t = FigureTable::new("Figure 5.2: Execution time (normalized to MESI)", columns);
         for &b in &self.benchmarks {
             let base = self.baseline(b).time.total().max(1) as f64;
             for &p in &self.protocols {
@@ -460,7 +483,11 @@ mod tests {
 
     fn tiny_outcome() -> RunOutcome {
         ExperimentMatrix::subset(
-            vec![ProtocolKind::Mesi, ProtocolKind::DeNovo, ProtocolKind::DBypFull],
+            vec![
+                ProtocolKind::Mesi,
+                ProtocolKind::DeNovo,
+                ProtocolKind::DBypFull,
+            ],
             vec![BenchmarkKind::Fft, BenchmarkKind::Radix],
             ScaleProfile::Tiny,
         )
@@ -471,7 +498,11 @@ mod tests {
     fn matrix_runs_all_pairs() {
         let out = tiny_outcome();
         assert_eq!(out.reports.len(), 6);
-        assert!(out.report(BenchmarkKind::Fft, ProtocolKind::Mesi).total_cycles > 0);
+        assert!(
+            out.report(BenchmarkKind::Fft, ProtocolKind::Mesi)
+                .total_cycles
+                > 0
+        );
     }
 
     #[test]
@@ -479,7 +510,10 @@ mod tests {
         let out = tiny_outcome();
         let fig = out.fig_5_1a();
         let mesi_total = fig.value("FFT/MESI", "Total").unwrap();
-        assert!((mesi_total - 1.0).abs() < 1e-9, "MESI bar must be exactly 1.0");
+        assert!(
+            (mesi_total - 1.0).abs() < 1e-9,
+            "MESI bar must be exactly 1.0"
+        );
         let opt_total = fig.value("FFT/DBypFull", "Total").unwrap();
         assert!(opt_total < 1.0, "optimized protocol must reduce traffic");
     }
@@ -515,8 +549,14 @@ mod tests {
 
     #[test]
     fn scale_profiles_produce_distinct_systems() {
-        assert_eq!(ScaleProfile::Paper.system().cache.l2_slice_bytes, 256 * 1024);
-        assert_eq!(ScaleProfile::Scaled.system().cache.l2_slice_bytes, 64 * 1024);
+        assert_eq!(
+            ScaleProfile::Paper.system().cache.l2_slice_bytes,
+            256 * 1024
+        );
+        assert_eq!(
+            ScaleProfile::Scaled.system().cache.l2_slice_bytes,
+            64 * 1024
+        );
         assert!(ScaleProfile::Tiny.system().cache.l1_bytes < 32 * 1024);
         assert!(ScaleProfile::Paper.system().validate().is_ok());
         assert!(ScaleProfile::Scaled.system().validate().is_ok());

@@ -74,7 +74,14 @@ impl fmt::Display for FigureTable {
             .max()
             .unwrap_or(8)
             .max(8);
-        let col_w = self.columns.iter().skip(1).map(|c| c.len()).max().unwrap_or(10).max(10);
+        let col_w = self
+            .columns
+            .iter()
+            .skip(1)
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(10)
+            .max(10);
         write!(f, "{:label_w$}", self.columns[0])?;
         for c in self.columns.iter().skip(1) {
             write!(f, " {c:>col_w$}")?;

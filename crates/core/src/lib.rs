@@ -42,5 +42,5 @@ pub mod timing;
 pub use experiment::{ExperimentMatrix, RunOutcome, ScaleProfile};
 pub use figures::FigureTable;
 pub use report::SimReport;
-pub use sim::{SimConfig, Simulator};
+pub use sim::{protocol_by_name, SimConfig, Simulator};
 pub use timing::{ExecutionBreakdown, TimeClass};

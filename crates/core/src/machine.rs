@@ -32,6 +32,11 @@ impl L1Meta {
 }
 
 /// Metadata an L2 line carries, depending on the protocol family.
+// A cache array holds one variant uniformly for the whole run (the protocol
+// never changes mid-simulation), so the DeNovo per-word table dominating the
+// enum size costs nothing in practice; boxing it would add a pointer chase to
+// the hottest lookup path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum L2Meta {
     /// MESI: the directory entry for the (inclusive) line.
@@ -85,7 +90,9 @@ pub fn build_tiles(cfg: &SystemConfig, protocol: ProtocolKind) -> Vec<Tile> {
                     cfg.cache.words_per_line(),
                 ),
                 l2_bloom: BloomBank::counting(bloom_cfg),
-                l1_bloom: (0..cfg.tiles()).map(|_| BloomBank::plain(bloom_cfg)).collect(),
+                l1_bloom: (0..cfg.tiles())
+                    .map(|_| BloomBank::plain(bloom_cfg))
+                    .collect(),
                 mc: if mc_tiles.contains(&id) {
                     Some(MemoryController::new(cfg.dram.clone()))
                 } else {

@@ -22,6 +22,10 @@ pub struct SimReport {
     pub time: ExecutionBreakdown,
     /// Flit-hop breakdown (Figures 5.1a–5.1d).
     pub traffic: TrafficBreakdown,
+    /// Raw whole-flit hop count from the mesh, before the bucketed ledger's
+    /// fractional attribution — a cross-check on `traffic` (the two agree to
+    /// within a few percent).
+    pub mesh_flit_hops: f64,
     /// Words fetched into the L1s, by waste category (Figure 5.3a).
     pub l1_waste: WasteReport,
     /// Words fetched into the L2 from memory, by waste category (Figure 5.3b).

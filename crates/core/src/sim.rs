@@ -1,4 +1,4 @@
-//! The tiled-machine simulator: core loop, network accounting, barriers.
+//! The tiled-machine simulator: core scheduling, barriers, report assembly.
 //!
 //! The simulator is *transaction level*: each memory reference of the in-order
 //! cores is resolved as one atomic coherence transaction whose messages are
@@ -9,19 +9,23 @@
 //! blocking-directory corner cases the paper's GEMS protocol NACKs or holds
 //! never arise under this serialization, matching the paper's observation
 //! that NACK traffic is negligible.
+//!
+//! This module is protocol-agnostic: every protocol-specific action is
+//! reached through the [`engine::ProtocolExecutor`] trait, resolved once at
+//! construction from the registry in [`engine`]. The executors themselves
+//! live in `exec_mesi.rs` and `exec_denovo.rs`; the shared machine state and
+//! accounting they operate on live in `engine.rs` (see `DESIGN.md` §3).
 
+pub(crate) mod engine;
 mod exec_denovo;
 mod exec_mesi;
 
-use crate::machine::{build_tiles, L1Meta, Tile};
+use crate::machine::build_tiles;
 use crate::report::SimReport;
 use crate::timing::{ExecutionBreakdown, TimeClass};
-use tw_noc::{Mesh, PacketSize};
-use tw_profiler::{CacheLevel, CacheWasteProfiler, MemoryWasteProfiler, TrafficBreakdown};
-use tw_types::{
-    Cycle, LineAddr, MemKind, MessageClass, MessageKind, NocConfig, ProtocolKind, SystemConfig,
-    TileId, TraceOp, TrafficBucket,
-};
+use engine::{executor_for, Engine, Net, ProtocolExecutor};
+use tw_profiler::{CacheLevel, CacheWasteProfiler, MemoryWasteProfiler};
+use tw_types::{Cycle, MemKind, MessageClass, ProtocolKind, SystemConfig, TraceOp, TrafficBucket};
 use tw_workloads::Workload;
 
 /// Configuration of one simulation run.
@@ -34,6 +38,12 @@ pub struct SimConfig {
     /// Fixed cost charged to every core at each barrier (latency of the
     /// barrier primitive itself).
     pub barrier_overhead: Cycle,
+}
+
+/// Resolves a protocol configuration from its figure name (case-insensitive),
+/// via the executor registry — the inverse of [`ProtocolKind::name`].
+pub fn protocol_by_name(name: &str) -> Option<ProtocolKind> {
+    engine::kind_by_name(name)
 }
 
 impl SimConfig {
@@ -53,92 +63,6 @@ impl SimConfig {
     }
 }
 
-/// The mesh plus the flit-hop ledger.
-#[derive(Debug)]
-pub(crate) struct Net {
-    mesh: Mesh,
-    pub(crate) traffic: TrafficBreakdown,
-    noc: NocConfig,
-}
-
-/// Outcome of sending one message.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Delivery {
-    /// Cycle the tail of the message arrives at its destination.
-    pub arrival: Cycle,
-    /// Flit-hops attributable to each data word carried (0 for local hops).
-    pub per_word_hops: f64,
-}
-
-impl Net {
-    fn new(noc: NocConfig) -> Self {
-        Net {
-            mesh: Mesh::new(noc.clone()),
-            traffic: TrafficBreakdown::new(),
-            noc,
-        }
-    }
-
-    /// Sends a message, charging its control (and unfilled-data) flit-hops to
-    /// the appropriate bucket. Data-word flit-hops are returned for the
-    /// caller to attribute (to the waste profilers for responses, or directly
-    /// to used/waste buckets for writebacks).
-    pub(crate) fn send(
-        &mut self,
-        from: TileId,
-        to: TileId,
-        kind: MessageKind,
-        data_words: usize,
-        now: Cycle,
-    ) -> Delivery {
-        debug_assert!(
-            data_words <= self.noc.max_data_words(),
-            "oversized payload must be split by the caller"
-        );
-        let size = if data_words == 0 {
-            PacketSize::control_only()
-        } else {
-            PacketSize::with_data_words(&self.noc, data_words)
-        };
-        let hops = self.mesh.hops(from, to) as f64;
-        let arrival = self.mesh.send(from, to, size, now);
-
-        let class = kind.class();
-        let ctl_bucket = match kind {
-            MessageKind::L1Writeback
-            | MessageKind::MemWriteback
-            | MessageKind::WritebackAndRegister => TrafficBucket::WbControl,
-            _ if class == MessageClass::Overhead => TrafficBucket::Overhead,
-            _ if kind.is_request() => TrafficBucket::ReqCtl,
-            _ => TrafficBucket::RespCtl,
-        };
-        // Control flit(s) plus the unfilled fraction of the last data flit.
-        let ctl_hops = hops * (size.control_flits as f64 + size.unfilled_data_flits(&self.noc));
-        self.traffic.add(class, ctl_bucket, ctl_hops);
-
-        let per_word_hops = if data_words == 0 {
-            0.0
-        } else {
-            hops / self.noc.words_per_flit() as f64
-        };
-        // Data carried by overhead messages (Bloom-filter copies) is charged
-        // directly; nobody profiles those words.
-        if class == MessageClass::Overhead && data_words > 0 {
-            self.traffic
-                .add(class, TrafficBucket::Overhead, per_word_hops * data_words as f64);
-        }
-        Delivery {
-            arrival,
-            per_word_hops,
-        }
-    }
-
-    /// Total flit-hops so far.
-    pub(crate) fn total_flit_hops(&self) -> f64 {
-        self.mesh.total_flit_hops()
-    }
-}
-
 /// Per-core execution status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CoreState {
@@ -148,16 +72,14 @@ enum CoreState {
 }
 
 /// The simulator for one (protocol, workload) pair.
+///
+/// The simulator owns the scheduler state (per-core clocks, program counters
+/// and run states) and an [`Engine`] holding all machine state; protocol
+/// behavior is dispatched through the executor resolved from the registry.
 #[derive(Debug)]
 pub struct Simulator<'wl> {
-    cfg: SimConfig,
-    workload: &'wl Workload,
-    pub(crate) tiles: Vec<Tile>,
-    pub(crate) net: Net,
-    pub(crate) l1_prof: Vec<CacheWasteProfiler>,
-    pub(crate) l2_prof: CacheWasteProfiler,
-    pub(crate) mem_prof: MemoryWasteProfiler,
-    pub(crate) time: Vec<ExecutionBreakdown>,
+    pub(crate) engine: Engine<'wl>,
+    exec: &'static dyn ProtocolExecutor,
     clocks: Vec<Cycle>,
     pc: Vec<usize>,
     state: Vec<CoreState>,
@@ -178,36 +100,31 @@ impl<'wl> Simulator<'wl> {
             "workload core count must match the machine"
         );
         let cores = cfg.system.tiles();
-        Simulator {
+        let exec = executor_for(cfg.protocol);
+        let engine = Engine {
             tiles: build_tiles(&cfg.system, cfg.protocol),
             net: Net::new(cfg.system.noc.clone()),
-            l1_prof: (0..cores).map(|_| CacheWasteProfiler::new(CacheLevel::L1)).collect(),
+            l1_prof: (0..cores)
+                .map(|_| CacheWasteProfiler::new(CacheLevel::L1))
+                .collect(),
             l2_prof: CacheWasteProfiler::new(CacheLevel::L2),
             mem_prof: MemoryWasteProfiler::new(),
             time: (0..cores).map(|_| ExecutionBreakdown::new()).collect(),
+            cfg,
+            workload,
+        };
+        Simulator {
+            engine,
+            exec,
             clocks: vec![0; cores],
             pc: vec![0; cores],
             state: vec![CoreState::Running; cores],
-            cfg,
-            workload,
         }
     }
 
     /// The protocol being simulated.
     pub fn protocol(&self) -> ProtocolKind {
-        self.cfg.protocol
-    }
-
-    pub(crate) fn system(&self) -> &SystemConfig {
-        &self.cfg.system
-    }
-
-    pub(crate) fn line_bytes(&self) -> u64 {
-        self.cfg.system.cache.line_bytes
-    }
-
-    pub(crate) fn line_of(&self, addr: tw_types::Addr) -> LineAddr {
-        LineAddr::containing(addr, self.line_bytes())
+        self.engine.protocol()
     }
 
     /// Runs the workload to completion and returns the report.
@@ -233,14 +150,17 @@ impl<'wl> Simulator<'wl> {
 
     /// Executes one trace record of `core`.
     fn step_core(&mut self, core: usize) {
-        let Some(op) = self.workload.traces[core].get(self.pc[core]).copied() else {
+        let Some(op) = self.engine.workload.traces[core]
+            .get(self.pc[core])
+            .copied()
+        else {
             self.state[core] = CoreState::Done;
             return;
         };
         match op {
             TraceOp::Compute { cycles } => {
                 self.clocks[core] += cycles as Cycle;
-                self.time[core].add(TimeClass::Compute, cycles as Cycle);
+                self.engine.time[core].add(TimeClass::Compute, cycles as Cycle);
                 self.pc[core] += 1;
             }
             TraceOp::Barrier { id } => {
@@ -249,11 +169,9 @@ impl<'wl> Simulator<'wl> {
             }
             TraceOp::Mem { kind, addr, region } => {
                 let now = self.clocks[core];
-                let done = match (self.cfg.protocol.is_mesi(), kind) {
-                    (true, MemKind::Load) => self.mesi_load(core, addr, region, now),
-                    (true, MemKind::Store) => self.mesi_store(core, addr, region, now),
-                    (false, MemKind::Load) => self.denovo_load(core, addr, region, now),
-                    (false, MemKind::Store) => self.denovo_store(core, addr, region, now),
+                let done = match kind {
+                    MemKind::Load => self.exec.load(&mut self.engine, core, addr, region, now),
+                    MemKind::Store => self.exec.store(&mut self.engine, core, addr, region, now),
                 };
                 debug_assert!(done >= now);
                 self.clocks[core] = done;
@@ -285,43 +203,50 @@ impl<'wl> Simulator<'wl> {
         // Finished cores no longer participate; everyone still waiting
         // synchronizes to the latest arrival.
         let release = waiting.iter().map(|&c| self.clocks[c]).max().unwrap_or(0)
-            + self.cfg.barrier_overhead;
+            + self.engine.cfg.barrier_overhead;
         for &c in &waiting {
             let wait = release - self.clocks[c];
-            self.time[c].add(TimeClass::Sync, wait);
+            self.engine.time[c].add(TimeClass::Sync, wait);
             self.clocks[c] = release;
             self.pc[c] += 1;
             self.state[c] = CoreState::Running;
         }
-        if self.cfg.protocol.is_denovo() {
-            self.denovo_barrier_actions(release);
-        }
+        self.exec.barrier_released(&mut self.engine, release);
     }
 
     /// Drains profilers and builds the final report.
     fn finish(mut self) -> SimReport {
-        // Flush any still-pending DeNovo registrations so their traffic is
-        // accounted (the paper's measurement period ends at a barrier, where
-        // the write-combining table would have drained anyway).
-        if self.cfg.protocol.is_denovo() {
-            let release = *self.clocks.iter().max().unwrap_or(&0);
-            self.denovo_barrier_actions(release);
-        }
+        // Give the protocol a chance to drain still-pending work (e.g.
+        // DeNovo registrations) so its traffic is accounted — the paper's
+        // measurement period ends at a barrier, where those tables would
+        // have drained anyway.
+        let last = *self.clocks.iter().max().unwrap_or(&0);
+        self.exec.finish(&mut self.engine, last);
+        let eng = self.engine;
 
         let mut l1_waste = tw_profiler::WasteReport::new();
-        for p in self.l1_prof {
+        for p in eng.l1_prof {
             l1_waste.merge(&p.finish());
         }
-        let l2_waste = self.l2_prof.finish();
-        let mem_waste = self.mem_prof.finish();
+        let l2_waste = eng.l2_prof.finish();
+        let mem_waste = eng.mem_prof.finish();
 
         // Attribute the profiled response-data flit-hops to the traffic
         // breakdown now that every word has a final classification.
-        let mut traffic = self.net.traffic.clone();
+        let mesh_flit_hops = eng.net.total_flit_hops();
+        let mut traffic = eng.net.traffic.clone();
         for class in [MessageClass::Load, MessageClass::Store] {
             for (report, used_bucket, waste_bucket) in [
-                (&l1_waste, TrafficBucket::RespL1Used, TrafficBucket::RespL1Waste),
-                (&l2_waste, TrafficBucket::RespL2Used, TrafficBucket::RespL2Waste),
+                (
+                    &l1_waste,
+                    TrafficBucket::RespL1Used,
+                    TrafficBucket::RespL1Waste,
+                ),
+                (
+                    &l2_waste,
+                    TrafficBucket::RespL2Used,
+                    TrafficBucket::RespL2Waste,
+                ),
             ] {
                 traffic.add(class, used_bucket, report.used_flit_hops(class));
                 traffic.add(class, waste_bucket, report.wasted_flit_hops(class));
@@ -329,13 +254,13 @@ impl<'wl> Simulator<'wl> {
         }
 
         let mut time = ExecutionBreakdown::new();
-        for t in &self.time {
+        for t in &eng.time {
             time.merge(t);
         }
         let total_cycles = *self.clocks.iter().max().unwrap_or(&0);
 
         let (mut accesses, mut hits, mut total) = (0u64, 0u64, 0u64);
-        for tile in &self.tiles {
+        for tile in &eng.tiles {
             if let Some(mc) = &tile.mc {
                 let s = mc.stats();
                 accesses += s.reads + s.writes;
@@ -345,52 +270,22 @@ impl<'wl> Simulator<'wl> {
         }
 
         SimReport {
-            protocol: self.cfg.protocol,
-            benchmark: self.workload.kind,
-            input: self.workload.input.clone(),
+            protocol: eng.cfg.protocol,
+            benchmark: eng.workload.kind,
+            input: eng.workload.input.clone(),
             total_cycles,
             time,
             traffic,
+            mesh_flit_hops,
             l1_waste,
             l2_waste,
             mem_waste,
             dram_accesses: accesses,
-            dram_row_hit_rate: if total == 0 { 0.0 } else { hits as f64 / total as f64 },
-        }
-    }
-
-    // ---- shared helpers used by both protocol implementations -----------
-
-    /// Home L2 slice of a line.
-    pub(crate) fn home_of(&self, line: LineAddr) -> TileId {
-        self.cfg.system.home_tile(line.byte())
-    }
-
-    /// Memory controller responsible for a line.
-    pub(crate) fn mc_of(&self, line: LineAddr) -> TileId {
-        self.cfg.system.mc_tile(line.byte())
-    }
-
-    /// Performs a DRAM access at controller `mc` and returns its completion
-    /// cycle.
-    pub(crate) fn dram_access(&mut self, mc: TileId, line: LineAddr, write: bool, at: Cycle) -> Cycle {
-        self.tiles[mc.0]
-            .mc
-            .as_mut()
-            .expect("tile has a memory controller")
-            .access(line, write, at)
-    }
-
-    /// Whether the L1 of `core` currently holds readable data for `addr`.
-    pub(crate) fn l1_word_present(&self, core: usize, addr: tw_types::Addr) -> bool {
-        let line = LineAddr::containing(addr, self.cfg.system.cache.line_bytes);
-        let w = addr.word_in_line(self.cfg.system.cache.line_bytes);
-        match self.tiles[core].l1.peek(line) {
-            Some(entry) => match &entry.meta {
-                L1Meta::Mesi { state, .. } => state.can_read() && entry.valid.contains(w),
-                L1Meta::Denovo(l) => l.word(w).can_read(),
+            dram_row_hit_rate: if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
             },
-            None => false,
         }
     }
 }
@@ -460,33 +355,30 @@ mod tests {
 
     #[test]
     fn bucketed_ledger_tracks_raw_mesh_flit_hops() {
-        // The bucketed ledger attributes fractional flits; the mesh counts
-        // whole flits. The two totals must agree to within a few percent.
         let wl = build_tiny(BenchmarkKind::Radix, 16);
         let sim = Simulator::new(SimConfig::new(ProtocolKind::DBypFull), &wl);
         assert_eq!(sim.protocol(), ProtocolKind::DBypFull);
-        let raw_and_report = {
-            let mut sim = sim;
-            // Drive the run manually so the mesh total can be read before the
-            // simulator is consumed by `finish`.
-            let report = {
-                let r = &mut sim;
-                // run() consumes, so replicate by calling run on a fresh sim.
-                let _ = r;
-                Simulator::new(SimConfig::new(ProtocolKind::DBypFull), &wl).run()
-            };
-            (sim.net.total_flit_hops(), report)
-        };
-        let (_raw_unused, report) = raw_and_report;
+        let report = sim.run();
         assert!(report.traffic.total() > 0.0);
         let waste = report.traffic.waste_total();
         assert!(waste >= 0.0 && waste <= report.traffic.total());
+        // The bucketed ledger attributes fractional flits; the mesh counts
+        // whole flits. The two totals must agree to within a few percent.
+        let rel = (report.traffic.total() - report.mesh_flit_hops).abs() / report.mesh_flit_hops;
+        assert!(
+            rel < 0.05,
+            "bucketed total {} vs raw mesh {} differ by {:.1}%",
+            report.traffic.total(),
+            report.mesh_flit_hops,
+            100.0 * rel
+        );
     }
 
     #[test]
     fn mismatched_core_count_is_rejected() {
         let wl = build_tiny(BenchmarkKind::Fft, 4);
-        let result = std::panic::catch_unwind(|| Simulator::new(SimConfig::new(ProtocolKind::Mesi), &wl));
+        let result =
+            std::panic::catch_unwind(|| Simulator::new(SimConfig::new(ProtocolKind::Mesi), &wl));
         assert!(result.is_err());
     }
 

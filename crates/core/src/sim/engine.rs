@@ -1,0 +1,385 @@
+//! The protocol-agnostic simulation engine.
+//!
+//! [`Engine`] owns every piece of machine state a coherence transaction
+//! touches — tiles (caches, write-combining tables, Bloom banks, memory
+//! controllers), the mesh with its flit-hop ledger, the waste profilers and
+//! the per-core time attribution — plus the shared accounting helpers both
+//! protocol families use. Protocol behavior lives entirely behind the
+//! [`ProtocolExecutor`] trait: the scheduler in `sim.rs` resolves the
+//! configured [`ProtocolKind`] to an executor through [`executor_for`] once,
+//! then drives every load, store, barrier and end-of-run drain through the
+//! trait without knowing which family it is talking to. Adding a protocol
+//! family means implementing the trait and adding one registry row — the
+//! simulator loop does not change.
+
+use crate::machine::{L1Meta, Tile};
+use crate::sim::SimConfig;
+use crate::timing::ExecutionBreakdown;
+use tw_noc::{Mesh, PacketSize};
+use tw_profiler::{CacheWasteProfiler, MemoryWasteProfiler, TrafficBreakdown};
+use tw_types::{
+    Addr, Cycle, LineAddr, MessageClass, MessageKind, NocConfig, ProtocolKind, RegionId,
+    SystemConfig, TileId, TrafficBucket,
+};
+use tw_workloads::Workload;
+
+/// The mesh plus the flit-hop ledger.
+#[derive(Debug)]
+pub(crate) struct Net {
+    mesh: Mesh,
+    pub(crate) traffic: TrafficBreakdown,
+    noc: NocConfig,
+}
+
+/// Outcome of sending one message.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Delivery {
+    /// Cycle the tail of the message arrives at its destination.
+    pub arrival: Cycle,
+    /// Flit-hops attributable to each data word carried (0 for local hops).
+    pub per_word_hops: f64,
+}
+
+impl Net {
+    pub(crate) fn new(noc: NocConfig) -> Self {
+        Net {
+            mesh: Mesh::new(noc.clone()),
+            traffic: TrafficBreakdown::new(),
+            noc,
+        }
+    }
+
+    /// Sends a message, charging its control (and unfilled-data) flit-hops to
+    /// the appropriate bucket. Data-word flit-hops are returned for the
+    /// caller to attribute (to the waste profilers for responses, or directly
+    /// to used/waste buckets for writebacks).
+    pub(crate) fn send(
+        &mut self,
+        from: TileId,
+        to: TileId,
+        kind: MessageKind,
+        data_words: usize,
+        now: Cycle,
+    ) -> Delivery {
+        debug_assert!(
+            data_words <= self.noc.max_data_words(),
+            "oversized payload must be split by the caller"
+        );
+        let size = if data_words == 0 {
+            PacketSize::control_only()
+        } else {
+            PacketSize::with_data_words(&self.noc, data_words)
+        };
+        let hops = self.mesh.hops(from, to) as f64;
+        let arrival = self.mesh.send(from, to, size, now);
+
+        let class = kind.class();
+        let ctl_bucket = match kind {
+            MessageKind::L1Writeback
+            | MessageKind::MemWriteback
+            | MessageKind::WritebackAndRegister => TrafficBucket::WbControl,
+            _ if class == MessageClass::Overhead => TrafficBucket::Overhead,
+            _ if kind.is_request() => TrafficBucket::ReqCtl,
+            _ => TrafficBucket::RespCtl,
+        };
+        // Control flit(s) plus the unfilled fraction of the last data flit.
+        let ctl_hops = hops * (size.control_flits as f64 + size.unfilled_data_flits(&self.noc));
+        self.traffic.add(class, ctl_bucket, ctl_hops);
+
+        let per_word_hops = if data_words == 0 {
+            0.0
+        } else {
+            hops / self.noc.words_per_flit() as f64
+        };
+        // Data carried by overhead messages (Bloom-filter copies) is charged
+        // directly; nobody profiles those words.
+        if class == MessageClass::Overhead && data_words > 0 {
+            self.traffic.add(
+                class,
+                TrafficBucket::Overhead,
+                per_word_hops * data_words as f64,
+            );
+        }
+        Delivery {
+            arrival,
+            per_word_hops,
+        }
+    }
+
+    /// Total flit-hops so far.
+    pub(crate) fn total_flit_hops(&self) -> f64 {
+        self.mesh.total_flit_hops()
+    }
+}
+
+/// All protocol-agnostic machine state one simulation run mutates.
+///
+/// The scheduler in `sim.rs` owns the per-core clocks and program counters;
+/// everything a coherence transaction touches lives here so that a
+/// [`ProtocolExecutor`] can be handed one `&mut Engine` and service a memory
+/// reference end to end.
+#[derive(Debug)]
+pub(crate) struct Engine<'wl> {
+    pub(crate) cfg: SimConfig,
+    pub(crate) workload: &'wl Workload,
+    pub(crate) tiles: Vec<Tile>,
+    pub(crate) net: Net,
+    pub(crate) l1_prof: Vec<CacheWasteProfiler>,
+    pub(crate) l2_prof: CacheWasteProfiler,
+    pub(crate) mem_prof: MemoryWasteProfiler,
+    pub(crate) time: Vec<ExecutionBreakdown>,
+}
+
+impl<'wl> Engine<'wl> {
+    /// The protocol configuration being simulated.
+    pub(crate) fn protocol(&self) -> ProtocolKind {
+        self.cfg.protocol
+    }
+
+    /// The simulated system parameters.
+    pub(crate) fn system(&self) -> &SystemConfig {
+        &self.cfg.system
+    }
+
+    /// Cache line size in bytes.
+    pub(crate) fn line_bytes(&self) -> u64 {
+        self.cfg.system.cache.line_bytes
+    }
+
+    /// Home L2 slice of a line.
+    pub(crate) fn home_of(&self, line: LineAddr) -> TileId {
+        self.cfg.system.home_tile(line.byte())
+    }
+
+    /// Memory controller responsible for a line.
+    pub(crate) fn mc_of(&self, line: LineAddr) -> TileId {
+        self.cfg.system.mc_tile(line.byte())
+    }
+
+    /// Performs a DRAM access at controller `mc` and returns its completion
+    /// cycle.
+    pub(crate) fn dram_access(
+        &mut self,
+        mc: TileId,
+        line: LineAddr,
+        write: bool,
+        at: Cycle,
+    ) -> Cycle {
+        self.tiles[mc.0]
+            .mc
+            .as_mut()
+            .expect("tile has a memory controller")
+            .access(line, write, at)
+    }
+
+    /// Whether the L1 of `core` currently holds readable data for `addr`.
+    pub(crate) fn l1_word_present(&self, core: usize, addr: Addr) -> bool {
+        let line = LineAddr::containing(addr, self.cfg.system.cache.line_bytes);
+        let w = addr.word_in_line(self.cfg.system.cache.line_bytes);
+        match self.tiles[core].l1.peek(line) {
+            Some(entry) => match &entry.meta {
+                L1Meta::Mesi { state, .. } => state.can_read() && entry.valid.contains(w),
+                L1Meta::Denovo(l) => l.word(w).can_read(),
+            },
+            None => false,
+        }
+    }
+
+    /// Charges the data flit-hops of a writeback message: `used` words of the
+    /// `carried` payload were dirty (useful), the rest is waste. `to_memory`
+    /// selects the memory-side bucket pair over the L2-side pair.
+    pub(crate) fn charge_writeback_data(
+        &mut self,
+        per_word_hops: f64,
+        used: usize,
+        carried: usize,
+        to_memory: bool,
+    ) {
+        debug_assert!(used <= carried);
+        let (used_bucket, waste_bucket) = if to_memory {
+            (TrafficBucket::WbMemUsed, TrafficBucket::WbMemWaste)
+        } else {
+            (TrafficBucket::WbL2Used, TrafficBucket::WbL2Waste)
+        };
+        self.net.traffic.add(
+            MessageClass::Writeback,
+            used_bucket,
+            per_word_hops * used as f64,
+        );
+        self.net.traffic.add(
+            MessageClass::Writeback,
+            waste_bucket,
+            per_word_hops * (carried - used) as f64,
+        );
+    }
+}
+
+/// One protocol family's transaction behavior.
+///
+/// Executors are stateless (all mutable state lives in the [`Engine`]), so a
+/// single `&'static` instance serves every concurrent simulation. The
+/// [`ProtocolKind`] carried by the engine's config selects the per-variant
+/// feature predicates inside a family; the registry maps every variant to
+/// its family executor.
+pub(crate) trait ProtocolExecutor: Sync {
+    /// The family name (stable, used by the registry round-trip).
+    fn family(&self) -> &'static str;
+
+    /// Services one load, returning the cycle the core may proceed.
+    fn load(
+        &self,
+        eng: &mut Engine<'_>,
+        core: usize,
+        addr: Addr,
+        region: RegionId,
+        now: Cycle,
+    ) -> Cycle;
+
+    /// Services one store, returning the cycle the core may proceed.
+    fn store(
+        &self,
+        eng: &mut Engine<'_>,
+        core: usize,
+        addr: Addr,
+        region: RegionId,
+        now: Cycle,
+    ) -> Cycle;
+
+    /// Protocol actions at a barrier release (self-invalidation, table
+    /// drains, ...). The default is no action.
+    fn barrier_released(&self, eng: &mut Engine<'_>, at: Cycle) {
+        let _ = (eng, at);
+    }
+
+    /// Protocol actions at the end of the run, before profilers are drained.
+    /// The default is no action.
+    fn finish(&self, eng: &mut Engine<'_>, at: Cycle) {
+        let _ = (eng, at);
+    }
+}
+
+impl std::fmt::Debug for dyn ProtocolExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProtocolExecutor({})", self.family())
+    }
+}
+
+/// One row of the protocol registry.
+pub(crate) struct RegistryEntry {
+    /// The protocol variant.
+    pub(crate) kind: ProtocolKind,
+    /// The executor servicing it.
+    pub(crate) executor: &'static dyn ProtocolExecutor,
+}
+
+static MESI_EXECUTOR: super::exec_mesi::MesiExecutor = super::exec_mesi::MesiExecutor;
+static DENOVO_EXECUTOR: super::exec_denovo::DenovoExecutor = super::exec_denovo::DenovoExecutor;
+
+/// Every protocol variant of the paper mapped to its executor, in figure
+/// order. This is the single place protocol dispatch is decided; `sim.rs`
+/// never branches on the protocol family.
+pub(crate) static REGISTRY: [RegistryEntry; 9] = [
+    RegistryEntry {
+        kind: ProtocolKind::Mesi,
+        executor: &MESI_EXECUTOR,
+    },
+    RegistryEntry {
+        kind: ProtocolKind::MMemL1,
+        executor: &MESI_EXECUTOR,
+    },
+    RegistryEntry {
+        kind: ProtocolKind::DeNovo,
+        executor: &DENOVO_EXECUTOR,
+    },
+    RegistryEntry {
+        kind: ProtocolKind::DFlexL1,
+        executor: &DENOVO_EXECUTOR,
+    },
+    RegistryEntry {
+        kind: ProtocolKind::DValidateL2,
+        executor: &DENOVO_EXECUTOR,
+    },
+    RegistryEntry {
+        kind: ProtocolKind::DMemL1,
+        executor: &DENOVO_EXECUTOR,
+    },
+    RegistryEntry {
+        kind: ProtocolKind::DFlexL2,
+        executor: &DENOVO_EXECUTOR,
+    },
+    RegistryEntry {
+        kind: ProtocolKind::DBypL2,
+        executor: &DENOVO_EXECUTOR,
+    },
+    RegistryEntry {
+        kind: ProtocolKind::DBypFull,
+        executor: &DENOVO_EXECUTOR,
+    },
+];
+
+/// Resolves a protocol variant to its executor.
+///
+/// # Panics
+///
+/// Panics if `kind` has no registry row — adding a [`ProtocolKind`] variant
+/// without registering an executor is a bug the registry unit test catches.
+pub(crate) fn executor_for(kind: ProtocolKind) -> &'static dyn ProtocolExecutor {
+    REGISTRY
+        .iter()
+        .find(|e| e.kind == kind)
+        .unwrap_or_else(|| panic!("no executor registered for {kind}"))
+        .executor
+}
+
+/// Resolves a protocol by its figure name (`ProtocolKind::name`), the
+/// inverse direction of the registry.
+pub(crate) fn kind_by_name(name: &str) -> Option<ProtocolKind> {
+    REGISTRY
+        .iter()
+        .map(|e| e.kind)
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_protocol_resolves_to_an_executor() {
+        for &kind in &ProtocolKind::ALL {
+            let exec = executor_for(kind);
+            let family = exec.family();
+            if kind.is_mesi() {
+                assert_eq!(family, "MESI", "{kind} must resolve to the MESI family");
+            } else {
+                assert_eq!(family, "DeNovo", "{kind} must resolve to the DeNovo family");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_round_trips_every_name() {
+        for &kind in &ProtocolKind::ALL {
+            assert_eq!(
+                kind_by_name(kind.name()),
+                Some(kind),
+                "{kind} must be recoverable from its name"
+            );
+            // Case-insensitive, matching the CLI parsers.
+            assert_eq!(kind_by_name(&kind.name().to_lowercase()), Some(kind));
+        }
+        assert_eq!(kind_by_name("NotAProtocol"), None);
+    }
+
+    #[test]
+    fn registry_covers_all_variants_exactly_once() {
+        assert_eq!(REGISTRY.len(), ProtocolKind::ALL.len());
+        for &kind in &ProtocolKind::ALL {
+            assert_eq!(
+                REGISTRY.iter().filter(|e| e.kind == kind).count(),
+                1,
+                "{kind} must appear exactly once in the registry"
+            );
+        }
+    }
+}

@@ -1,14 +1,57 @@
-//! DeNovo transaction execution (all seven DeNovo configurations).
+//! DeNovo transaction execution (all seven DeNovo configurations), behind
+//! the [`ProtocolExecutor`] trait. All machine state lives in the shared
+//! [`Engine`]; this file contains only the DeNovo-family transaction logic.
 
-use super::Simulator;
+use super::engine::{Engine, ProtocolExecutor};
 use crate::machine::{L1Meta, L2Meta};
 use crate::timing::TimeClass;
 use tw_mem::LineEntry;
 use tw_protocols::{flex_fetch_plan, DenovoL1Line, DenovoL2Line, DenovoWordState, FlexPlan};
 use tw_types::{
-    Addr, CoreId, Cycle, LineAddr, MessageClass, MessageKind, RegionId, TileId, TrafficBucket,
-    WordMask,
+    Addr, CoreId, Cycle, LineAddr, MessageClass, MessageKind, RegionId, TileId, WordMask,
 };
+
+/// Executor for the DeNovo protocol family (`DeNovo` through `DBypFull`).
+pub(crate) struct DenovoExecutor;
+
+impl ProtocolExecutor for DenovoExecutor {
+    fn family(&self) -> &'static str {
+        "DeNovo"
+    }
+
+    fn load(
+        &self,
+        eng: &mut Engine<'_>,
+        core: usize,
+        addr: Addr,
+        region: RegionId,
+        now: Cycle,
+    ) -> Cycle {
+        eng.denovo_load(core, addr, region, now)
+    }
+
+    fn store(
+        &self,
+        eng: &mut Engine<'_>,
+        core: usize,
+        addr: Addr,
+        region: RegionId,
+        now: Cycle,
+    ) -> Cycle {
+        eng.denovo_store(core, addr, region, now)
+    }
+
+    fn barrier_released(&self, eng: &mut Engine<'_>, at: Cycle) {
+        eng.denovo_barrier_actions(at);
+    }
+
+    fn finish(&self, eng: &mut Engine<'_>, at: Cycle) {
+        // Flush any still-pending registrations so their traffic is
+        // accounted (the paper's measurement period ends at a barrier, where
+        // the write-combining table would have drained anyway).
+        eng.denovo_barrier_actions(at);
+    }
+}
 
 /// How one cache line of a fetch plan was served.
 #[derive(Debug, Clone, Copy)]
@@ -18,7 +61,7 @@ struct LineService {
     dram_done: Option<Cycle>,
 }
 
-impl Simulator<'_> {
+impl Engine<'_> {
     fn denovo_l1_line(&self, core: usize, line: LineAddr) -> Option<&DenovoL1Line> {
         match self.tiles[core].l1.peek(line).map(|e| &e.meta) {
             Some(L1Meta::Denovo(l)) => Some(l),
@@ -34,7 +77,7 @@ impl Simulator<'_> {
     }
 
     /// Executes a load under any DeNovo configuration.
-    pub(crate) fn denovo_load(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
+    fn denovo_load(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
         let lb = self.line_bytes();
         let line = LineAddr::containing(addr, lb);
         let l1_hit_cycles = self.system().timing.l1_hit_cycles;
@@ -53,8 +96,8 @@ impl Simulator<'_> {
         } else {
             FlexPlan::whole_line(addr, lb)
         };
-        let bypass = self.protocol().l2_response_bypass()
-            && self.workload.regions.bypasses_l2(region);
+        let bypass =
+            self.protocol().l2_response_bypass() && self.workload.regions.bypasses_l2(region);
 
         // L2 request bypass: consult the Bloom shadow and, when it says the
         // line cannot be dirty on chip, go straight to the memory controller.
@@ -63,9 +106,17 @@ impl Simulator<'_> {
         if self.protocol().l2_request_bypass() && bypass {
             let home = self.home_of(line);
             if !self.tiles[core].l1_bloom[home.0].has_copy_for(line) {
-                let rq = self.net.send(TileId(core), home, MessageKind::BloomCopyReq, 0, now);
+                let rq = self
+                    .net
+                    .send(TileId(core), home, MessageKind::BloomCopyReq, 0, now);
                 let words = self.system().cache.words_per_line();
-                let rs = self.net.send(home, TileId(core), MessageKind::BloomCopyResp, words, rq.arrival + 1);
+                let rs = self.net.send(
+                    home,
+                    TileId(core),
+                    MessageKind::BloomCopyResp,
+                    words,
+                    rq.arrival + 1,
+                );
                 self.install_bloom_copy(core, home.0, line);
                 t_start = rs.arrival;
             }
@@ -143,7 +194,6 @@ impl Simulator<'_> {
         direct_to_mc: bool,
         now: Cycle,
     ) -> LineService {
-        let lb = self.line_bytes();
         let me = TileId(core);
         let home = self.home_of(line);
         let occupancy = self.system().timing.l2_occupancy_cycles;
@@ -197,20 +247,50 @@ impl Simulator<'_> {
         // Words the L2 itself holds.
         if !at_l2.is_empty() {
             self.tiles[home.0].l2.get(line);
-            let d = self.net.send(home, me, MessageKind::DataToL1, at_l2.count(), t_home + l2_hit);
+            let d = self.net.send(
+                home,
+                me,
+                MessageKind::DataToL1,
+                at_l2.count(),
+                t_home + l2_hit,
+            );
             for w in at_l2.iter() {
                 self.l2_prof.loaded(line.word_addr(w));
             }
-            self.denovo_fill_l1(core, line, region, at_l2, MessageClass::Load, d.per_word_hops, d.arrival);
+            self.denovo_fill_l1(
+                core,
+                line,
+                region,
+                at_l2,
+                MessageClass::Load,
+                d.per_word_hops,
+                d.arrival,
+            );
             arrival = arrival.max(d.arrival);
         }
 
         // Words registered to other cores: the L2 forwards the request and the
         // owner responds directly (no sharer list, no unblock).
         for (owner, mask) in by_owner {
-            let fwd = self.net.send(home, owner.tile(), MessageKind::LoadReq, 0, t_home);
-            let d = self.net.send(owner.tile(), me, MessageKind::DataToL1, mask.count(), fwd.arrival + 1);
-            self.denovo_fill_l1(core, line, region, mask, MessageClass::Load, d.per_word_hops, d.arrival);
+            let fwd = self
+                .net
+                .send(home, owner.tile(), MessageKind::LoadReq, 0, t_home);
+            let d = self.net.send(
+                owner.tile(),
+                me,
+                MessageKind::DataToL1,
+                mask.count(),
+                fwd.arrival + 1,
+            );
+            self.denovo_fill_l1(
+                core,
+                line,
+                region,
+                mask,
+                MessageClass::Load,
+                d.per_word_hops,
+                d.arrival,
+            );
             arrival = arrival.max(d.arrival);
         }
 
@@ -241,34 +321,81 @@ impl Simulator<'_> {
             }
 
             let fill_l2 = !bypass;
-            let l2_present = self.tiles[home.0].l2.peek(line).map(|e| !e.valid.is_empty()).unwrap_or(false);
+            let l2_present = self.tiles[home.0]
+                .l2
+                .peek(line)
+                .map(|e| !e.valid.is_empty())
+                .unwrap_or(false);
 
             if mem_to_l1 || direct_to_mc {
-                let d = self.net.send(mc, me, MessageKind::MemDataToL1, sent.count(), done);
+                let d = self
+                    .net
+                    .send(mc, me, MessageKind::MemDataToL1, sent.count(), done);
                 for w in sent.iter() {
-                    self.mem_prof.fetched(line.word_addr(w), l2_present, d.per_word_hops);
+                    self.mem_prof
+                        .fetched(line.word_addr(w), l2_present, d.per_word_hops);
                 }
-                self.denovo_fill_l1(core, line, region, sent, MessageClass::Load, d.per_word_hops, d.arrival);
+                self.denovo_fill_l1(
+                    core,
+                    line,
+                    region,
+                    sent,
+                    MessageClass::Load,
+                    d.per_word_hops,
+                    d.arrival,
+                );
                 arrival = arrival.max(d.arrival);
                 if fill_l2 {
-                    let d2 = self.net.send(mc, home, MessageKind::DataToL2, sent.count(), done);
-                    self.denovo_fill_l2(home, line, sent, MessageClass::Load, d2.per_word_hops, d2.arrival);
+                    let d2 = self
+                        .net
+                        .send(mc, home, MessageKind::DataToL2, sent.count(), done);
+                    self.denovo_fill_l2(
+                        home,
+                        line,
+                        sent,
+                        MessageClass::Load,
+                        d2.per_word_hops,
+                        d2.arrival,
+                    );
                 }
             } else {
-                let d2 = self.net.send(mc, home, MessageKind::DataToL2, sent.count(), done);
+                let d2 = self
+                    .net
+                    .send(mc, home, MessageKind::DataToL2, sent.count(), done);
                 for w in sent.iter() {
-                    self.mem_prof.fetched(line.word_addr(w), l2_present, d2.per_word_hops);
+                    self.mem_prof
+                        .fetched(line.word_addr(w), l2_present, d2.per_word_hops);
                 }
                 if fill_l2 {
-                    self.denovo_fill_l2(home, line, sent, MessageClass::Load, d2.per_word_hops, d2.arrival);
+                    self.denovo_fill_l2(
+                        home,
+                        line,
+                        sent,
+                        MessageClass::Load,
+                        d2.per_word_hops,
+                        d2.arrival,
+                    );
                 }
-                let d1 = self.net.send(home, me, MessageKind::DataToL1, sent.count(), d2.arrival + l2_hit);
-                self.denovo_fill_l1(core, line, region, sent, MessageClass::Load, d1.per_word_hops, d1.arrival);
+                let d1 = self.net.send(
+                    home,
+                    me,
+                    MessageKind::DataToL1,
+                    sent.count(),
+                    d2.arrival + l2_hit,
+                );
+                self.denovo_fill_l1(
+                    core,
+                    line,
+                    region,
+                    sent,
+                    MessageClass::Load,
+                    d1.per_word_hops,
+                    d1.arrival,
+                );
                 arrival = arrival.max(d1.arrival);
             }
         }
 
-        let _ = lb;
         LineService {
             arrival,
             reached_mc: if is_demand { reached_mc } else { None },
@@ -279,7 +406,7 @@ impl Simulator<'_> {
     /// Executes a store under any DeNovo configuration. Writes are
     /// write-validate at the L1: the word is written locally and a
     /// registration request is coalesced in the write-combining table.
-    pub(crate) fn denovo_store(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
+    fn denovo_store(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
         let lb = self.line_bytes();
         let line = LineAddr::containing(addr, lb);
         let w = addr.word_in_line(lb);
@@ -323,7 +450,13 @@ impl Simulator<'_> {
 
     /// Sends one registration request for `words` of `line` (a flushed
     /// write-combining entry) and applies its effects at the home L2.
-    pub(crate) fn denovo_send_registration(&mut self, core: usize, line: LineAddr, words: WordMask, now: Cycle) {
+    fn denovo_send_registration(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        words: WordMask,
+        now: Cycle,
+    ) {
         if words.is_empty() {
             return;
         }
@@ -347,7 +480,8 @@ impl Simulator<'_> {
             e.valid = e.valid.difference(words);
         }
         for (word, prev) in displaced {
-            self.net.send(home, prev.tile(), MessageKind::Invalidation, 0, t_home);
+            self.net
+                .send(home, prev.tile(), MessageKind::Invalidation, 0, t_home);
             let addr = line.word_addr(word);
             if let Some(e) = self.tiles[prev.0].l1.get(line) {
                 if let L1Meta::Denovo(l) = &mut e.meta {
@@ -359,10 +493,12 @@ impl Simulator<'_> {
             self.l1_prof[prev.0].invalidated(addr);
         }
         self.tiles[home.0].l2_bloom.insert(line);
-        self.net.send(home, me, MessageKind::StoreAck, 0, t_home + 1);
+        self.net
+            .send(home, me, MessageKind::StoreAck, 0, t_home + 1);
     }
 
     /// Installs `words` of `line` into the requesting L1 as `Valid`.
+    #[allow(clippy::too_many_arguments)]
     fn denovo_fill_l1(
         &mut self,
         core: usize,
@@ -424,7 +560,8 @@ impl Simulator<'_> {
             .map(|m| m.valid_at_l2())
             .unwrap_or(WordMask::EMPTY);
         for w in words.iter() {
-            self.l2_prof.arrive(line.word_addr(w), present.contains(w), per_word_hops, class);
+            self.l2_prof
+                .arrive(line.word_addr(w), present.contains(w), per_word_hops, class);
         }
         if let Some(e) = self.tiles[home.0].l2.get(line) {
             if let L2Meta::Denovo(d) = &mut e.meta {
@@ -463,7 +600,8 @@ impl Simulator<'_> {
             let d = self.net.send(mc, home, MessageKind::DataToL2, wpl, done);
             for a in line.words(lb) {
                 self.mem_prof.fetched(a, false, d.per_word_hops);
-                self.l2_prof.arrive(a, false, d.per_word_hops, MessageClass::Store);
+                self.l2_prof
+                    .arrive(a, false, d.per_word_hops, MessageClass::Store);
             }
             if let Some(e) = self.tiles[home.0].l2.get(line) {
                 if let L2Meta::Denovo(dl) = &mut e.meta {
@@ -479,7 +617,7 @@ impl Simulator<'_> {
     /// Evicts an L1 line: registered (dirty) words are written back (and any
     /// still-pending registrations are folded into the same message); valid
     /// words are dropped silently.
-    pub(crate) fn denovo_evict_l1(&mut self, core: usize, victim: LineEntry<L1Meta>, at: Cycle) {
+    fn denovo_evict_l1(&mut self, core: usize, victim: LineEntry<L1Meta>, at: Cycle) {
         let L1Meta::Denovo(dl) = &victim.meta else {
             return;
         };
@@ -496,10 +634,11 @@ impl Simulator<'_> {
                 MessageKind::L1Writeback
             };
             let wb = self.net.send(me, home, kind, registered.count(), at);
-            self.net.traffic.add(
-                MessageClass::Writeback,
-                TrafficBucket::WbL2Used,
-                wb.per_word_hops * registered.count() as f64,
+            self.charge_writeback_data(
+                wb.per_word_hops,
+                registered.count(),
+                registered.count(),
+                false,
             );
             self.denovo_ensure_l2(home, victim.line, false, at);
             if let Some(e) = self.tiles[home.0].l2.get(victim.line) {
@@ -539,13 +678,16 @@ impl Simulator<'_> {
             .filter(|(_, m)| !m.is_empty())
             .collect();
         for (owner, mask) in owners {
-            self.net.send(home, owner.tile(), MessageKind::Invalidation, 0, at);
-            let wb = self.net.send(owner.tile(), home, MessageKind::L1Writeback, mask.count(), at + 1);
-            self.net.traffic.add(
-                MessageClass::Writeback,
-                TrafficBucket::WbL2Used,
-                wb.per_word_hops * mask.count() as f64,
+            self.net
+                .send(home, owner.tile(), MessageKind::Invalidation, 0, at);
+            let wb = self.net.send(
+                owner.tile(),
+                home,
+                MessageKind::L1Writeback,
+                mask.count(),
+                at + 1,
             );
+            self.charge_writeback_data(wb.per_word_hops, mask.count(), mask.count(), false);
             if let Some(e) = self.tiles[owner.0].l1.get(victim.line) {
                 if let L1Meta::Denovo(l) = &mut e.meta {
                     for w in mask.iter() {
@@ -566,17 +708,10 @@ impl Simulator<'_> {
                 wpl
             };
             let mc = self.mc_of(victim.line);
-            let wb = self.net.send(home, mc, MessageKind::MemWriteback, carried, at + 2);
-            self.net.traffic.add(
-                MessageClass::Writeback,
-                TrafficBucket::WbMemUsed,
-                wb.per_word_hops * dirty.count() as f64,
-            );
-            self.net.traffic.add(
-                MessageClass::Writeback,
-                TrafficBucket::WbMemWaste,
-                wb.per_word_hops * (carried - dirty.count()) as f64,
-            );
+            let wb = self
+                .net
+                .send(home, mc, MessageKind::MemWriteback, carried, at + 2);
+            self.charge_writeback_data(wb.per_word_hops, dirty.count(), carried, true);
             self.dram_access(mc, victim.line, true, wb.arrival);
         }
 
@@ -590,7 +725,7 @@ impl Simulator<'_> {
 
     /// Barrier-time protocol actions: drain the write-combining tables,
     /// self-invalidate stale valid words, and clear the L1 Bloom shadows.
-    pub(crate) fn denovo_barrier_actions(&mut self, at: Cycle) {
+    fn denovo_barrier_actions(&mut self, at: Cycle) {
         let cores = self.tiles.len();
         for core in 0..cores {
             let flushed = self.tiles[core].write_combine.release_all();

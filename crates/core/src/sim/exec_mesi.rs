@@ -1,16 +1,51 @@
-//! MESI transaction execution (baseline MESI and MMemL1).
+//! MESI transaction execution (baseline MESI and MMemL1), behind the
+//! [`ProtocolExecutor`] trait. All machine state lives in the shared
+//! [`Engine`]; this file contains only the MESI-family transaction logic.
 
-use super::Simulator;
+use super::engine::{Engine, ProtocolExecutor};
 use crate::machine::{L1Meta, L2Meta};
 use crate::timing::TimeClass;
 use tw_mem::LineEntry;
 use tw_protocols::{DirectoryEntry, MesiState};
 use tw_types::{
-    Addr, CoreId, Cycle, LineAddr, MessageClass, MessageKind, RegionId, TileId, TrafficBucket,
-    WordMask,
+    Addr, CoreId, Cycle, LineAddr, MessageClass, MessageKind, RegionId, TileId, WordMask,
 };
 
-impl Simulator<'_> {
+/// Executor for the MESI protocol family (`Mesi`, `MMemL1`).
+pub(crate) struct MesiExecutor;
+
+impl ProtocolExecutor for MesiExecutor {
+    fn family(&self) -> &'static str {
+        "MESI"
+    }
+
+    fn load(
+        &self,
+        eng: &mut Engine<'_>,
+        core: usize,
+        addr: Addr,
+        region: RegionId,
+        now: Cycle,
+    ) -> Cycle {
+        eng.mesi_load(core, addr, region, now)
+    }
+
+    fn store(
+        &self,
+        eng: &mut Engine<'_>,
+        core: usize,
+        addr: Addr,
+        region: RegionId,
+        now: Cycle,
+    ) -> Cycle {
+        eng.mesi_store(core, addr, region, now)
+    }
+
+    // MESI has no barrier-time or end-of-run protocol actions: the directory
+    // is kept coherent transaction by transaction.
+}
+
+impl Engine<'_> {
     fn mesi_dir(&self, home: TileId, line: LineAddr) -> DirectoryEntry {
         match self.tiles[home.0].l2.peek(line).map(|e| &e.meta) {
             Some(L2Meta::Mesi(d)) => *d,
@@ -33,7 +68,7 @@ impl Simulator<'_> {
 
     /// Executes a load under MESI/MMemL1, returning the cycle at which the
     /// core may proceed.
-    pub(crate) fn mesi_load(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
+    fn mesi_load(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
         let lb = self.line_bytes();
         let line = LineAddr::containing(addr, lb);
         let l1_hit_cycles = self.system().timing.l1_hit_cycles;
@@ -69,7 +104,9 @@ impl Simulator<'_> {
             let delivery = if let Some(owner) = prev_owner {
                 // Forward to the exclusive owner; it supplies the data and, if
                 // dirty, writes back to the L2 while downgrading to Shared.
-                let fwd = self.net.send(home, owner.tile(), MessageKind::Invalidation, 0, t_home);
+                let fwd = self
+                    .net
+                    .send(home, owner.tile(), MessageKind::Invalidation, 0, t_home);
                 let t_owner = fwd.arrival + 1;
                 let dirty = self.tiles[owner.0]
                     .l1
@@ -84,37 +121,55 @@ impl Simulator<'_> {
                 }
                 if !dirty.is_empty() {
                     let wpl = self.system().cache.words_per_line();
-                    let wb = self.net.send(owner.tile(), home, MessageKind::L1Writeback, wpl, t_owner);
-                    self.net.traffic.add(
-                        MessageClass::Writeback,
-                        TrafficBucket::WbL2Used,
-                        wb.per_word_hops * dirty.count() as f64,
-                    );
-                    self.net.traffic.add(
-                        MessageClass::Writeback,
-                        TrafficBucket::WbL2Waste,
-                        wb.per_word_hops * (wpl - dirty.count()) as f64,
-                    );
+                    let wb =
+                        self.net
+                            .send(owner.tile(), home, MessageKind::L1Writeback, wpl, t_owner);
+                    self.charge_writeback_data(wb.per_word_hops, dirty.count(), wpl, false);
                     if let Some(le) = self.tiles[home.0].l2.get(line) {
                         le.dirty = le.dirty.union(dirty);
                         le.valid = WordMask::FULL;
                     }
                 }
-                self.net.send(owner.tile(), me, MessageKind::DataToL1, self.system().cache.words_per_line(), t_owner)
+                self.net.send(
+                    owner.tile(),
+                    me,
+                    MessageKind::DataToL1,
+                    self.system().cache.words_per_line(),
+                    t_owner,
+                )
             } else {
                 // Serve straight from the L2 slice.
                 for a in line.words(lb) {
                     self.l2_prof.loaded(a);
                 }
                 self.tiles[home.0].l2.get(line); // refresh LRU
-                self.net.send(home, me, MessageKind::DataToL1, self.system().cache.words_per_line(), t_home + l2_hit)
+                self.net.send(
+                    home,
+                    me,
+                    MessageKind::DataToL1,
+                    self.system().cache.words_per_line(),
+                    t_home + l2_hit,
+                )
             };
 
             self.set_mesi_dir(home, line, dir);
-            self.net.send(me, home, MessageKind::DirUnblock, 0, delivery.arrival);
+            self.net
+                .send(me, home, MessageKind::DirUnblock, 0, delivery.arrival);
 
-            let state = if exclusive { MesiState::Exclusive } else { MesiState::Shared };
-            self.mesi_fill_l1(core, line, region, state, MessageClass::Load, delivery.per_word_hops, delivery.arrival);
+            let state = if exclusive {
+                MesiState::Exclusive
+            } else {
+                MesiState::Shared
+            };
+            self.mesi_fill_l1(
+                core,
+                line,
+                region,
+                state,
+                MessageClass::Load,
+                delivery.per_word_hops,
+                delivery.arrival,
+            );
             self.l1_prof[core].loaded(addr);
             self.mem_prof.loaded(addr);
             self.time[core].add(TimeClass::OnChipHit, delivery.arrival - now);
@@ -129,23 +184,34 @@ impl Simulator<'_> {
             let (arrival, per_word_to_l1) = if self.protocol().mem_to_l1() {
                 // MMemL1: data goes straight to the L1, which forwards it to
                 // the (inclusive) L2 as an unblock+data message.
-                let d = self.net.send(mc, me, MessageKind::MemDataToL1, wpl, dram_done);
+                let d = self
+                    .net
+                    .send(mc, me, MessageKind::MemDataToL1, wpl, dram_done);
                 for a in line.words(lb) {
                     self.mem_prof.fetched(a, false, d.per_word_hops);
                 }
-                let ub = self.net.send(me, home, MessageKind::DirUnblockWithData, wpl, d.arrival);
+                let ub = self
+                    .net
+                    .send(me, home, MessageKind::DirUnblockWithData, wpl, d.arrival);
                 for a in line.words(lb) {
-                    self.l2_prof.arrive(a, false, ub.per_word_hops, MessageClass::Load);
+                    self.l2_prof
+                        .arrive(a, false, ub.per_word_hops, MessageClass::Load);
                 }
                 (d.arrival, d.per_word_hops)
             } else {
-                let d2 = self.net.send(mc, home, MessageKind::DataToL2, wpl, dram_done);
+                let d2 = self
+                    .net
+                    .send(mc, home, MessageKind::DataToL2, wpl, dram_done);
                 for a in line.words(lb) {
                     self.mem_prof.fetched(a, false, d2.per_word_hops);
-                    self.l2_prof.arrive(a, false, d2.per_word_hops, MessageClass::Load);
+                    self.l2_prof
+                        .arrive(a, false, d2.per_word_hops, MessageClass::Load);
                 }
-                let d1 = self.net.send(home, me, MessageKind::DataToL1, wpl, d2.arrival + l2_hit);
-                self.net.send(me, home, MessageKind::DirUnblock, 0, d1.arrival);
+                let d1 = self
+                    .net
+                    .send(home, me, MessageKind::DataToL1, wpl, d2.arrival + l2_hit);
+                self.net
+                    .send(me, home, MessageKind::DirUnblock, 0, d1.arrival);
                 (d1.arrival, d1.per_word_hops)
             };
 
@@ -154,8 +220,20 @@ impl Simulator<'_> {
             dir.record_read(CoreId(core));
             self.mesi_allocate_l2(home, line, dir, WordMask::FULL, now);
 
-            let state = if exclusive { MesiState::Exclusive } else { MesiState::Shared };
-            self.mesi_fill_l1(core, line, region, state, MessageClass::Load, per_word_to_l1, arrival);
+            let state = if exclusive {
+                MesiState::Exclusive
+            } else {
+                MesiState::Shared
+            };
+            self.mesi_fill_l1(
+                core,
+                line,
+                region,
+                state,
+                MessageClass::Load,
+                per_word_to_l1,
+                arrival,
+            );
             self.l1_prof[core].loaded(addr);
             self.mem_prof.loaded(addr);
 
@@ -168,7 +246,7 @@ impl Simulator<'_> {
 
     /// Executes a store under MESI/MMemL1. Stores retire into the
     /// non-blocking write buffer, so the core is charged only one busy cycle.
-    pub(crate) fn mesi_store(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
+    fn mesi_store(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
         let lb = self.line_bytes();
         let line = LineAddr::containing(addr, lb);
         let w = addr.word_in_line(lb);
@@ -200,8 +278,10 @@ impl Simulator<'_> {
                 let (_prev_owner, invalidated) = dir.record_write(CoreId(core));
                 self.mesi_invalidate_sharers(home, line, &invalidated, t_home);
                 self.set_mesi_dir(home, line, dir);
-                self.net.send(home, me, MessageKind::StoreAck, 0, t_home + 1);
-                self.net.send(me, home, MessageKind::DirUnblock, 0, t_home + 2);
+                self.net
+                    .send(home, me, MessageKind::StoreAck, 0, t_home + 1);
+                self.net
+                    .send(me, home, MessageKind::DirUnblock, 0, t_home + 2);
                 if let Some(e) = self.tiles[core].l1.get(line) {
                     if let L1Meta::Mesi { state, .. } = &mut e.meta {
                         *state = MesiState::Modified;
@@ -230,7 +310,9 @@ impl Simulator<'_> {
 
                     let delivery = if let Some(owner) = prev_owner {
                         // Owner transfers the (possibly dirty) line directly.
-                        let fwd = self.net.send(home, owner.tile(), MessageKind::Invalidation, 0, t_home);
+                        let fwd =
+                            self.net
+                                .send(home, owner.tile(), MessageKind::Invalidation, 0, t_home);
                         let t_owner = fwd.arrival + 1;
                         let removed = self.tiles[owner.0].l1.remove(line);
                         if let Some(victim) = &removed {
@@ -238,17 +320,28 @@ impl Simulator<'_> {
                                 self.l1_prof[owner.0].invalidated(line.word_addr(word));
                             }
                         }
-                        self.net.send(owner.tile(), me, MessageKind::DataToL1, wpl, t_owner)
+                        self.net
+                            .send(owner.tile(), me, MessageKind::DataToL1, wpl, t_owner)
                     } else {
                         for a in line.words(lb) {
                             self.l2_prof.loaded(a);
                         }
                         self.tiles[home.0].l2.get(line);
-                        self.net.send(home, me, MessageKind::DataToL1, wpl, t_home + 1)
+                        self.net
+                            .send(home, me, MessageKind::DataToL1, wpl, t_home + 1)
                     };
                     self.set_mesi_dir(home, line, dir);
-                    self.net.send(me, home, MessageKind::DirUnblock, 0, delivery.arrival);
-                    self.mesi_fill_l1(core, line, region, MesiState::Modified, MessageClass::Store, delivery.per_word_hops, delivery.arrival);
+                    self.net
+                        .send(me, home, MessageKind::DirUnblock, 0, delivery.arrival);
+                    self.mesi_fill_l1(
+                        core,
+                        line,
+                        region,
+                        MesiState::Modified,
+                        MessageClass::Store,
+                        delivery.per_word_hops,
+                        delivery.arrival,
+                    );
                 } else {
                     // Write miss that also misses the L2.
                     let mc = self.mc_of(line);
@@ -261,23 +354,48 @@ impl Simulator<'_> {
                         // MMemL1: the line goes only to the L1 — the eventual
                         // writeback will overwrite whatever the L2 would have
                         // cached, so nothing is forwarded there.
-                        let d = self.net.send(mc, me, MessageKind::MemDataToL1, wpl, dram_done);
+                        let d = self
+                            .net
+                            .send(mc, me, MessageKind::MemDataToL1, wpl, dram_done);
                         for a in line.words(lb) {
                             self.mem_prof.fetched(a, false, d.per_word_hops);
                         }
-                        self.net.send(me, home, MessageKind::DirUnblock, 0, d.arrival);
+                        self.net
+                            .send(me, home, MessageKind::DirUnblock, 0, d.arrival);
                         self.mesi_allocate_l2(home, line, dir, WordMask::EMPTY, now);
-                        self.mesi_fill_l1(core, line, region, MesiState::Modified, MessageClass::Store, d.per_word_hops, d.arrival);
+                        self.mesi_fill_l1(
+                            core,
+                            line,
+                            region,
+                            MesiState::Modified,
+                            MessageClass::Store,
+                            d.per_word_hops,
+                            d.arrival,
+                        );
                     } else {
-                        let d2 = self.net.send(mc, home, MessageKind::DataToL2, wpl, dram_done);
+                        let d2 = self
+                            .net
+                            .send(mc, home, MessageKind::DataToL2, wpl, dram_done);
                         for a in line.words(lb) {
                             self.mem_prof.fetched(a, false, d2.per_word_hops);
-                            self.l2_prof.arrive(a, false, d2.per_word_hops, MessageClass::Store);
+                            self.l2_prof
+                                .arrive(a, false, d2.per_word_hops, MessageClass::Store);
                         }
-                        let d1 = self.net.send(home, me, MessageKind::DataToL1, wpl, d2.arrival + 1);
-                        self.net.send(me, home, MessageKind::DirUnblock, 0, d1.arrival);
+                        let d1 =
+                            self.net
+                                .send(home, me, MessageKind::DataToL1, wpl, d2.arrival + 1);
+                        self.net
+                            .send(me, home, MessageKind::DirUnblock, 0, d1.arrival);
                         self.mesi_allocate_l2(home, line, dir, WordMask::FULL, now);
-                        self.mesi_fill_l1(core, line, region, MesiState::Modified, MessageClass::Store, d1.per_word_hops, d1.arrival);
+                        self.mesi_fill_l1(
+                            core,
+                            line,
+                            region,
+                            MesiState::Modified,
+                            MessageClass::Store,
+                            d1.per_word_hops,
+                            d1.arrival,
+                        );
                     }
                 }
 
@@ -294,10 +412,18 @@ impl Simulator<'_> {
 
     /// Sends invalidations (and collects acks) for a set of sharers, removing
     /// their copies.
-    fn mesi_invalidate_sharers(&mut self, home: TileId, line: LineAddr, sharers: &[CoreId], at: Cycle) {
+    fn mesi_invalidate_sharers(
+        &mut self,
+        home: TileId,
+        line: LineAddr,
+        sharers: &[CoreId],
+        at: Cycle,
+    ) {
         for s in sharers {
-            self.net.send(home, s.tile(), MessageKind::Invalidation, 0, at);
-            self.net.send(s.tile(), home, MessageKind::InvAck, 0, at + 1);
+            self.net
+                .send(home, s.tile(), MessageKind::Invalidation, 0, at);
+            self.net
+                .send(s.tile(), home, MessageKind::InvAck, 0, at + 1);
             if let Some(victim) = self.tiles[s.0].l1.remove(line) {
                 for w in victim.valid.iter() {
                     self.l1_prof[s.0].invalidated(line.word_addr(w));
@@ -307,6 +433,7 @@ impl Simulator<'_> {
     }
 
     /// Installs a full line into an L1, handling the eviction of the victim.
+    #[allow(clippy::too_many_arguments)]
     fn mesi_fill_l1(
         &mut self,
         core: usize,
@@ -342,7 +469,7 @@ impl Simulator<'_> {
 
     /// Handles the eviction of an L1 line: dirty lines write back data, clean
     /// lines notify the directory with a control message.
-    pub(crate) fn mesi_evict_l1(&mut self, core: usize, victim: LineEntry<L1Meta>, at: Cycle) {
+    fn mesi_evict_l1(&mut self, core: usize, victim: LineEntry<L1Meta>, at: Cycle) {
         let L1Meta::Mesi { state, .. } = victim.meta else {
             return;
         };
@@ -353,23 +480,15 @@ impl Simulator<'_> {
         match state {
             MesiState::Modified => {
                 let wb = self.net.send(me, home, MessageKind::L1Writeback, wpl, at);
-                self.net.traffic.add(
-                    MessageClass::Writeback,
-                    TrafficBucket::WbL2Used,
-                    wb.per_word_hops * victim.dirty.count() as f64,
-                );
-                self.net.traffic.add(
-                    MessageClass::Writeback,
-                    TrafficBucket::WbL2Waste,
-                    wb.per_word_hops * (wpl - victim.dirty.count()) as f64,
-                );
+                self.charge_writeback_data(wb.per_word_hops, victim.dirty.count(), wpl, false);
                 if let Some(le) = self.tiles[home.0].l2.get(victim.line) {
                     le.dirty = le.dirty.union(victim.dirty);
                     le.valid = WordMask::FULL;
                 }
             }
             MesiState::Exclusive | MesiState::Shared => {
-                self.net.send(me, home, MessageKind::CleanWritebackCtl, 0, at);
+                self.net
+                    .send(me, home, MessageKind::CleanWritebackCtl, 0, at);
             }
             MesiState::Invalid => {}
         }
@@ -384,7 +503,14 @@ impl Simulator<'_> {
 
     /// Ensures an L2 entry exists for `line`, evicting (and recalling) a
     /// victim if needed.
-    fn mesi_allocate_l2(&mut self, home: TileId, line: LineAddr, dir: DirectoryEntry, valid: WordMask, at: Cycle) {
+    fn mesi_allocate_l2(
+        &mut self,
+        home: TileId,
+        line: LineAddr,
+        dir: DirectoryEntry,
+        valid: WordMask,
+        at: Cycle,
+    ) {
         if !self.tiles[home.0].l2.contains(line) {
             let victim = self.tiles[home.0].l2.insert(line, L2Meta::Mesi(dir)).1;
             if let Some(v) = victim {
@@ -403,29 +529,23 @@ impl Simulator<'_> {
         let L2Meta::Mesi(dir) = victim.meta else {
             return;
         };
-        let lb = self.line_bytes();
         let wpl = self.system().cache.words_per_line();
         let mut dirty = victim.dirty;
 
         for holder in dir.holders() {
-            self.net.send(home, holder.tile(), MessageKind::Invalidation, 0, at);
-            self.net.send(holder.tile(), home, MessageKind::InvAck, 0, at + 1);
+            self.net
+                .send(home, holder.tile(), MessageKind::Invalidation, 0, at);
+            self.net
+                .send(holder.tile(), home, MessageKind::InvAck, 0, at + 1);
             if let Some(l1v) = self.tiles[holder.0].l1.remove(victim.line) {
                 for w in l1v.valid.iter() {
                     self.l1_prof[holder.0].invalidated(victim.line.word_addr(w));
                 }
                 if !l1v.dirty.is_empty() {
-                    let wb = self.net.send(holder.tile(), home, MessageKind::L1Writeback, wpl, at + 1);
-                    self.net.traffic.add(
-                        MessageClass::Writeback,
-                        TrafficBucket::WbL2Used,
-                        wb.per_word_hops * l1v.dirty.count() as f64,
-                    );
-                    self.net.traffic.add(
-                        MessageClass::Writeback,
-                        TrafficBucket::WbL2Waste,
-                        wb.per_word_hops * (wpl - l1v.dirty.count()) as f64,
-                    );
+                    let wb =
+                        self.net
+                            .send(holder.tile(), home, MessageKind::L1Writeback, wpl, at + 1);
+                    self.charge_writeback_data(wb.per_word_hops, l1v.dirty.count(), wpl, false);
                     dirty = dirty.union(l1v.dirty);
                 }
             }
@@ -433,17 +553,10 @@ impl Simulator<'_> {
 
         if !dirty.is_empty() {
             let mc = self.mc_of(victim.line);
-            let wb = self.net.send(home, mc, MessageKind::MemWriteback, wpl, at + 2);
-            self.net.traffic.add(
-                MessageClass::Writeback,
-                TrafficBucket::WbMemUsed,
-                wb.per_word_hops * dirty.count() as f64,
-            );
-            self.net.traffic.add(
-                MessageClass::Writeback,
-                TrafficBucket::WbMemWaste,
-                wb.per_word_hops * (wpl - dirty.count()) as f64,
-            );
+            let wb = self
+                .net
+                .send(home, mc, MessageKind::MemWriteback, wpl, at + 2);
+            self.charge_writeback_data(wb.per_word_hops, dirty.count(), wpl, true);
             self.dram_access(mc, victim.line, true, wb.arrival);
         }
 
@@ -452,6 +565,5 @@ impl Simulator<'_> {
             self.l2_prof.evicted(a);
             self.mem_prof.evicted(a);
         }
-        let _ = lb;
     }
 }

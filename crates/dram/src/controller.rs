@@ -152,7 +152,10 @@ mod tests {
     fn same_row_access_hits_open_row() {
         let mut m = mc();
         let t1 = m.access(line(0), false, 0);
-        assert!(m.would_row_hit(line(1)), "next line is in the same 8 KB row");
+        assert!(
+            m.would_row_hit(line(1)),
+            "next line is in the same 8 KB row"
+        );
         let t2 = m.access(line(1), false, t1);
         let cfg = m.config().clone();
         assert_eq!(t2 - t1, cfg.row_hit_cycles + cfg.burst_cycles);
@@ -171,7 +174,10 @@ mod tests {
         assert!(!m.would_row_hit(conflicting));
         m.access(conflicting, false, 0);
         assert_eq!(m.stats().row_misses, 2);
-        assert!(m.stats().queueing_cycles > 0, "second request queued behind first");
+        assert!(
+            m.stats().queueing_cycles > 0,
+            "second request queued behind first"
+        );
     }
 
     #[test]

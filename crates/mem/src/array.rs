@@ -90,7 +90,9 @@ impl<M> CacheArray<M> {
     /// Creates an empty array with the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
         CacheArray {
-            sets: (0..geom.sets()).map(|_| Vec::with_capacity(geom.ways)).collect(),
+            sets: (0..geom.sets())
+                .map(|_| Vec::with_capacity(geom.ways))
+                .collect(),
             index: HashMap::new(),
             geom,
             tick: 0,
@@ -137,9 +139,7 @@ impl<M> CacheArray<M> {
 
     /// Looks up a line and refreshes its LRU position.
     pub fn get(&mut self, line: LineAddr) -> Option<&mut LineEntry<M>> {
-        if self.peek(line).is_none() {
-            return None;
-        }
+        self.peek(line)?;
         let tick = self.bump();
         let set = self.geom.set_of(line);
         let entry = self.sets[set].iter_mut().find(|e| e.line == line)?;

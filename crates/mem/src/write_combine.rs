@@ -140,7 +140,10 @@ impl WriteCombineTable {
             .into_iter()
             .map(|l| {
                 self.flushes += 1;
-                (self.entries.remove(&l).expect("listed"), WriteFlush::Timeout)
+                (
+                    self.entries.remove(&l).expect("listed"),
+                    WriteFlush::Timeout,
+                )
             })
             .collect()
     }

@@ -63,7 +63,13 @@ impl CacheWasteProfiler {
     /// dirty data for the word; the arrival is then immediately classified as
     /// `Fetch` waste (paper §4.1) and the older instance keeps its pending
     /// state.
-    pub fn arrive(&mut self, addr: Addr, already_present: bool, flit_hops: f64, class: MessageClass) {
+    pub fn arrive(
+        &mut self,
+        addr: Addr,
+        already_present: bool,
+        flit_hops: f64,
+        class: MessageClass,
+    ) {
         let addr = addr.word_aligned();
         if already_present || self.pending.contains_key(&addr) {
             self.report.record(WasteCategory::Fetch, class, flit_hops);
@@ -97,7 +103,11 @@ impl CacheWasteProfiler {
     /// The coherence protocol invalidated the word before use (L1 only:
     /// MESI invalidation messages or DeNovo self-invalidation).
     pub fn invalidated(&mut self, addr: Addr) {
-        debug_assert_eq!(self.level, CacheLevel::L1, "L2 words are not invalidated in this study");
+        debug_assert_eq!(
+            self.level,
+            CacheLevel::L1,
+            "L2 words are not invalidated in this study"
+        );
         self.finalize(addr, WasteCategory::Invalidate);
     }
 

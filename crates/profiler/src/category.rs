@@ -115,7 +115,10 @@ impl WasteReport {
 
     /// Flit-hops spent moving words of `category` in responses of `class`.
     pub fn flit_hops(&self, class: MessageClass, category: WasteCategory) -> f64 {
-        self.flit_hops.get(&(class, category)).copied().unwrap_or(0.0)
+        self.flit_hops
+            .get(&(class, category))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Flit-hops spent on *used* words in responses of `class`.

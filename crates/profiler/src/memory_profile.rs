@@ -18,7 +18,6 @@ use tw_types::{Addr, MessageClass};
 
 #[derive(Debug, Clone, Copy)]
 struct Instance {
-    id: u64,
     flit_hops: f64,
 }
 
@@ -51,12 +50,13 @@ impl MemoryWasteProfiler {
         let id = self.next_id;
         self.next_id += 1;
         if l2_already_present {
-            self.report.record(WasteCategory::Fetch, MessageClass::Load, flit_hops);
+            self.report
+                .record(WasteCategory::Fetch, MessageClass::Load, flit_hops);
         } else {
             self.pending
                 .entry(addr)
                 .or_default()
-                .push(Instance { id, flit_hops });
+                .push(Instance { flit_hops });
         }
         id
     }
@@ -66,7 +66,8 @@ impl MemoryWasteProfiler {
     /// These words never enter the network, so they carry no flit-hops.
     pub fn dropped_at_controller(&mut self, addr: Addr) {
         let _ = addr;
-        self.report.record(WasteCategory::Excess, MessageClass::Load, 0.0);
+        self.report
+            .record(WasteCategory::Excess, MessageClass::Load, 0.0);
     }
 
     /// The program loaded the word: the most recent pending instance of the
@@ -119,8 +120,11 @@ impl MemoryWasteProfiler {
         let addr = addr.word_aligned();
         if let Some(list) = self.pending.get_mut(&addr) {
             if let Some(inst) = list.pop() {
-                self.report
-                    .record(WasteCategory::Invalidate, MessageClass::Load, inst.flit_hops);
+                self.report.record(
+                    WasteCategory::Invalidate,
+                    MessageClass::Load,
+                    inst.flit_hops,
+                );
             }
             if list.is_empty() {
                 self.pending.remove(&addr);

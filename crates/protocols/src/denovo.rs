@@ -290,7 +290,9 @@ mod tests {
         let words = WordMask::from_bits(0b1111);
         assert!(l2.register(words, CoreId(1)).is_empty());
         // Re-registration by the same core displaces nobody.
-        assert!(l2.register(WordMask::from_bits(0b0011), CoreId(1)).is_empty());
+        assert!(l2
+            .register(WordMask::from_bits(0b0011), CoreId(1))
+            .is_empty());
         // Another core registering two of the words displaces core 1 for them.
         let displaced = l2.register(WordMask::from_bits(0b0110), CoreId(2));
         assert_eq!(displaced.len(), 2);

@@ -120,7 +120,12 @@ mod tests {
             useful_offsets: useful,
         });
         t.insert(r);
-        t.insert(RegionInfo::plain(RegionId(2), "plain", Addr::new(0x20_0000), 1 << 20));
+        t.insert(RegionInfo::plain(
+            RegionId(2),
+            "plain",
+            Addr::new(0x20_0000),
+            1 << 20,
+        ));
         t
     }
 
@@ -165,8 +170,15 @@ mod tests {
         let plan = flex_fetch_plan(&t, Addr::new(0x1_0000), 64);
         assert_eq!(plan.total_words(), 24);
         let packets = plan.packets(&noc);
-        assert_eq!(packets, vec![16, 8], "24 words split into a full and a partial packet");
-        assert_eq!(FlexPlan::whole_line(Addr::new(0), 64).packets(&noc), vec![16]);
+        assert_eq!(
+            packets,
+            vec![16, 8],
+            "24 words split into a full and a partial packet"
+        );
+        assert_eq!(
+            FlexPlan::whole_line(Addr::new(0), 64).packets(&noc),
+            vec![16]
+        );
     }
 
     #[test]
@@ -175,10 +187,17 @@ mod tests {
         let plan = flex_fetch_plan(&t, Addr::new(0x1_0000), 64);
         // With a huge row everything stays; with a tiny 64-byte "row" only the
         // demanded line survives.
-        assert_eq!(plan.restrict_to_dram_row(Addr::new(0x1_0000), 64, 8192).line_count(), 2);
+        assert_eq!(
+            plan.restrict_to_dram_row(Addr::new(0x1_0000), 64, 8192)
+                .line_count(),
+            2
+        );
         let restricted = plan.restrict_to_dram_row(Addr::new(0x1_0000), 64, 64);
         assert_eq!(restricted.line_count(), 1);
-        assert_eq!(restricted.lines[0].0, LineAddr::containing(Addr::new(0x1_0000), 64));
+        assert_eq!(
+            restricted.lines[0].0,
+            LineAddr::containing(Addr::new(0x1_0000), 64)
+        );
     }
 
     #[test]

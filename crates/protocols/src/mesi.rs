@@ -280,7 +280,10 @@ mod tests {
     fn re_read_by_same_core_keeps_exclusivity_check_sane() {
         let mut d = DirectoryEntry::default();
         d.record_read(CoreId(6));
-        assert!(d.grants_exclusive(CoreId(6)), "sole sharer re-reading stays exclusive-eligible");
+        assert!(
+            d.grants_exclusive(CoreId(6)),
+            "sole sharer re-reading stays exclusive-eligible"
+        );
         assert!(!d.grants_exclusive(CoreId(0)));
     }
 }

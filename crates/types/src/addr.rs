@@ -44,7 +44,7 @@ impl Addr {
     ///
     /// Panics (in debug builds) if `line_bytes` is not a multiple of the word size.
     pub fn word_in_line(self, line_bytes: u64) -> WordIdx {
-        debug_assert!(line_bytes % WORD_BYTES == 0);
+        debug_assert!(line_bytes.is_multiple_of(WORD_BYTES));
         WordIdx(((self.0 % line_bytes) / WORD_BYTES) as u8)
     }
 

@@ -219,7 +219,9 @@ impl SystemConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         let c = &self.cache;
         if !c.line_bytes.is_power_of_two() || c.line_bytes < WORD_BYTES {
-            return Err(ConfigError::new("line_bytes must be a power of two ≥ word size"));
+            return Err(ConfigError::new(
+                "line_bytes must be a power of two ≥ word size",
+            ));
         }
         if c.line_bytes / WORD_BYTES > WORDS_PER_LINE as u64 {
             return Err(ConfigError::new(
@@ -229,20 +231,29 @@ impl SystemConfig {
         if c.l1_ways == 0 || c.l2_ways == 0 {
             return Err(ConfigError::new("associativity must be non-zero"));
         }
-        if c.l1_bytes % (c.line_bytes * c.l1_ways as u64) != 0 {
+        if !c.l1_bytes.is_multiple_of(c.line_bytes * c.l1_ways as u64) {
             return Err(ConfigError::new("L1 size must be a multiple of way size"));
         }
-        if c.l2_slice_bytes % (c.line_bytes * c.l2_ways as u64) != 0 {
-            return Err(ConfigError::new("L2 slice size must be a multiple of way size"));
+        if !c
+            .l2_slice_bytes
+            .is_multiple_of(c.line_bytes * c.l2_ways as u64)
+        {
+            return Err(ConfigError::new(
+                "L2 slice size must be a multiple of way size",
+            ));
         }
         if self.noc.cols < 2 || self.noc.rows < 2 {
             return Err(ConfigError::new("mesh must be at least 2x2"));
         }
-        if self.noc.link_bytes == 0 || self.noc.link_bytes % WORD_BYTES != 0 {
-            return Err(ConfigError::new("link width must be a multiple of the word size"));
+        if self.noc.link_bytes == 0 || !self.noc.link_bytes.is_multiple_of(WORD_BYTES) {
+            return Err(ConfigError::new(
+                "link width must be a multiple of the word size",
+            ));
         }
         if self.noc.max_data_flits == 0 {
-            return Err(ConfigError::new("packets must allow at least one data flit"));
+            return Err(ConfigError::new(
+                "packets must allow at least one data flit",
+            ));
         }
         if self.dram.controllers == 0 || self.dram.banks == 0 {
             return Err(ConfigError::new("DRAM must have controllers and banks"));

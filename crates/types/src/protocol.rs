@@ -186,7 +186,12 @@ mod tests {
         for w in chain.windows(2) {
             let (a, b) = (features(w[0]), features(w[1]));
             for i in 0..a.len() {
-                assert!(!a[i] || b[i], "{:?} lost a feature moving to {:?}", w[0], w[1]);
+                assert!(
+                    !a[i] || b[i],
+                    "{:?} lost a feature moving to {:?}",
+                    w[0],
+                    w[1]
+                );
             }
         }
     }

@@ -74,7 +74,9 @@ impl CommRegion {
     /// A communication region covering the entire object (Flex degenerates to
     /// whole-object transfer).
     pub fn whole_object(object_bytes: u64) -> Self {
-        let useful_offsets = (0..object_bytes / WORD_BYTES).map(|i| i * WORD_BYTES).collect();
+        let useful_offsets = (0..object_bytes / WORD_BYTES)
+            .map(|i| i * WORD_BYTES)
+            .collect();
         CommRegion {
             object_bytes,
             useful_offsets,
@@ -219,7 +221,9 @@ impl RegionTable {
 
     /// Whether the region should bypass the L2 (false for unknown regions).
     pub fn bypasses_l2(&self, id: RegionId) -> bool {
-        self.get(id).map(|r| r.bypass.bypasses_l2()).unwrap_or(false)
+        self.get(id)
+            .map(|r| r.bypass.bypasses_l2())
+            .unwrap_or(false)
     }
 
     /// The Flex communication region for `id`, if one was supplied.

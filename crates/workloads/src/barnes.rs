@@ -74,7 +74,10 @@ impl BarnesConfig {
     ///
     /// Panics if `bodies` is not divisible by `cores`.
     pub fn build(&self, cores: usize) -> Workload {
-        assert!(cores > 0 && self.bodies % cores == 0, "bodies must divide evenly among cores");
+        assert!(
+            cores > 0 && self.bodies.is_multiple_of(cores),
+            "bodies must divide evenly among cores"
+        );
         let nbody = self.bodies as u64;
         let ncell = (nbody / 2).max(1);
 
@@ -226,7 +229,11 @@ mod tests {
         };
         assert!(ops_before_first_barrier(0) > 1000);
         for core in 1..8 {
-            assert_eq!(ops_before_first_barrier(core), 0, "core {core} should idle during build");
+            assert_eq!(
+                ops_before_first_barrier(core),
+                0,
+                "core {core} should idle during build"
+            );
         }
     }
 

@@ -117,7 +117,11 @@ impl ArrayLayout {
     ///
     /// Panics in debug builds if `idx` is out of bounds.
     pub fn field(&self, idx: u64, offset: u64) -> Addr {
-        debug_assert!(idx < self.elems, "element {idx} out of bounds ({})", self.elems);
+        debug_assert!(
+            idx < self.elems,
+            "element {idx} out of bounds ({})",
+            self.elems
+        );
         debug_assert!(offset < self.elem_bytes);
         Addr::new(self.base.byte() + idx * self.elem_bytes + offset)
     }

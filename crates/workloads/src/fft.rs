@@ -56,7 +56,10 @@ impl FftConfig {
     ///
     /// Panics if `points` is not divisible by `cores`.
     pub fn build(&self, cores: usize) -> Workload {
-        assert!(cores > 0 && self.points % cores == 0, "points must divide evenly among cores");
+        assert!(
+            cores > 0 && self.points.is_multiple_of(cores),
+            "points must divide evenly among cores"
+        );
         const POINT_BYTES: u64 = 16;
         let n = self.points as u64;
 
@@ -69,7 +72,12 @@ impl FftConfig {
         // Butterfly phases read then overwrite x in place.
         rx.bypass = BypassKind::ReadThenOverwritten;
         regions.insert(rx);
-        let mut rt = RegionInfo::plain(RegionId(2), "trans (transpose dest)", trans.base, trans.bytes());
+        let mut rt = RegionInfo::plain(
+            RegionId(2),
+            "trans (transpose dest)",
+            trans.base,
+            trans.bytes(),
+        );
         rt.bypass = BypassKind::ReadThenOverwritten;
         regions.insert(rt);
         let mut rr = RegionInfo::plain(RegionId(3), "roots of unity", roots.base, roots.bytes());
@@ -160,7 +168,9 @@ mod tests {
                 match op {
                     TraceOp::Barrier { .. } => barrier_count += 1,
                     TraceOp::Mem { kind, addr, .. }
-                        if barrier_count == 1 && addr.byte() >= trans_base && addr.byte() < trans_base + (1 << 20) =>
+                        if barrier_count == 1
+                            && addr.byte() >= trans_base
+                            && addr.byte() < trans_base + (1 << 20) =>
                     {
                         match kind {
                             tw_types::MemKind::Store => {
@@ -197,7 +207,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "divide evenly")]
     fn uneven_core_split_is_rejected() {
-        FftConfig { points: 1000, compute_per_point: 1 }.build(16);
+        FftConfig {
+            points: 1000,
+            compute_per_point: 1,
+        }
+        .build(16);
     }
 
     #[test]
@@ -211,6 +225,11 @@ mod tests {
     #[test]
     fn roots_region_is_read_only_in_parallel_phases() {
         let wl = FftConfig::tiny().build(16);
-        assert!(!wl.regions.get(RegionId(3)).unwrap().written_in_parallel_phases);
+        assert!(
+            !wl.regions
+                .get(RegionId(3))
+                .unwrap()
+                .written_in_parallel_phases
+        );
     }
 }

@@ -84,10 +84,20 @@ impl FluidanimateConfig {
         let cells2 = ArrayLayout::new(0x4000_0000, CELL_BYTES, ncell, RegionId(2));
 
         let mut regions = RegionTable::new();
-        let mut r1 = RegionInfo::plain(RegionId(1), "grid cells (accumulators)", cells.base, cells.bytes());
+        let mut r1 = RegionInfo::plain(
+            RegionId(1),
+            "grid cells (accumulators)",
+            cells.base,
+            cells.bytes(),
+        );
         r1.bypass = BypassKind::ReadThenOverwritten;
         regions.insert(r1);
-        let mut r2 = RegionInfo::plain(RegionId(2), "previous-frame cells", cells2.base, cells2.bytes());
+        let mut r2 = RegionInfo::plain(
+            RegionId(2),
+            "previous-frame cells",
+            cells2.base,
+            cells2.bytes(),
+        );
         r2.bypass = BypassKind::StreamingOncePerPhase;
         regions.insert(r2);
 
@@ -120,7 +130,8 @@ impl FluidanimateConfig {
                 // will be used this frame.
                 for s in 0..occupancy[c as usize] {
                     t.store(cells.field(c, slot_field(s, 6)), cells.region); // density
-                    t.store_words(cells.field(c, slot_field(s, 7)), 3, cells.region); // force
+                    t.store_words(cells.field(c, slot_field(s, 7)), 3, cells.region);
+                    // force
                 }
                 t.compute(2);
             }
@@ -157,15 +168,27 @@ impl FluidanimateConfig {
                                     let nc = cell_of(nx, ny, nz);
                                     let sample = occupancy[nc as usize].min(2);
                                     for s in 0..sample {
-                                        t.load_words(cells.field(nc, slot_field(s, 0)), 3, cells.region);
+                                        t.load_words(
+                                            cells.field(nc, slot_field(s, 0)),
+                                            3,
+                                            cells.region,
+                                        );
                                     }
                                 }
                             }
                             // Read-modify-write the accumulators of own particles.
                             for s in 0..own {
-                                t.load_words(cells.field(c, slot_field(s, accum_word)), accum_len, cells.region);
+                                t.load_words(
+                                    cells.field(c, slot_field(s, accum_word)),
+                                    accum_len,
+                                    cells.region,
+                                );
                                 t.compute(4);
-                                t.store_words(cells.field(c, slot_field(s, accum_word)), accum_len, cells.region);
+                                t.store_words(
+                                    cells.field(c, slot_field(s, accum_word)),
+                                    accum_len,
+                                    cells.region,
+                                );
                             }
                         }
                     }
@@ -195,8 +218,10 @@ impl FluidanimateConfig {
 
         Workload {
             kind: BenchmarkKind::Fluidanimate,
-            input: format!("{0}x{0}x{0} grid, ~{1} particles/cell, {2} frame(s)",
-                self.grid, self.mean_particles, self.frames),
+            input: format!(
+                "{0}x{0}x{0} grid, ~{1} particles/cell, {2} frame(s)",
+                self.grid, self.mean_particles, self.frames
+            ),
             regions,
             traces: builders.into_iter().map(TraceBuilder::into_ops).collect(),
         }
@@ -257,14 +282,24 @@ mod tests {
         let mut cross_reads = 0usize;
         for (core, trace) in wl.traces.iter().enumerate() {
             for op in trace {
-                if let tw_types::TraceOp::Mem { kind: tw_types::MemKind::Store, addr, .. } = op {
+                if let tw_types::TraceOp::Mem {
+                    kind: tw_types::MemKind::Store,
+                    addr,
+                    ..
+                } = op
+                {
                     writers.entry(addr.byte() / CELL_BYTES).or_insert(core);
                 }
             }
         }
         for (core, trace) in wl.traces.iter().enumerate() {
             for op in trace {
-                if let tw_types::TraceOp::Mem { kind: tw_types::MemKind::Load, addr, .. } = op {
+                if let tw_types::TraceOp::Mem {
+                    kind: tw_types::MemKind::Load,
+                    addr,
+                    ..
+                } = op
+                {
                     if let Some(&w) = writers.get(&(addr.byte() / CELL_BYTES)) {
                         if w != core {
                             cross_reads += 1;
@@ -273,7 +308,10 @@ mod tests {
                 }
             }
         }
-        assert!(cross_reads > 10, "expected cross-core stencil reads, got {cross_reads}");
+        assert!(
+            cross_reads > 10,
+            "expected cross-core stencil reads, got {cross_reads}"
+        );
     }
 
     #[test]

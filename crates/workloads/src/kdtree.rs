@@ -76,7 +76,7 @@ impl KdTreeConfig {
     /// Panics if `triangles` is not divisible by `cores`.
     pub fn build(&self, cores: usize) -> Workload {
         assert!(
-            cores > 0 && self.triangles % cores == 0,
+            cores > 0 && self.triangles.is_multiple_of(cores),
             "triangles must divide evenly among cores"
         );
         let n = self.triangles as u64;
@@ -108,7 +108,12 @@ impl KdTreeConfig {
         re.comm = Some(edge_comm);
         re.bypass = BypassKind::StreamingOncePerPhase;
         regions.insert(re);
-        regions.insert(RegionInfo::plain(RegionId(3), "nodes & classification", nodes.base, nodes.bytes()));
+        regions.insert(RegionInfo::plain(
+            RegionId(3),
+            "nodes & classification",
+            nodes.base,
+            nodes.bytes(),
+        ));
 
         let per_core = n / cores as u64;
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -141,7 +146,11 @@ impl KdTreeConfig {
                     t.store(nodes.elem(slot), nodes.region);
                 }
                 // Emit the node record for the split this core contributed to.
-                t.store_words(nodes.elem((core + level as u64 * cores as u64) % nodes.elems), 8, nodes.region);
+                t.store_words(
+                    nodes.elem((core + level as u64 * cores as u64) % nodes.elems),
+                    8,
+                    nodes.region,
+                );
                 t.barrier(level);
             }
 
@@ -177,7 +186,8 @@ mod tests {
         let (_, comm) = wl.regions.comm_region(RegionId(2)).unwrap();
         assert_eq!(comm.useful_words(), 12);
         assert!(comm.object_bytes > 64);
-        let span = comm.useful_offsets.iter().max().unwrap() - comm.useful_offsets.iter().min().unwrap();
+        let span =
+            comm.useful_offsets.iter().max().unwrap() - comm.useful_offsets.iter().min().unwrap();
         assert!(span > 64);
     }
 

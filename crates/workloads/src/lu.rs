@@ -62,7 +62,10 @@ impl LuConfig {
     ///
     /// Panics if the matrix is not an integer number of blocks.
     pub fn build(&self, cores: usize) -> Workload {
-        assert!(self.n % self.block == 0, "matrix must be a whole number of blocks");
+        assert!(
+            self.n.is_multiple_of(self.block),
+            "matrix must be a whole number of blocks"
+        );
         const ELEM_BYTES: u64 = 8; // double precision
         let nb = (self.n / self.block) as u64; // blocks per dimension
         let block_elems = (self.block * self.block) as u64;
@@ -72,7 +75,12 @@ impl LuConfig {
         // occupies a contiguous run of block_elems doubles.
         let a = ArrayLayout::new(0x1000_0000, ELEM_BYTES, elems, RegionId(1));
         let mut regions = RegionTable::new();
-        regions.insert(RegionInfo::plain(RegionId(1), "matrix A", a.base, a.bytes()));
+        regions.insert(RegionInfo::plain(
+            RegionId(1),
+            "matrix A",
+            a.base,
+            a.bytes(),
+        ));
 
         let block_base = |bi: u64, bj: u64| (bi * nb + bj) * block_elems;
         // 2-D cyclic block-to-core assignment, as in SPLASH-2.
@@ -85,23 +93,20 @@ impl LuConfig {
         // Emits a read-modify-write over the (possibly triangular) portion of
         // a block. `triangular` skips the lower-left half of the block, which
         // is what creates LU's irregular within-line waste.
-        let touch_block = |t: &mut TraceBuilder,
-                           base: u64,
-                           read_only: bool,
-                           triangular: bool,
-                           compute: u32| {
-            for r in 0..self.block as u64 {
-                let start_col = if triangular { r } else { 0 };
-                for c in start_col..self.block as u64 {
-                    let idx = base + r * self.block as u64 + c;
-                    t.load_words(a.elem(idx), words_per_elem, a.region);
-                    t.compute(compute);
-                    if !read_only {
-                        t.store_words(a.elem(idx), words_per_elem, a.region);
+        let touch_block =
+            |t: &mut TraceBuilder, base: u64, read_only: bool, triangular: bool, compute: u32| {
+                for r in 0..self.block as u64 {
+                    let start_col = if triangular { r } else { 0 };
+                    for c in start_col..self.block as u64 {
+                        let idx = base + r * self.block as u64 + c;
+                        t.load_words(a.elem(idx), words_per_elem, a.region);
+                        t.compute(compute);
+                        if !read_only {
+                            t.store_words(a.elem(idx), words_per_elem, a.region);
+                        }
                     }
                 }
-            }
-        };
+            };
 
         for k in 0..nb {
             // Step 1: factor the diagonal block (owner only, triangular access).
@@ -171,7 +176,10 @@ impl LuConfig {
 
         Workload {
             kind: BenchmarkKind::Lu,
-            input: format!("{}x{} matrix, {}x{} blocks", self.n, self.n, self.block, self.block),
+            input: format!(
+                "{}x{} matrix, {}x{} blocks",
+                self.n, self.n, self.block, self.block
+            ),
             regions,
             traces: builders.into_iter().map(TraceBuilder::into_ops).collect(),
         }
@@ -260,6 +268,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "whole number of blocks")]
     fn non_divisible_blocks_are_rejected() {
-        LuConfig { n: 100, block: 16, compute_per_elem: 1 }.build(4);
+        LuConfig {
+            n: 100,
+            block: 16,
+            compute_per_elem: 1,
+        }
+        .build(4);
     }
 }

@@ -64,7 +64,10 @@ impl RadixConfig {
     ///
     /// Panics if `keys` is not divisible by `cores`.
     pub fn build(&self, cores: usize) -> Workload {
-        assert!(cores > 0 && self.keys % cores == 0, "keys must divide evenly among cores");
+        assert!(
+            cores > 0 && self.keys.is_multiple_of(cores),
+            "keys must divide evenly among cores"
+        );
         const KEY_BYTES: u64 = 4;
         let n = self.keys as u64;
 
@@ -85,13 +88,20 @@ impl RadixConfig {
         let mut rd = RegionInfo::plain(RegionId(2), "destination keys", dst.base, dst.bytes());
         rd.bypass = BypassKind::StreamingOncePerPhase;
         regions.insert(rd);
-        regions.insert(RegionInfo::plain(RegionId(3), "histograms", hist.base, hist.bytes()));
+        regions.insert(RegionInfo::plain(
+            RegionId(3),
+            "histograms",
+            hist.base,
+            hist.bytes(),
+        ));
 
         let per_core = n / cores as u64;
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Pre-draw the bucket of every key so that the histogram and
         // permutation phases agree.
-        let buckets: Vec<u32> = (0..n).map(|_| rng.gen_range(0..self.radix as u32)).collect();
+        let buckets: Vec<u32> = (0..n)
+            .map(|_| rng.gen_range(0..self.radix as u32))
+            .collect();
 
         let mut traces = Vec::with_capacity(cores);
         for core in 0..cores as u64 {
@@ -137,7 +147,10 @@ impl RadixConfig {
                 t.load(src.elem(k), src.region);
                 let b = buckets[k as usize] as usize;
                 // Read the global cursor for the bucket, then write the key.
-                t.load(hist.elem(cores as u64 * self.radix as u64 + b as u64), hist.region);
+                t.load(
+                    hist.elem(cores as u64 * self.radix as u64 + b as u64),
+                    hist.region,
+                );
                 let pos = cursors[b].min(n - 1);
                 cursors[b] += 1;
                 t.store(dst.elem(pos), dst.region);
@@ -190,16 +203,22 @@ mod tests {
             for op in trace {
                 match op {
                     TraceOp::Barrier { .. } => barriers += 1,
-                    TraceOp::Mem { kind: MemKind::Store, addr, .. }
-                        if barriers == 2 && addr.byte() >= dst_base =>
-                    {
+                    TraceOp::Mem {
+                        kind: MemKind::Store,
+                        addr,
+                        ..
+                    } if barriers == 2 && addr.byte() >= dst_base => {
                         lines.insert(addr.byte() / 64);
                     }
                     _ => {}
                 }
             }
         }
-        assert!(lines.len() > 200, "only {} destination lines written", lines.len());
+        assert!(
+            lines.len() > 200,
+            "only {} destination lines written",
+            lines.len()
+        );
     }
 
     #[test]
@@ -233,6 +252,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "divide evenly")]
     fn uneven_key_split_is_rejected() {
-        RadixConfig { keys: 1000, radix: 16, seed: 0 }.build(16);
+        RadixConfig {
+            keys: 1000,
+            radix: 16,
+            seed: 0,
+        }
+        .build(16);
     }
 }

@@ -152,7 +152,10 @@ mod tests {
             names,
             vec!["fluidanimate", "LU", "FFT", "radix", "barnes", "kD-tree"]
         );
-        assert_eq!(BenchmarkKind::Radix.paper_input(), "4 million keys, 1024 radix");
+        assert_eq!(
+            BenchmarkKind::Radix.paper_input(),
+            "4 million keys, 1024 radix"
+        );
     }
 
     fn tiny_workload() -> Workload {

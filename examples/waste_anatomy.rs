@@ -6,16 +6,10 @@
 //! `cargo run -p denovo-waste --release --example waste_anatomy [protocol]`
 //! where `[protocol]` is one of the nine configurations (default: DBypFull).
 
-use denovo_waste::{SimConfig, Simulator};
+use denovo_waste::{protocol_by_name, SimConfig, Simulator};
 use tw_profiler::{WasteCategory, WasteReport};
 use tw_types::ProtocolKind;
 use tw_workloads::{build_scaled, BenchmarkKind};
-
-fn parse_protocol(name: &str) -> Option<ProtocolKind> {
-    ProtocolKind::ALL
-        .into_iter()
-        .find(|p| p.name().eq_ignore_ascii_case(name))
-}
 
 fn print_report(level: &str, report: &WasteReport) {
     println!("\n-- words fetched into {level} --");
@@ -42,7 +36,7 @@ fn print_report(level: &str, report: &WasteReport) {
 fn main() {
     let protocol = std::env::args()
         .nth(1)
-        .and_then(|a| parse_protocol(&a))
+        .and_then(|a| protocol_by_name(&a))
         .unwrap_or(ProtocolKind::DBypFull);
     let workload = build_scaled(BenchmarkKind::Fluidanimate, 16);
     println!(

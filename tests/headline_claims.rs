@@ -69,7 +69,8 @@ fn mmeml1_removes_store_resp_l2_waste() {
     for &b in &[BenchmarkKind::Fft, BenchmarkKind::Radix] {
         let mesi = out.report(b, ProtocolKind::Mesi);
         let mm = out.report(b, ProtocolKind::MMemL1);
-        let bucket = |r: &denovo_waste::SimReport, bucket| r.traffic.get(MessageClass::Store, bucket);
+        let bucket =
+            |r: &denovo_waste::SimReport, bucket| r.traffic.get(MessageClass::Store, bucket);
         let mesi_l2 = bucket(mesi, tw_types::TrafficBucket::RespL2Used)
             + bucket(mesi, tw_types::TrafficBucket::RespL2Waste);
         let mm_l2 = bucket(mm, tw_types::TrafficBucket::RespL2Used)
@@ -88,10 +89,18 @@ fn write_validate_eliminates_store_data_responses() {
     let out = outcome();
     for &b in &[BenchmarkKind::Fft, BenchmarkKind::Fluidanimate] {
         let validate = out.report(b, ProtocolKind::DValidateL2);
-        let st_data = validate.traffic.get(MessageClass::Store, tw_types::TrafficBucket::RespL1Used)
-            + validate.traffic.get(MessageClass::Store, tw_types::TrafficBucket::RespL1Waste)
-            + validate.traffic.get(MessageClass::Store, tw_types::TrafficBucket::RespL2Used)
-            + validate.traffic.get(MessageClass::Store, tw_types::TrafficBucket::RespL2Waste);
+        let st_data = validate
+            .traffic
+            .get(MessageClass::Store, tw_types::TrafficBucket::RespL1Used)
+            + validate
+                .traffic
+                .get(MessageClass::Store, tw_types::TrafficBucket::RespL1Waste)
+            + validate
+                .traffic
+                .get(MessageClass::Store, tw_types::TrafficBucket::RespL2Used)
+            + validate
+                .traffic
+                .get(MessageClass::Store, tw_types::TrafficBucket::RespL2Waste);
         assert_eq!(
             st_data, 0.0,
             "{b}: DValidateL2 should fetch no data on stores, found {st_data}"
@@ -154,8 +163,14 @@ fn flex_reduces_load_traffic_for_flex_benchmarks_only() {
         ba_flex <= ba_base * 1.05,
         "barnes: Flex should not inflate load traffic ({ba_flex:.0} vs {ba_base:.0})"
     );
-    let lu_base = out.report(BenchmarkKind::Lu, ProtocolKind::DeNovo).traffic.class_total(MessageClass::Load);
-    let lu_flex = out.report(BenchmarkKind::Lu, ProtocolKind::DFlexL1).traffic.class_total(MessageClass::Load);
+    let lu_base = out
+        .report(BenchmarkKind::Lu, ProtocolKind::DeNovo)
+        .traffic
+        .class_total(MessageClass::Load);
+    let lu_flex = out
+        .report(BenchmarkKind::Lu, ProtocolKind::DFlexL1)
+        .traffic
+        .class_total(MessageClass::Load);
     assert!(
         (lu_flex - lu_base).abs() < lu_base * 0.02,
         "LU has no communication regions, Flex should not change its load traffic"

@@ -38,8 +38,14 @@ fn every_report_is_internally_consistent() {
             // Waste: words fetched into the L1 must be at least the words
             // fetched from memory that were used (every used word reaches an
             // L1), and every report is non-empty for these workloads.
-            assert!(report.l1_waste.total_words() > 0, "{bench}/{protocol}: no L1 words profiled");
-            assert!(report.mem_waste.total_words() > 0, "{bench}/{protocol}: no memory words profiled");
+            assert!(
+                report.l1_waste.total_words() > 0,
+                "{bench}/{protocol}: no L1 words profiled"
+            );
+            assert!(
+                report.mem_waste.total_words() > 0,
+                "{bench}/{protocol}: no memory words profiled"
+            );
 
             // DRAM was exercised and the row-hit rate is a valid fraction.
             assert!(report.dram_accesses > 0);
@@ -52,7 +58,11 @@ fn every_report_is_internally_consistent() {
 fn inclusive_mesi_fetches_at_least_as_many_l2_words_as_denovo_variants() {
     // DeNovo's non-inclusive L2 plus write-validate means it never brings
     // *more* words into the L2 from memory than MESI does.
-    for &bench in &[BenchmarkKind::Fft, BenchmarkKind::Radix, BenchmarkKind::Fluidanimate] {
+    for &bench in &[
+        BenchmarkKind::Fft,
+        BenchmarkKind::Radix,
+        BenchmarkKind::Fluidanimate,
+    ] {
         let workload = build_tiny(bench, 16);
         let mesi = Simulator::new(SimConfig::new(ProtocolKind::Mesi), &workload).run();
         let opt = Simulator::new(SimConfig::new(ProtocolKind::DBypL2), &workload).run();

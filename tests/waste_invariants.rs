@@ -3,9 +3,7 @@
 
 use denovo_waste::{SimConfig, Simulator};
 use proptest::prelude::*;
-use tw_types::{
-    Addr, MemKind, ProtocolKind, RegionId, RegionInfo, RegionTable, TraceOp,
-};
+use tw_types::{Addr, MemKind, ProtocolKind, RegionId, RegionInfo, RegionTable, TraceOp};
 use tw_workloads::{BenchmarkKind, Workload};
 
 /// Builds a 16-core workload from a per-core list of (is_store, slot) pairs
@@ -13,7 +11,12 @@ use tw_workloads::{BenchmarkKind, Workload};
 fn synthetic_workload(ops: Vec<Vec<(bool, u16)>>) -> Workload {
     let mut regions = RegionTable::new();
     let base = 0x10_0000u64;
-    regions.insert(RegionInfo::plain(RegionId(1), "shared", Addr::new(base), 1 << 20));
+    regions.insert(RegionInfo::plain(
+        RegionId(1),
+        "shared",
+        Addr::new(base),
+        1 << 20,
+    ));
     let traces = ops
         .into_iter()
         .map(|core_ops| {
@@ -25,7 +28,11 @@ fn synthetic_workload(ops: Vec<Vec<(bool, u16)>>) -> Workload {
                 }
                 let addr = Addr::new(base + slot as u64 * 4);
                 trace.push(TraceOp::Mem {
-                    kind: if is_store { MemKind::Store } else { MemKind::Load },
+                    kind: if is_store {
+                        MemKind::Store
+                    } else {
+                        MemKind::Load
+                    },
                     addr,
                     region: RegionId(1),
                 });

@@ -1,0 +1,190 @@
+//! Minimal offline stand-in for the parts of `rayon 1` this workspace uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` and `rayon::join`.
+//!
+//! Work distribution is a shared atomic cursor over the input slice drained
+//! by `std::thread::scope` workers (one per available core, capped by the
+//! item count), so uneven per-item cost — e.g. MESI cells taking much longer
+//! than DeNovo cells in the experiment matrix — still load-balances.
+//! Results are returned in input order.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything a consumer needs in scope (`use rayon::prelude::*`).
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items)
+        .max(1)
+}
+
+/// Maps `f` over `items` on a thread pool, preserving input order.
+fn par_map_indexed<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: &(dyn Fn(&'a T) -> R + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for chunk in chunks.drain(..) {
+        for (i, r) in chunk {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index produced exactly one result"))
+        .collect()
+}
+
+/// Borrowing parallel-iterator entry point (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Executes the map on the pool and collects results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        // The indexed runner needs `Fn(&T) -> R`; lifetimes line up because
+        // the slice outlives the scope.
+        par_map_indexed(self.items, &self.f).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        let input: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .map(|&x| {
+                // Vastly uneven per-item cost.
+                let spins = if x % 8 == 0 { 100_000 } else { 10 };
+                (0..spins).fold(x, |acc, _| std::hint::black_box(acc.wrapping_add(1)))
+            })
+            .collect();
+        assert_eq!(out.len(), 64);
+    }
+}
