@@ -1,4 +1,5 @@
-//! Regenerates every table and figure of the paper's evaluation section.
+//! Regenerates every table and figure of the paper's evaluation section,
+//! and records/replays trace files.
 //!
 //! Usage:
 //!
@@ -7,14 +8,28 @@
 //! cargo run -p tw-bench --release --bin experiments -- fig5_1a headline
 //! cargo run -p tw-bench --release --bin experiments -- --paper all
 //! cargo run -p tw-bench --release --bin experiments -- all --json
+//!
+//! cargo run -p tw-bench --release --bin experiments -- trace record out.trace --bench FFT
+//! cargo run -p tw-bench --release --bin experiments -- trace replay out.trace
+//! cargo run -p tw-bench --release --bin experiments -- trace info out.trace
+//! cargo run -p tw-bench --release --bin experiments -- trace diff a.trace b.trace
+//! cargo run -p tw-bench --release --bin experiments -- trace roundtrip --tiny
 //! ```
 //!
 //! With no arguments, `all` at the scaled profile is assumed. `--json`
 //! additionally writes a machine-readable `BENCH_results.json` (matrix wall
 //! time, headline averages, per-figure values) to the current directory.
+//! See EXPERIMENTS.md for the `trace` subcommand walkthrough.
 
-use denovo_waste::{ExperimentMatrix, RunOutcome, ScaleProfile};
+use denovo_waste::{
+    protocol_by_name, ExperimentMatrix, RunOutcome, ScaleProfile, SimConfig, SimReport, Simulator,
+};
+use std::path::Path;
+use std::process::ExitCode;
 use std::time::Instant;
+use tw_trace::TraceDocument;
+use tw_types::ProtocolKind;
+use tw_workloads::{BenchmarkKind, Workload};
 
 fn print_headline(outcome: &RunOutcome) {
     let h = outcome.headline();
@@ -58,29 +73,40 @@ const FIGURES: [&str; 12] = [
     "fig5_3b", "fig5_3c", "headline",
 ];
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    // Reject anything unrecognized up front: a typo'd `--json` or figure
-    // name must not silently cost a multi-minute matrix run.
-    for a in &args {
-        if a.starts_with("--")
-            && !matches!(a.as_str(), "--paper" | "--scaled" | "--tiny" | "--json")
-        {
-            eprintln!("unknown flag {a}; expected --paper | --scaled | --tiny | --json");
-            std::process::exit(2);
-        }
-        if !a.starts_with("--") && !FIGURES.contains(&a.as_str()) {
-            eprintln!("unknown figure {a}; expected one of: {}", FIGURES.join(" "));
-            std::process::exit(2);
-        }
-    }
-    let scale = if args.iter().any(|a| a == "--paper") {
+fn scale_from(args: &[String]) -> ScaleProfile {
+    if args.iter().any(|a| a == "--paper") {
         ScaleProfile::Paper
     } else if args.iter().any(|a| a == "--tiny") {
         ScaleProfile::Tiny
     } else {
         ScaleProfile::Scaled
-    };
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_main(&args[1..]);
+    }
+    // Reject anything unrecognized up front: a typo'd `--json` or figure
+    // name must not silently cost a multi-minute matrix run. The rejected
+    // token itself is always named in the error.
+    for a in &args {
+        if a.starts_with("--")
+            && !matches!(a.as_str(), "--paper" | "--scaled" | "--tiny" | "--json")
+        {
+            eprintln!("unknown flag `{a}`; expected --paper | --scaled | --tiny | --json");
+            return ExitCode::from(2);
+        }
+        if !a.starts_with("--") && !FIGURES.contains(&a.as_str()) {
+            eprintln!(
+                "unknown figure `{a}`; expected one of: {} (or the `trace` subcommand)",
+                FIGURES.join(" ")
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let scale = scale_from(&args);
     let json = args.iter().any(|a| a == "--json");
     let mut wanted: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if wanted.is_empty() {
@@ -107,37 +133,357 @@ fn main() {
     let emit_all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| emit_all || wanted.iter().any(|w| w == name);
 
+    // Every requested figure must contribute at least one cell; a run that
+    // prints nothing exits nonzero so scripts and CI can rely on it.
+    let mut emitted_cells = 0usize;
+    let mut emit = |fig: denovo_waste::FigureTable| {
+        emitted_cells += fig.rows.len();
+        println!("{fig}");
+    };
+
     if want("table4_1") {
-        println!("{}", outcome.table_4_1(scale));
+        emit(outcome.table_4_1(scale));
     }
     if want("table4_2") {
-        println!("{}", outcome.table_4_2());
+        emit(outcome.table_4_2());
     }
     if want("fig5_1a") {
-        println!("{}", outcome.fig_5_1a());
+        emit(outcome.fig_5_1a());
     }
     if want("fig5_1b") {
-        println!("{}", outcome.fig_5_1b());
+        emit(outcome.fig_5_1b());
     }
     if want("fig5_1c") {
-        println!("{}", outcome.fig_5_1c());
+        emit(outcome.fig_5_1c());
     }
     if want("fig5_1d") {
-        println!("{}", outcome.fig_5_1d());
+        emit(outcome.fig_5_1d());
     }
     if want("fig5_2") {
-        println!("{}", outcome.fig_5_2());
+        emit(outcome.fig_5_2());
     }
     if want("fig5_3a") {
-        println!("{}", outcome.fig_5_3a());
+        emit(outcome.fig_5_3a());
     }
     if want("fig5_3b") {
-        println!("{}", outcome.fig_5_3b());
+        emit(outcome.fig_5_3b());
     }
     if want("fig5_3c") {
-        println!("{}", outcome.fig_5_3c());
+        emit(outcome.fig_5_3c());
     }
     if want("headline") {
         print_headline(&outcome);
+        emitted_cells += outcome.reports.len();
     }
+    if emitted_cells == 0 {
+        eprintln!(
+            "error: requested output ({}) produced no cells",
+            wanted.join(" ")
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// The `trace` subcommand family: record / replay / info / diff / roundtrip.
+// ---------------------------------------------------------------------------
+
+struct TraceArgs {
+    positional: Vec<String>,
+    scale: ScaleProfile,
+    bench: BenchmarkKind,
+    protocol: Option<ProtocolKind>,
+    text: bool,
+}
+
+/// Parses the flags shared by the trace subcommands. `Err` carries the
+/// message to print before exiting with status 2.
+fn parse_trace_args(args: &[String]) -> Result<TraceArgs, String> {
+    let mut out = TraceArgs {
+        positional: Vec::new(),
+        scale: scale_from(args),
+        bench: BenchmarkKind::Fft,
+        protocol: None,
+        text: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" | "--scaled" | "--tiny" => {}
+            "--text" => out.text = true,
+            "--bench" => {
+                let name = it.next().ok_or("--bench needs a benchmark name")?;
+                let kind = BenchmarkKind::by_name(name);
+                if kind == BenchmarkKind::Custom {
+                    let names: Vec<&str> = BenchmarkKind::ALL.iter().map(|b| b.name()).collect();
+                    return Err(format!(
+                        "unknown benchmark `{name}`; expected one of: {}",
+                        names.join(" ")
+                    ));
+                }
+                out.bench = kind;
+            }
+            "--protocol" => {
+                let name = it.next().ok_or("--protocol needs a protocol name")?;
+                out.protocol = Some(protocol_by_name(name).ok_or_else(|| {
+                    let names: Vec<&str> = ProtocolKind::ALL.iter().map(|p| p.name()).collect();
+                    format!(
+                        "unknown protocol `{name}`; expected one of: {}",
+                        names.join(" ")
+                    )
+                })?);
+            }
+            a if a.starts_with("--") => {
+                return Err(format!(
+                    "unknown flag `{a}`; expected --tiny | --scaled | --paper | --text | --bench NAME | --protocol NAME"
+                ));
+            }
+            _ => out.positional.push(a.clone()),
+        }
+    }
+    Ok(out)
+}
+
+fn summarize(report: &SimReport) {
+    println!(
+        "{:<10} {:>14} cycles  {:>16.0} flit-hops  waste {:>6.3}  dram {:>10}",
+        report.protocol.name(),
+        report.total_cycles,
+        report.total_flit_hops(),
+        report.waste_traffic_fraction(),
+        report.dram_accesses,
+    );
+}
+
+fn load_workload(path: &str) -> Result<Workload, String> {
+    let doc =
+        TraceDocument::load(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Workload::from_trace(doc).map_err(|e| format!("{path} is not replayable: {e}"))
+}
+
+fn trace_main(args: &[String]) -> ExitCode {
+    let Some(sub) = args.first().map(String::as_str) else {
+        eprintln!("usage: experiments trace <record|replay|info|diff|roundtrip> ...");
+        return ExitCode::from(2);
+    };
+    let parsed = match parse_trace_args(&args[1..]) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match sub {
+        "record" => trace_record(&parsed),
+        "replay" => trace_replay(&parsed),
+        "info" => trace_info(&parsed),
+        "diff" => trace_diff(&parsed),
+        "roundtrip" => trace_roundtrip(&parsed),
+        s => {
+            eprintln!("unknown trace subcommand `{s}`; expected record | replay | info | diff | roundtrip");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `trace record <out>`: simulate one (protocol × benchmark) cell with
+/// capture armed and persist the serviced reference stream.
+fn trace_record(args: &TraceArgs) -> Result<ExitCode, String> {
+    let [out] = args.positional.as_slice() else {
+        return Err("usage: experiments trace record <out.trace> [--bench NAME] [--protocol NAME] [--tiny|--scaled|--paper] [--text]".into());
+    };
+    let protocol = args.protocol.unwrap_or(ProtocolKind::Mesi);
+    let system = args.scale.system();
+    let workload = args.scale.workload(args.bench, system.tiles());
+    let cfg = SimConfig::new(protocol).with_system(system);
+    eprintln!(
+        "recording {} / {} at the {:?} profile...",
+        args.bench, protocol, args.scale
+    );
+    let (report, captured) = Simulator::new(cfg, &workload).run_captured();
+    let doc = captured.to_trace();
+    doc.save(Path::new(out), args.text)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    let stats = doc.total_stats();
+    println!(
+        "wrote {out}: {} cores, {} mem ops, {} barriers/core ({} format)",
+        doc.cores(),
+        stats.mem_ops(),
+        stats.barriers / doc.cores().max(1) as u64,
+        if args.text { "text" } else { "binary" },
+    );
+    summarize(&report);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `trace replay <in>`: replay a trace file under one protocol (or all
+/// nine) and print per-protocol summaries.
+fn trace_replay(args: &TraceArgs) -> Result<ExitCode, String> {
+    let [input] = args.positional.as_slice() else {
+        return Err("usage: experiments trace replay <in.trace> [--protocol NAME] [--tiny|--scaled|--paper]".into());
+    };
+    let workload = load_workload(input)?;
+    let system = args.scale.system();
+    if workload.cores() != system.tiles() {
+        return Err(format!(
+            "{input} was recorded for {} cores but the {:?} system has {} tiles",
+            workload.cores(),
+            args.scale,
+            system.tiles()
+        ));
+    }
+    println!(
+        "replaying {input} ({}, \"{}\") at the {:?} profile",
+        workload.kind, workload.input, args.scale
+    );
+    match args.protocol {
+        Some(protocol) => {
+            let cfg = SimConfig::new(protocol).with_system(system);
+            summarize(&Simulator::new(cfg, &workload).run());
+        }
+        None => {
+            let matrix = ExperimentMatrix::subset(ProtocolKind::ALL.to_vec(), vec![], args.scale);
+            let kind = workload.kind;
+            let outcome = matrix.run_on(vec![workload]);
+            for &p in &ProtocolKind::ALL {
+                summarize(outcome.report(kind, p));
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `trace info <in>`: header, region annotations and per-core statistics.
+fn trace_info(args: &TraceArgs) -> Result<ExitCode, String> {
+    let [input] = args.positional.as_slice() else {
+        return Err("usage: experiments trace info <in.trace>".into());
+    };
+    let doc =
+        TraceDocument::load(Path::new(input)).map_err(|e| format!("cannot read {input}: {e}"))?;
+    println!("trace:     {input}");
+    println!("benchmark: {}", doc.benchmark);
+    println!("input:     {}", doc.input);
+    println!("cores:     {}", doc.cores());
+    println!("regions:   {}", doc.regions.len());
+    let mut accesses_by_region = std::collections::BTreeMap::<_, u64>::new();
+    for op in doc.streams.iter().flatten() {
+        if let Some(region) = op.region() {
+            *accesses_by_region.entry(region).or_default() += 1;
+        }
+    }
+    for r in doc.regions.iter() {
+        let mut notes = vec![format!(
+            "{} accesses",
+            accesses_by_region.get(&r.id).copied().unwrap_or(0)
+        )];
+        if r.bypass.bypasses_l2() {
+            notes.push("bypass".to_string());
+        }
+        if let Some(c) = &r.comm {
+            notes.push(format!("flex {} useful words/obj", c.useful_words()));
+        }
+        println!(
+            "  {} `{}` {:#x}+{} bytes ({})",
+            r.id,
+            r.name,
+            r.base.byte(),
+            r.bytes,
+            notes.join(", ")
+        );
+    }
+    let total = doc.total_stats();
+    for (core, s) in doc.stats().iter().enumerate() {
+        println!(
+            "  core {core:>2}: {:>9} ops ({:>9} LD, {:>9} ST, {:>9} compute cycles, {} barriers)",
+            s.ops, s.loads, s.stores, s.compute_cycles, s.barriers
+        );
+    }
+    println!(
+        "total:     {} ops, {} mem ops, {} barriers/core",
+        total.ops,
+        total.mem_ops(),
+        total.barriers / doc.cores().max(1) as u64
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `trace diff <a> <b>`: byte-level determinism oracle. Exits 0 only when
+/// the two traces are structurally identical.
+fn trace_diff(args: &TraceArgs) -> Result<ExitCode, String> {
+    let [a, b] = args.positional.as_slice() else {
+        return Err("usage: experiments trace diff <a.trace> <b.trace>".into());
+    };
+    let da = TraceDocument::load(Path::new(a)).map_err(|e| format!("cannot read {a}: {e}"))?;
+    let db = TraceDocument::load(Path::new(b)).map_err(|e| format!("cannot read {b}: {e}"))?;
+    match tw_trace::diff(&da, &db) {
+        None => {
+            println!("identical: {a} == {b}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(divergence) => {
+            println!("traces diverge at {divergence}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `trace roundtrip`: the end-to-end CI oracle. Records a cell, encodes the
+/// capture through both formats, replays the decoded trace, and fails unless
+/// the replayed `SimReport` is bit-identical to the recorded one.
+fn trace_roundtrip(args: &TraceArgs) -> Result<ExitCode, String> {
+    if !args.positional.is_empty() {
+        return Err("usage: experiments trace roundtrip [--bench NAME] [--protocol NAME] [--tiny|--scaled|--paper]".into());
+    }
+    let protocol = args.protocol.unwrap_or(ProtocolKind::DBypFull);
+    let system = args.scale.system();
+    let workload = args.scale.workload(args.bench, system.tiles());
+    let cfg = SimConfig::new(protocol).with_system(system.clone());
+    eprintln!(
+        "roundtrip: {} / {} at the {:?} profile",
+        args.bench, protocol, args.scale
+    );
+    let (recorded, captured) = Simulator::new(cfg.clone(), &workload).run_captured();
+
+    // Binary codec round trip.
+    let doc = captured.to_trace();
+    let bytes = doc.to_binary_bytes().map_err(|e| e.to_string())?;
+    let decoded = TraceDocument::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    if let Some(d) = tw_trace::diff(&doc, &decoded) {
+        println!("FAIL: binary codec round trip diverges at {d}");
+        return Ok(ExitCode::FAILURE);
+    }
+    // Text codec round trip.
+    let reparsed = TraceDocument::from_text(&doc.to_text()).map_err(|e| e.to_string())?;
+    if let Some(d) = tw_trace::diff(&doc, &reparsed) {
+        println!("FAIL: text codec round trip diverges at {d}");
+        return Ok(ExitCode::FAILURE);
+    }
+
+    let replayed_wl = Workload::from_trace(decoded).map_err(|e| e.to_string())?;
+    let replayed = Simulator::new(cfg, &replayed_wl).run();
+    if recorded != replayed {
+        println!(
+            "FAIL: replayed report differs (recorded {} cycles / {:.0} flit-hops, replayed {} cycles / {:.0} flit-hops)",
+            recorded.total_cycles,
+            recorded.total_flit_hops(),
+            replayed.total_cycles,
+            replayed.total_flit_hops()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    println!(
+        "OK: record -> encode({} bytes) -> decode -> replay is bit-identical ({} cycles, {:.0} flit-hops)",
+        bytes.len(),
+        recorded.total_cycles,
+        recorded.total_flit_hops()
+    );
+    Ok(ExitCode::SUCCESS)
 }

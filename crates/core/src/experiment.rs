@@ -62,6 +62,9 @@ impl ScaleProfile {
                 BenchmarkKind::Radix => tw_workloads::radix::RadixConfig::paper().build(cores),
                 BenchmarkKind::Barnes => tw_workloads::barnes::BarnesConfig::paper().build(cores),
                 BenchmarkKind::KdTree => tw_workloads::kdtree::KdTreeConfig::paper().build(cores),
+                BenchmarkKind::Custom => {
+                    panic!("custom workloads have no generator; use ExperimentMatrix::run_on")
+                }
             },
             ScaleProfile::Scaled => build_scaled(bench, cores),
             ScaleProfile::Tiny => build_tiny(bench, cores),
@@ -119,9 +122,45 @@ impl ExperimentMatrix {
             .par_iter()
             .map(|&bench| (bench, self.scale.workload(bench, system.tiles())))
             .collect();
+        self.run_cells(workloads)
+    }
 
-        let cells: Vec<(BenchmarkKind, ProtocolKind)> = self
-            .benchmarks
+    /// Runs every protocol of the matrix over externally supplied workloads
+    /// (replayed traces, hand-written scenarios) instead of the generated
+    /// benchmarks — the trace-driven intake path. The `benchmarks` field of
+    /// the matrix is ignored; the outcome's benchmark axis is the kinds of
+    /// the given workloads, so MESI-normalized figures work as long as the
+    /// protocol list includes `ProtocolKind::Mesi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two workloads share a [`BenchmarkKind`] (reports are keyed
+    /// by it) or a workload's core count does not match the scale's system.
+    pub fn run_on(&self, workloads: Vec<Workload>) -> RunOutcome {
+        let system = self.scale.system();
+        let pairs: Vec<(BenchmarkKind, Workload)> =
+            workloads.into_iter().map(|w| (w.kind, w)).collect();
+        for (i, (kind, wl)) in pairs.iter().enumerate() {
+            assert!(
+                pairs[..i].iter().all(|(k, _)| k != kind),
+                "two workloads share the benchmark kind {kind}"
+            );
+            assert_eq!(
+                wl.cores(),
+                system.tiles(),
+                "workload {kind} was recorded for {} cores but the system has {} tiles",
+                wl.cores(),
+                system.tiles()
+            );
+        }
+        self.run_cells(pairs)
+    }
+
+    /// Shared cell fan-out of [`run`](Self::run) and [`run_on`](Self::run_on).
+    fn run_cells(&self, workloads: Vec<(BenchmarkKind, Workload)>) -> RunOutcome {
+        let system = self.scale.system();
+        let benchmarks: Vec<BenchmarkKind> = workloads.iter().map(|(b, _)| *b).collect();
+        let cells: Vec<(BenchmarkKind, ProtocolKind)> = benchmarks
             .iter()
             .flat_map(|&b| self.protocols.iter().map(move |&p| (b, p)))
             .collect();
@@ -140,7 +179,7 @@ impl ExperimentMatrix {
 
         RunOutcome {
             protocols: self.protocols.clone(),
-            benchmarks: self.benchmarks.clone(),
+            benchmarks,
             reports,
         }
     }
@@ -545,6 +584,35 @@ mod tests {
         let out = tiny_outcome();
         assert_eq!(out.all_figures(ScaleProfile::Tiny).len(), 10);
         assert!(out.table_4_2().rows.len() >= 2);
+    }
+
+    #[test]
+    fn custom_workloads_run_through_the_matrix() {
+        // A captured FFT trace re-labelled as a custom workload must run
+        // under every protocol of a matrix and normalize against its own
+        // MESI cell.
+        let mut wl = build_tiny(BenchmarkKind::Fft, 16);
+        wl.kind = BenchmarkKind::Custom;
+        let matrix = ExperimentMatrix::subset(
+            vec![ProtocolKind::Mesi, ProtocolKind::DBypFull],
+            vec![],
+            ScaleProfile::Tiny,
+        );
+        let out = matrix.run_on(vec![wl]);
+        assert_eq!(out.benchmarks, vec![BenchmarkKind::Custom]);
+        assert_eq!(out.reports.len(), 2);
+        let fig = out.fig_5_1a();
+        let mesi = fig.value("custom/MESI", "Total").unwrap();
+        assert!((mesi - 1.0).abs() < 1e-9);
+        assert!(fig.value("custom/DBypFull", "Total").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_on_rejects_duplicate_kinds() {
+        let wl = build_tiny(BenchmarkKind::Fft, 16);
+        let matrix = ExperimentMatrix::subset(vec![ProtocolKind::Mesi], vec![], ScaleProfile::Tiny);
+        let result = std::panic::catch_unwind(|| matrix.run_on(vec![wl.clone(), wl.clone()]));
+        assert!(result.is_err());
     }
 
     #[test]

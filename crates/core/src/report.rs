@@ -8,7 +8,11 @@ use tw_workloads::BenchmarkKind;
 /// Everything one simulation run produces: the inputs it was run with plus
 /// the three result families of the paper (traffic, execution time, fetched
 /// words by waste category).
-#[derive(Debug, Clone)]
+///
+/// Equality is exact (including the `f64` fields): two reports compare equal
+/// only when bit-identical, which is precisely the determinism oracle the
+/// trace record→replay CI check asserts.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Protocol configuration simulated.
     pub protocol: ProtocolKind,

@@ -23,7 +23,7 @@ mod exec_mesi;
 use crate::machine::build_tiles;
 use crate::report::SimReport;
 use crate::timing::{ExecutionBreakdown, TimeClass};
-use engine::{executor_for, Engine, Net, ProtocolExecutor};
+use engine::{executor_for, Engine, Net, ProtocolExecutor, TraceCapture};
 use tw_profiler::{CacheLevel, CacheWasteProfiler, MemoryWasteProfiler};
 use tw_types::{Cycle, MemKind, MessageClass, ProtocolKind, SystemConfig, TraceOp, TrafficBucket};
 use tw_workloads::Workload;
@@ -110,6 +110,7 @@ impl<'wl> Simulator<'wl> {
             l2_prof: CacheWasteProfiler::new(CacheLevel::L2),
             mem_prof: MemoryWasteProfiler::new(),
             time: (0..cores).map(|_| ExecutionBreakdown::new()).collect(),
+            capture: None,
             cfg,
             workload,
         };
@@ -129,8 +130,32 @@ impl<'wl> Simulator<'wl> {
 
     /// Runs the workload to completion and returns the report.
     pub fn run(mut self) -> SimReport {
+        self.run_loop();
+        self.finish()
+    }
+
+    /// Runs the workload to completion while recording the serviced
+    /// reference stream, returning the report plus a replayable [`Workload`]
+    /// (same kind, input and region table; traces as serviced). Persist it
+    /// with `Workload::to_trace` and any later replay under the same
+    /// protocol and system produces a bit-identical report.
+    pub fn run_captured(mut self) -> (SimReport, Workload) {
+        self.engine.capture = Some(TraceCapture::new(self.clocks.len()));
+        self.run_loop();
+        let capture = self.engine.capture.take().expect("capture was armed");
+        let workload = Workload {
+            kind: self.engine.workload.kind,
+            input: self.engine.workload.input.clone(),
+            regions: self.engine.workload.regions.clone(),
+            traces: capture.into_streams(),
+        };
+        (self.finish(), workload)
+    }
+
+    /// The scheduler loop: steps the runnable core with the smallest clock,
+    /// releasing barriers when nobody is runnable.
+    fn run_loop(&mut self) {
         loop {
-            // Pick the runnable core with the smallest clock.
             let next = (0..self.clocks.len())
                 .filter(|&c| self.state[c] == CoreState::Running)
                 .min_by_key(|&c| self.clocks[c]);
@@ -145,7 +170,6 @@ impl<'wl> Simulator<'wl> {
                 }
             }
         }
-        self.finish()
     }
 
     /// Executes one trace record of `core`.
@@ -162,10 +186,13 @@ impl<'wl> Simulator<'wl> {
                 self.clocks[core] += cycles as Cycle;
                 self.engine.time[core].add(TimeClass::Compute, cycles as Cycle);
                 self.pc[core] += 1;
+                self.engine.record_serviced(core, op);
             }
             TraceOp::Barrier { id } => {
                 self.state[core] = CoreState::AtBarrier(id);
-                // pc advances when the barrier releases.
+                // pc advances when the barrier releases; this arm runs once
+                // per barrier record, so the capture sees it exactly once.
+                self.engine.record_serviced(core, op);
             }
             TraceOp::Mem { kind, addr, region } => {
                 let now = self.clocks[core];
@@ -176,6 +203,7 @@ impl<'wl> Simulator<'wl> {
                 debug_assert!(done >= now);
                 self.clocks[core] = done;
                 self.pc[core] += 1;
+                self.engine.record_serviced(core, op);
             }
         }
     }
@@ -380,6 +408,24 @@ mod tests {
         let result =
             std::panic::catch_unwind(|| Simulator::new(SimConfig::new(ProtocolKind::Mesi), &wl));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn captured_stream_replays_to_a_bit_identical_report() {
+        let wl = build_tiny(BenchmarkKind::Lu, 16);
+        let (report, captured) =
+            Simulator::new(SimConfig::new(ProtocolKind::DBypFull), &wl).run_captured();
+        captured.assert_well_formed();
+        assert_eq!(captured.kind, BenchmarkKind::Lu);
+        // The in-order cores service records in program order, so the
+        // captured stream is the input stream.
+        assert_eq!(captured.traces, wl.traces);
+        let replayed = Simulator::new(SimConfig::new(ProtocolKind::DBypFull), &captured).run();
+        assert_eq!(report, replayed, "replay must be bit-identical");
+        // The same captured trace is a first-class workload for any other
+        // protocol too.
+        let other = Simulator::new(SimConfig::new(ProtocolKind::Mesi), &captured).run();
+        assert!(other.total_cycles > 0);
     }
 
     #[test]

@@ -19,9 +19,36 @@ use tw_noc::{Mesh, PacketSize};
 use tw_profiler::{CacheWasteProfiler, MemoryWasteProfiler, TrafficBreakdown};
 use tw_types::{
     Addr, Cycle, LineAddr, MessageClass, MessageKind, NocConfig, ProtocolKind, RegionId,
-    SystemConfig, TileId, TrafficBucket,
+    SystemConfig, TileId, TraceOp, TrafficBucket,
 };
 use tw_workloads::Workload;
+
+/// Recorder for the serviced reference stream of one run.
+///
+/// When a capture is armed, the scheduler appends every trace record it
+/// services — in per-core service order, barriers included — so any run can
+/// be persisted as a trace file and replayed as a first-class workload
+/// (`Simulator::run_captured`). With the in-order core model each core's
+/// serviced stream equals its input stream, which is exactly what makes a
+/// captured trace a bit-exact replay artifact.
+#[derive(Debug)]
+pub(crate) struct TraceCapture {
+    streams: Vec<Vec<TraceOp>>,
+}
+
+impl TraceCapture {
+    /// An empty capture for `cores` cores.
+    pub(crate) fn new(cores: usize) -> Self {
+        TraceCapture {
+            streams: vec![Vec::new(); cores],
+        }
+    }
+
+    /// The recorded per-core streams.
+    pub(crate) fn into_streams(self) -> Vec<Vec<TraceOp>> {
+        self.streams
+    }
+}
 
 /// The mesh plus the flit-hop ledger.
 #[derive(Debug)]
@@ -128,12 +155,23 @@ pub(crate) struct Engine<'wl> {
     pub(crate) l2_prof: CacheWasteProfiler,
     pub(crate) mem_prof: MemoryWasteProfiler,
     pub(crate) time: Vec<ExecutionBreakdown>,
+    /// Armed by `Simulator::run_captured`; `None` costs nothing on the
+    /// normal path.
+    pub(crate) capture: Option<TraceCapture>,
 }
 
 impl<'wl> Engine<'wl> {
     /// The protocol configuration being simulated.
     pub(crate) fn protocol(&self) -> ProtocolKind {
         self.cfg.protocol
+    }
+
+    /// Records one serviced trace record of `core` into the armed capture
+    /// (no-op when no capture is armed).
+    pub(crate) fn record_serviced(&mut self, core: usize, op: TraceOp) {
+        if let Some(capture) = &mut self.capture {
+            capture.streams[core].push(op);
+        }
     }
 
     /// The simulated system parameters.

@@ -8,7 +8,7 @@
 //! has 32 entries; MESI's non-blocking write table is modelled with the same
 //! structure (one pending GetM per line).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tw_types::{Cycle, LineAddr, WordIdx, WordMask};
 
 /// A pending set of unregistered written words for one line.
@@ -38,12 +38,17 @@ pub enum WriteFlush {
 }
 
 /// Fixed-capacity write-combining table.
+///
+/// Entries are kept in a `BTreeMap` rather than a hash map: flush order
+/// (capacity-victim tie-breaks, timeout expiry) feeds directly into message
+/// order on the mesh, and hash iteration order would make whole-run results
+/// vary between processes — the determinism CI gate caught exactly that.
 #[derive(Debug, Clone)]
 pub struct WriteCombineTable {
     capacity: usize,
     timeout: u64,
     words_per_line: usize,
-    entries: HashMap<LineAddr, WriteCombineEntry>,
+    entries: BTreeMap<LineAddr, WriteCombineEntry>,
     flushes: u64,
 }
 
@@ -60,7 +65,7 @@ impl WriteCombineTable {
             capacity,
             timeout,
             words_per_line,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             flushes: 0,
         }
     }
@@ -99,7 +104,8 @@ impl WriteCombineTable {
         let mut out = Vec::new();
 
         if !self.entries.contains_key(&line) && self.entries.len() >= self.capacity {
-            // Displace the oldest entry.
+            // Displace the oldest entry; `first_write` ties break toward the
+            // lowest line address (BTreeMap order), deterministically.
             if let Some(&victim) = self
                 .entries
                 .values()
@@ -148,14 +154,12 @@ impl WriteCombineTable {
             .collect()
     }
 
-    /// Flushes every entry (release / barrier semantics).
+    /// Flushes every entry (release / barrier semantics), in line order.
     pub fn release_all(&mut self) -> Vec<(WriteCombineEntry, WriteFlush)> {
-        let mut out: Vec<_> = self
-            .entries
-            .drain()
-            .map(|(_, e)| (e, WriteFlush::Release))
+        let out: Vec<_> = std::mem::take(&mut self.entries)
+            .into_values()
+            .map(|e| (e, WriteFlush::Release))
             .collect();
-        out.sort_by_key(|(e, _)| e.line);
         self.flushes += out.len() as u64;
         out
     }

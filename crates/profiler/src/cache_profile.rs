@@ -119,7 +119,11 @@ impl CacheWasteProfiler {
     /// Ends the simulation: all still-pending words become `Unevicted` and the
     /// final report is returned.
     pub fn finish(mut self) -> WasteReport {
-        let leftovers: Vec<Addr> = self.pending.keys().copied().collect();
+        let mut leftovers: Vec<Addr> = self.pending.keys().copied().collect();
+        // Finalize in address order: the per-bucket flit-hop totals are f64
+        // sums, and accumulating them in hash-iteration order would leak
+        // run-to-run jitter into otherwise bit-identical reports.
+        leftovers.sort_unstable();
         for addr in leftovers {
             self.finalize(addr, WasteCategory::Unevicted);
         }

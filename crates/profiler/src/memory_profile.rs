@@ -134,7 +134,10 @@ impl MemoryWasteProfiler {
 
     /// Ends the simulation; remaining instances become `Unevicted`.
     pub fn finish(mut self) -> WasteReport {
-        let addrs: Vec<Addr> = self.pending.keys().copied().collect();
+        let mut addrs: Vec<Addr> = self.pending.keys().copied().collect();
+        // Address order, not hash order: the flit-hop buckets are f64 sums
+        // and must accumulate identically on every run.
+        addrs.sort_unstable();
         for addr in addrs {
             for inst in self.pending.remove(&addr).unwrap_or_default() {
                 self.report

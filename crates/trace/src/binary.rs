@@ -1,0 +1,544 @@
+//! The compact, versioned binary trace format.
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! magic      b"DNVT"                          (4 raw bytes)
+//! version    u8 = 1
+//! benchmark  string (varint length + UTF-8)
+//! input      string
+//! cores      varint
+//! regions    varint count, then per region:
+//!              id, name (string), base, bytes,
+//!              flags u8 (bit 0: written-in-parallel-phases,
+//!                        bits 1-2: bypass kind 0/1/2),
+//!              comm u8 (0/1); if 1: object_bytes, offset count, offsets
+//! streams    one per core, in core order; each is a sequence of ops
+//!            terminated by the end-of-stream tag:
+//!              0x00 load   zigzag-varint addr delta, region id
+//!              0x01 store  zigzag-varint addr delta, region id
+//!              0x02 compute  varint cycles
+//!              0x03 barrier  varint id
+//!              0xFF end of stream
+//! ```
+//!
+//! Memory addresses are delta-encoded per core: each load/store stores the
+//! zigzag of the wrapping byte-difference from the previous memory access of
+//! the *same core* (initially 0), so the short strides of real reference
+//! streams encode in one or two bytes while arbitrary 64-bit addresses
+//! remain representable. Barrier records frame the phases: everything
+//! between two barriers is one phase, and a phase may legally contain zero
+//! memory operations.
+
+use crate::varint::{read_u64, unzigzag, write_u64, zigzag};
+use crate::TraceError;
+use std::io::{Read, Write};
+use tw_types::{Addr, BypassKind, CommRegion, MemKind, RegionId, RegionInfo, RegionTable, TraceOp};
+
+/// Leading magic of the binary format.
+pub const BINARY_MAGIC: &[u8; 4] = b"DNVT";
+
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u8 = 1;
+
+const TAG_LOAD: u8 = 0x00;
+const TAG_STORE: u8 = 0x01;
+const TAG_COMPUTE: u8 = 0x02;
+const TAG_BARRIER: u8 = 0x03;
+const TAG_END: u8 = 0xFF;
+
+fn write_string<W: Write>(w: &mut W, s: &str) -> std::io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_string<R: Read>(r: &mut R) -> Result<String, TraceError> {
+    let len = read_u64(r)? as usize;
+    // A length prefix beyond any plausible metadata string means a corrupt
+    // or adversarial header; refuse before allocating.
+    if len > 1 << 20 {
+        return Err(TraceError::Malformed(format!(
+            "string length {len} exceeds the 1 MiB header limit"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)
+        .map_err(|_| TraceError::Malformed("truncated string".to_string()))?;
+    String::from_utf8(buf).map_err(|_| TraceError::Malformed("string is not UTF-8".to_string()))
+}
+
+fn write_region<W: Write>(w: &mut W, r: &RegionInfo) -> std::io::Result<()> {
+    write_u64(w, r.id.0 as u64)?;
+    write_string(w, &r.name)?;
+    write_u64(w, r.base.byte())?;
+    write_u64(w, r.bytes)?;
+    let bypass = match r.bypass {
+        BypassKind::None => 0u8,
+        BypassKind::ReadThenOverwritten => 1,
+        BypassKind::StreamingOncePerPhase => 2,
+    };
+    let flags = (r.written_in_parallel_phases as u8) | (bypass << 1);
+    w.write_all(&[flags, r.comm.is_some() as u8])?;
+    if let Some(comm) = &r.comm {
+        write_u64(w, comm.object_bytes)?;
+        write_u64(w, comm.useful_offsets.len() as u64)?;
+        for &off in &comm.useful_offsets {
+            write_u64(w, off)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_region<R: Read>(r: &mut R) -> Result<RegionInfo, TraceError> {
+    let id = read_u64(r)?;
+    if id > u16::MAX as u64 {
+        return Err(TraceError::Malformed(format!("region id {id} exceeds u16")));
+    }
+    let name = read_string(r)?;
+    let base = read_u64(r)?;
+    let bytes = read_u64(r)?;
+    let mut two = [0u8; 2];
+    r.read_exact(&mut two)
+        .map_err(|_| TraceError::Malformed("truncated region flags".to_string()))?;
+    let [flags, has_comm] = two;
+    let bypass = match (flags >> 1) & 0x3 {
+        0 => BypassKind::None,
+        1 => BypassKind::ReadThenOverwritten,
+        2 => BypassKind::StreamingOncePerPhase,
+        k => return Err(TraceError::Malformed(format!("unknown bypass kind {k}"))),
+    };
+    let comm = match has_comm {
+        0 => None,
+        1 => {
+            let object_bytes = read_u64(r)?;
+            let n = read_u64(r)? as usize;
+            if n > 1 << 20 {
+                return Err(TraceError::Malformed(format!(
+                    "comm region with {n} offsets exceeds the sanity limit"
+                )));
+            }
+            let mut useful_offsets = Vec::with_capacity(n);
+            for _ in 0..n {
+                useful_offsets.push(read_u64(r)?);
+            }
+            Some(CommRegion {
+                object_bytes,
+                useful_offsets,
+            })
+        }
+        k => return Err(TraceError::Malformed(format!("bad comm marker {k}"))),
+    };
+    Ok(RegionInfo {
+        id: RegionId(id as u16),
+        name,
+        base: Addr::new(base),
+        bytes,
+        comm,
+        bypass,
+        written_in_parallel_phases: flags & 1 != 0,
+    })
+}
+
+/// Streaming encoder: header up front, then ops appended one at a time,
+/// core by core. The writer never buffers a stream, so arbitrarily long
+/// captures encode in constant memory.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    w: W,
+    cores_declared: usize,
+    cores_done: usize,
+    prev_addr: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the header and readies the writer for core 0's stream.
+    pub fn new(
+        mut w: W,
+        benchmark: &str,
+        input: &str,
+        cores: usize,
+        regions: &RegionTable,
+    ) -> Result<Self, TraceError> {
+        w.write_all(BINARY_MAGIC)?;
+        w.write_all(&[FORMAT_VERSION])?;
+        write_string(&mut w, benchmark)?;
+        write_string(&mut w, input)?;
+        write_u64(&mut w, cores as u64)?;
+        write_u64(&mut w, regions.len() as u64)?;
+        for r in regions.iter() {
+            write_region(&mut w, r)?;
+        }
+        Ok(TraceWriter {
+            w,
+            cores_declared: cores,
+            cores_done: 0,
+            prev_addr: 0,
+        })
+    }
+
+    /// Appends one op to the current core's stream.
+    pub fn op(&mut self, op: &TraceOp) -> Result<(), TraceError> {
+        if self.cores_done >= self.cores_declared {
+            return Err(TraceError::Malformed(
+                "op written after the last declared core stream".to_string(),
+            ));
+        }
+        match *op {
+            TraceOp::Mem { kind, addr, region } => {
+                let tag = match kind {
+                    MemKind::Load => TAG_LOAD,
+                    MemKind::Store => TAG_STORE,
+                };
+                self.w.write_all(&[tag])?;
+                let delta = addr.byte().wrapping_sub(self.prev_addr) as i64;
+                write_u64(&mut self.w, zigzag(delta))?;
+                write_u64(&mut self.w, region.0 as u64)?;
+                self.prev_addr = addr.byte();
+            }
+            TraceOp::Compute { cycles } => {
+                self.w.write_all(&[TAG_COMPUTE])?;
+                write_u64(&mut self.w, cycles as u64)?;
+            }
+            TraceOp::Barrier { id } => {
+                self.w.write_all(&[TAG_BARRIER])?;
+                write_u64(&mut self.w, id as u64)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Terminates the current core's stream and readies the next.
+    pub fn end_stream(&mut self) -> Result<(), TraceError> {
+        if self.cores_done >= self.cores_declared {
+            return Err(TraceError::Malformed(
+                "more streams ended than cores declared".to_string(),
+            ));
+        }
+        self.w.write_all(&[TAG_END])?;
+        self.cores_done += 1;
+        self.prev_addr = 0;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// Fails if fewer streams were ended than cores declared in the header —
+    /// a truncated file would otherwise be undetectable.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        if self.cores_done != self.cores_declared {
+            return Err(TraceError::Malformed(format!(
+                "only {} of {} core streams written",
+                self.cores_done, self.cores_declared
+            )));
+        }
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Streaming decoder: parses the header eagerly, then yields one core's
+/// stream at a time.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    r: R,
+    benchmark: String,
+    input: String,
+    cores: usize,
+    cores_read: usize,
+    regions: RegionTable,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the header.
+    pub fn new(mut r: R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)
+            .map_err(|_| TraceError::Malformed("file shorter than the magic".to_string()))?;
+        if &magic != BINARY_MAGIC {
+            return Err(TraceError::Malformed(format!(
+                "bad magic {magic:02x?}; expected {BINARY_MAGIC:02x?}"
+            )));
+        }
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version)
+            .map_err(|_| TraceError::Malformed("missing version byte".to_string()))?;
+        if version[0] != FORMAT_VERSION {
+            return Err(TraceError::Malformed(format!(
+                "unsupported format version {} (this build reads version {FORMAT_VERSION})",
+                version[0]
+            )));
+        }
+        let benchmark = read_string(&mut r)?;
+        let input = read_string(&mut r)?;
+        let cores = read_u64(&mut r)? as usize;
+        if cores == 0 || cores > 4096 {
+            return Err(TraceError::Malformed(format!(
+                "implausible core count {cores}"
+            )));
+        }
+        let n_regions = read_u64(&mut r)? as usize;
+        if n_regions > 1 << 16 {
+            return Err(TraceError::Malformed(format!(
+                "implausible region count {n_regions}"
+            )));
+        }
+        let mut regions = RegionTable::new();
+        for _ in 0..n_regions {
+            let info = read_region(&mut r)?;
+            // Guard before insert: RegionTable::insert panics on duplicates,
+            // and untrusted bytes must never abort the process.
+            if regions.get(info.id).is_some() {
+                return Err(TraceError::Malformed(format!(
+                    "duplicate region id {}",
+                    info.id
+                )));
+            }
+            regions.insert(info);
+        }
+        Ok(TraceReader {
+            r,
+            benchmark,
+            input,
+            cores,
+            cores_read: 0,
+            regions,
+        })
+    }
+
+    /// Benchmark name from the header.
+    pub fn benchmark(&self) -> &str {
+        &self.benchmark
+    }
+
+    /// Input description from the header.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// Core count from the header.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Takes ownership of the parsed region table.
+    pub fn take_regions(&mut self) -> RegionTable {
+        std::mem::take(&mut self.regions)
+    }
+
+    /// Asserts the input is exhausted. Call after the last stream: trailing
+    /// bytes mean a concatenated or partially overwritten file, which must
+    /// not silently parse as the leading document — that would blind the
+    /// determinism oracle built on `trace diff`.
+    pub fn expect_eof(&mut self) -> Result<(), TraceError> {
+        let mut byte = [0u8; 1];
+        match self.r.read_exact(&mut byte) {
+            Err(_) => Ok(()),
+            Ok(()) => Err(TraceError::Malformed(
+                "trailing bytes after the last declared core stream".to_string(),
+            )),
+        }
+    }
+
+    /// Parses the next core's stream, or `None` when all declared streams
+    /// have been read.
+    pub fn next_stream(&mut self) -> Result<Option<Vec<TraceOp>>, TraceError> {
+        if self.cores_read == self.cores {
+            return Ok(None);
+        }
+        let mut ops = Vec::new();
+        let mut prev_addr: u64 = 0;
+        loop {
+            let mut tag = [0u8; 1];
+            self.r.read_exact(&mut tag).map_err(|_| {
+                TraceError::Malformed(format!(
+                    "core {} stream truncated before its end marker",
+                    self.cores_read
+                ))
+            })?;
+            match tag[0] {
+                TAG_LOAD | TAG_STORE => {
+                    let delta = unzigzag(read_u64(&mut self.r)?);
+                    let addr = prev_addr.wrapping_add(delta as u64);
+                    prev_addr = addr;
+                    let region = read_u64(&mut self.r)?;
+                    if region > u16::MAX as u64 {
+                        return Err(TraceError::Malformed(format!(
+                            "region id {region} exceeds u16"
+                        )));
+                    }
+                    let kind = if tag[0] == TAG_LOAD {
+                        MemKind::Load
+                    } else {
+                        MemKind::Store
+                    };
+                    ops.push(TraceOp::Mem {
+                        kind,
+                        addr: Addr::new(addr),
+                        region: RegionId(region as u16),
+                    });
+                }
+                TAG_COMPUTE => {
+                    let cycles = read_u64(&mut self.r)?;
+                    if cycles > u32::MAX as u64 {
+                        return Err(TraceError::Malformed(format!(
+                            "compute cycles {cycles} exceed u32"
+                        )));
+                    }
+                    ops.push(TraceOp::Compute {
+                        cycles: cycles as u32,
+                    });
+                }
+                TAG_BARRIER => {
+                    let id = read_u64(&mut self.r)?;
+                    if id > u32::MAX as u64 {
+                        return Err(TraceError::Malformed(format!(
+                            "barrier id {id} exceeds u32"
+                        )));
+                    }
+                    ops.push(TraceOp::Barrier { id: id as u32 });
+                }
+                TAG_END => {
+                    self.cores_read += 1;
+                    return Ok(Some(ops));
+                }
+                t => {
+                    return Err(TraceError::Malformed(format!(
+                        "unknown op tag {t:#04x} in core {} stream",
+                        self.cores_read
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions_one() -> RegionTable {
+        let mut t = RegionTable::new();
+        t.insert(RegionInfo::plain(RegionId(1), "a", Addr::new(0), 1 << 20));
+        t
+    }
+
+    #[test]
+    fn sequential_addresses_encode_compactly() {
+        // 1000 sequential word accesses: ~3 bytes per op (tag + 1-byte
+        // delta + 1-byte region), far below the 13+ bytes of a naive fixed
+        // encoding.
+        let regions = regions_one();
+        let mut w = TraceWriter::new(Vec::new(), "custom", "seq", 1, &regions).unwrap();
+        for i in 0..1000u64 {
+            w.op(&TraceOp::load(Addr::new(i * 4), RegionId(1))).unwrap();
+        }
+        w.end_stream().unwrap();
+        let bytes = w.finish().unwrap();
+        let header_overhead = 64; // generous bound for magic + strings + region
+        assert!(
+            bytes.len() < header_overhead + 1000 * 4,
+            "encoding is not compact: {} bytes for 1000 ops",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn writer_enforces_stream_accounting() {
+        let regions = regions_one();
+        let w = TraceWriter::new(Vec::new(), "x", "y", 2, &regions).unwrap();
+        // Finishing with only the header written must fail.
+        assert!(matches!(w.finish(), Err(TraceError::Malformed(_))));
+
+        let mut w = TraceWriter::new(Vec::new(), "x", "y", 1, &regions).unwrap();
+        w.end_stream().unwrap();
+        assert!(w.end_stream().is_err());
+        assert!(w.op(&TraceOp::compute(1)).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_future_versions_and_bad_tags() {
+        let regions = regions_one();
+        let mut w = TraceWriter::new(Vec::new(), "x", "y", 1, &regions).unwrap();
+        w.end_stream().unwrap();
+        let mut bytes = w.finish().unwrap();
+
+        let mut future = bytes.clone();
+        future[4] = FORMAT_VERSION + 1;
+        let err = TraceReader::new(future.as_slice()).err().unwrap();
+        assert!(err.to_string().contains("version"), "{err}");
+
+        // Corrupt the end-of-stream tag into an unknown op tag.
+        *bytes.last_mut().unwrap() = 0x7E;
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(r.next_stream().is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let regions = regions_one();
+        let mut w = TraceWriter::new(Vec::new(), "x", "y", 1, &regions).unwrap();
+        w.op(&TraceOp::load(Addr::new(64), RegionId(1))).unwrap();
+        w.end_stream().unwrap();
+        let bytes = w.finish().unwrap();
+        // Drop the end marker: the reader must not silently return a stream.
+        let mut r = TraceReader::new(&bytes[..bytes.len() - 1]).unwrap();
+        assert!(r.next_stream().is_err());
+    }
+
+    #[test]
+    fn duplicate_region_ids_are_a_parse_error_not_a_panic() {
+        let mut regions = RegionTable::new();
+        regions.insert(RegionInfo::plain(RegionId(1), "a", Addr::new(0), 64));
+        let mut w = TraceWriter::new(Vec::new(), "x", "y", 1, &regions).unwrap();
+        w.end_stream().unwrap();
+        let mut bytes = w.finish().unwrap();
+        // Append a second copy of the (sole) region record and bump the
+        // region count from 1 to 2. The region record starts right after
+        // magic(4) + version(1) + "x"(2) + "y"(2) + cores(1) + count(1).
+        let region_start = 11;
+        let region_end = bytes.len() - 1; // strip the end-of-stream tag
+        let copy = bytes[region_start..region_end].to_vec();
+        bytes[region_start - 1] = 2;
+        bytes.splice(region_end..region_end, copy);
+        let err = TraceReader::new(bytes.as_slice()).err().unwrap();
+        assert!(err.to_string().contains("duplicate region"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_after_the_last_stream_are_rejected() {
+        use crate::TraceDocument;
+        let regions = regions_one();
+        let mut w = TraceWriter::new(Vec::new(), "x", "y", 1, &regions).unwrap();
+        w.op(&TraceOp::load(Addr::new(64), RegionId(1))).unwrap();
+        w.end_stream().unwrap();
+        let mut bytes = w.finish().unwrap();
+        assert!(TraceDocument::from_bytes(&bytes).is_ok());
+        // A concatenated or partially overwritten file must not silently
+        // parse as the leading document.
+        bytes.push(0x00);
+        let err = TraceDocument::from_bytes(&bytes).err().unwrap();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn extreme_address_jumps_round_trip() {
+        let regions = regions_one();
+        let addrs = [0u64, !3u64, 4, 1 << 40, 0];
+        let mut w = TraceWriter::new(Vec::new(), "x", "y", 1, &regions).unwrap();
+        for &a in &addrs {
+            w.op(&TraceOp::store(Addr::new(a), RegionId(1))).unwrap();
+        }
+        w.end_stream().unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let ops = r.next_stream().unwrap().unwrap();
+        let got: Vec<u64> = ops
+            .iter()
+            .map(|op| match op {
+                TraceOp::Mem { addr, .. } => addr.byte(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, addrs);
+    }
+}

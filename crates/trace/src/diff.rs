@@ -1,0 +1,160 @@
+//! Structural comparison of two traces: the first divergence, precisely
+//! located, for the `trace diff` CLI and the CI determinism oracle.
+
+use crate::TraceDocument;
+use std::fmt;
+use tw_types::TraceOp;
+
+/// The first point at which two traces disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceDivergence {
+    /// Different benchmark names.
+    Benchmark(String, String),
+    /// Different input descriptions.
+    Input(String, String),
+    /// Different core counts.
+    Cores(usize, usize),
+    /// The region tables differ (described textually).
+    Regions(String),
+    /// The streams of one core diverge at an op index. `None` means the
+    /// stream ended while the other continued.
+    Stream {
+        /// Core whose streams diverge.
+        core: usize,
+        /// Index of the first differing op.
+        index: usize,
+        /// The op in the first trace, if any.
+        a: Option<TraceOp>,
+        /// The op in the second trace, if any.
+        b: Option<TraceOp>,
+    },
+}
+
+impl fmt::Display for TraceDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDivergence::Benchmark(a, b) => write!(f, "benchmark: `{a}` vs `{b}`"),
+            TraceDivergence::Input(a, b) => write!(f, "input: `{a}` vs `{b}`"),
+            TraceDivergence::Cores(a, b) => write!(f, "core count: {a} vs {b}"),
+            TraceDivergence::Regions(d) => write!(f, "region tables differ: {d}"),
+            TraceDivergence::Stream { core, index, a, b } => {
+                write!(f, "core {core}, op {index}: {} vs {}", fmt_op(a), fmt_op(b))
+            }
+        }
+    }
+}
+
+fn fmt_op(op: &Option<TraceOp>) -> String {
+    match op {
+        Some(op) => format!("{op:?}"),
+        None => "<end of stream>".to_string(),
+    }
+}
+
+/// Compares two traces, returning the first divergence (`None` = identical).
+pub fn diff(a: &TraceDocument, b: &TraceDocument) -> Option<TraceDivergence> {
+    if a.benchmark != b.benchmark {
+        return Some(TraceDivergence::Benchmark(
+            a.benchmark.clone(),
+            b.benchmark.clone(),
+        ));
+    }
+    if a.input != b.input {
+        return Some(TraceDivergence::Input(a.input.clone(), b.input.clone()));
+    }
+    if a.cores() != b.cores() {
+        return Some(TraceDivergence::Cores(a.cores(), b.cores()));
+    }
+    if a.regions.len() != b.regions.len() {
+        return Some(TraceDivergence::Regions(format!(
+            "{} vs {} regions",
+            a.regions.len(),
+            b.regions.len()
+        )));
+    }
+    for (ra, rb) in a.regions.iter().zip(b.regions.iter()) {
+        if ra != rb {
+            return Some(TraceDivergence::Regions(format!(
+                "region {} (`{}`) differs",
+                ra.id, ra.name
+            )));
+        }
+    }
+    for (core, (sa, sb)) in a.streams.iter().zip(b.streams.iter()).enumerate() {
+        let n = sa.len().max(sb.len());
+        for index in 0..n {
+            let (oa, ob) = (sa.get(index).copied(), sb.get(index).copied());
+            if oa != ob {
+                return Some(TraceDivergence::Stream {
+                    core,
+                    index,
+                    a: oa,
+                    b: ob,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_types::{Addr, RegionId, RegionInfo, RegionTable, TraceOp};
+
+    fn doc() -> TraceDocument {
+        let mut regions = RegionTable::new();
+        regions.insert(RegionInfo::plain(RegionId(1), "a", Addr::new(0), 4096));
+        TraceDocument {
+            benchmark: "custom".into(),
+            input: "x".into(),
+            regions,
+            streams: vec![vec![
+                TraceOp::load(Addr::new(0), RegionId(1)),
+                TraceOp::barrier(0),
+            ]],
+        }
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        assert_eq!(diff(&doc(), &doc()), None);
+    }
+
+    #[test]
+    fn first_stream_divergence_is_located() {
+        let a = doc();
+        let mut b = doc();
+        b.streams[0][1] = TraceOp::barrier(1);
+        match diff(&a, &b) {
+            Some(TraceDivergence::Stream {
+                core: 0, index: 1, ..
+            }) => {}
+            d => panic!("unexpected divergence {d:?}"),
+        }
+    }
+
+    #[test]
+    fn length_mismatch_reports_end_of_stream() {
+        let a = doc();
+        let mut b = doc();
+        b.streams[0].push(TraceOp::compute(3));
+        let d = diff(&a, &b).unwrap();
+        assert!(d.to_string().contains("<end of stream>"), "{d}");
+    }
+
+    #[test]
+    fn metadata_divergences_are_reported_in_order() {
+        let a = doc();
+        let mut b = doc();
+        b.benchmark = "other".into();
+        assert!(matches!(diff(&a, &b), Some(TraceDivergence::Benchmark(..))));
+        let mut c = doc();
+        c.regions = {
+            let mut t = RegionTable::new();
+            t.insert(RegionInfo::plain(RegionId(1), "a", Addr::new(0), 8192));
+            t
+        };
+        assert!(matches!(diff(&a, &c), Some(TraceDivergence::Regions(_))));
+    }
+}

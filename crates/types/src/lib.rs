@@ -42,4 +42,4 @@ pub use message::{MessageClass, MessageKind, TrafficBucket};
 pub use protocol::ProtocolKind;
 pub use region::{BypassKind, CommRegion, RegionId, RegionInfo, RegionTable};
 pub use stats::Cycle;
-pub use trace::{MemKind, TraceOp};
+pub use trace::{MemKind, TraceOp, TraceStats};

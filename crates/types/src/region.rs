@@ -160,14 +160,19 @@ impl RegionInfo {
     }
 
     /// Whether `addr` falls within this region.
+    ///
+    /// Written as a subtraction so a region whose `base + bytes` would
+    /// overflow `u64` (possible for tables parsed from external trace
+    /// files) is still answered correctly rather than panicking or
+    /// wrapping.
     pub fn contains(&self, addr: Addr) -> bool {
-        addr.byte() >= self.base.byte() && addr.byte() < self.base.byte() + self.bytes
+        addr.byte() >= self.base.byte() && addr.byte() - self.base.byte() < self.bytes
     }
 }
 
 /// The per-application table of regions: the information the software hands
 /// to the hardware (region sizes, communication regions, bypass marks).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RegionTable {
     regions: Vec<RegionInfo>,
 }
@@ -261,6 +266,16 @@ mod tests {
         assert_eq!(t.region_of(Addr::new(5000)).unwrap().id, RegionId(2));
         assert!(t.region_of(Addr::new(100_000)).is_none());
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn contains_survives_base_plus_bytes_overflow() {
+        // Region tables parsed from external trace files can carry
+        // extreme values; membership must not panic or wrap.
+        let r = RegionInfo::plain(RegionId(1), "edge", Addr::new(u64::MAX - 8), 64);
+        assert!(r.contains(Addr::new(u64::MAX - 4)));
+        assert!(!r.contains(Addr::new(0)));
+        assert!(!r.contains(Addr::new(u64::MAX - 16)));
     }
 
     #[test]

@@ -87,6 +87,80 @@ impl TraceOp {
     pub fn is_mem(&self) -> bool {
         matches!(self, TraceOp::Mem { .. })
     }
+
+    /// The accessed address, for memory records.
+    pub fn addr(&self) -> Option<Addr> {
+        match self {
+            TraceOp::Mem { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// The accessed region, for memory records.
+    pub fn region(&self) -> Option<RegionId> {
+        match self {
+            TraceOp::Mem { region, .. } => Some(*region),
+            _ => None,
+        }
+    }
+}
+
+/// Summary counters of one trace stream, used by trace tooling (`trace
+/// info`, `trace diff`) and workload validation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total records.
+    pub ops: u64,
+    /// Load records.
+    pub loads: u64,
+    /// Store records.
+    pub stores: u64,
+    /// Total busy cycles across compute records.
+    pub compute_cycles: u64,
+    /// Barrier records.
+    pub barriers: u64,
+}
+
+impl TraceStats {
+    /// Counts one record.
+    pub fn record(&mut self, op: &TraceOp) {
+        self.ops += 1;
+        match op {
+            TraceOp::Mem {
+                kind: MemKind::Load,
+                ..
+            } => self.loads += 1,
+            TraceOp::Mem {
+                kind: MemKind::Store,
+                ..
+            } => self.stores += 1,
+            TraceOp::Compute { cycles } => self.compute_cycles += *cycles as u64,
+            TraceOp::Barrier { .. } => self.barriers += 1,
+        }
+    }
+
+    /// Summarizes a whole stream.
+    pub fn from_stream(ops: &[TraceOp]) -> Self {
+        let mut stats = TraceStats::default();
+        for op in ops {
+            stats.record(op);
+        }
+        stats
+    }
+
+    /// Accumulates another stream's counters (e.g. across cores).
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.ops += other.ops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.compute_cycles += other.compute_cycles;
+        self.barriers += other.barriers;
+    }
+
+    /// Memory records (loads + stores).
+    pub fn mem_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +187,39 @@ mod tests {
     fn memkind_display() {
         assert_eq!(MemKind::Load.to_string(), "LD");
         assert_eq!(MemKind::Store.to_string(), "ST");
+    }
+
+    #[test]
+    fn accessors_expose_mem_fields() {
+        let op = TraceOp::store(Addr::new(0x40), RegionId(7));
+        assert_eq!(op.addr(), Some(Addr::new(0x40)));
+        assert_eq!(op.region(), Some(RegionId(7)));
+        assert_eq!(TraceOp::barrier(0).addr(), None);
+        assert_eq!(TraceOp::compute(1).region(), None);
+    }
+
+    #[test]
+    fn stats_count_every_record_kind() {
+        let stream = [
+            TraceOp::load(Addr::new(0), RegionId(1)),
+            TraceOp::store(Addr::new(4), RegionId(1)),
+            TraceOp::store(Addr::new(8), RegionId(1)),
+            TraceOp::compute(10),
+            TraceOp::compute(5),
+            TraceOp::barrier(0),
+        ];
+        let s = TraceStats::from_stream(&stream);
+        assert_eq!(s.ops, 6);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 2);
+        assert_eq!(s.mem_ops(), 3);
+        assert_eq!(s.compute_cycles, 15);
+        assert_eq!(s.barriers, 1);
+
+        let mut total = TraceStats::default();
+        total.merge(&s);
+        total.merge(&s);
+        assert_eq!(total.ops, 12);
+        assert_eq!(total.compute_cycles, 30);
     }
 }

@@ -39,6 +39,11 @@ pub use builder::TraceBuilder;
 pub use workload::{BenchmarkKind, Workload};
 
 /// Builds the default (scaled) workload for a benchmark with `cores` cores.
+///
+/// # Panics
+///
+/// Panics for [`BenchmarkKind::Custom`], which has no generator — custom
+/// workloads come from trace files via [`Workload::from_trace`].
 pub fn build_scaled(kind: BenchmarkKind, cores: usize) -> Workload {
     match kind {
         BenchmarkKind::Fluidanimate => fluidanimate::FluidanimateConfig::scaled().build(cores),
@@ -47,11 +52,19 @@ pub fn build_scaled(kind: BenchmarkKind, cores: usize) -> Workload {
         BenchmarkKind::Radix => radix::RadixConfig::scaled().build(cores),
         BenchmarkKind::Barnes => barnes::BarnesConfig::scaled().build(cores),
         BenchmarkKind::KdTree => kdtree::KdTreeConfig::scaled().build(cores),
+        BenchmarkKind::Custom => {
+            panic!("custom workloads have no generator; replay them from a trace file")
+        }
     }
 }
 
 /// Builds a miniature workload for a benchmark, suitable for unit tests and
 /// Criterion benches where run time matters more than fidelity.
+///
+/// # Panics
+///
+/// Panics for [`BenchmarkKind::Custom`], which has no generator — custom
+/// workloads come from trace files via [`Workload::from_trace`].
 pub fn build_tiny(kind: BenchmarkKind, cores: usize) -> Workload {
     match kind {
         BenchmarkKind::Fluidanimate => fluidanimate::FluidanimateConfig::tiny().build(cores),
@@ -60,5 +73,8 @@ pub fn build_tiny(kind: BenchmarkKind, cores: usize) -> Workload {
         BenchmarkKind::Radix => radix::RadixConfig::tiny().build(cores),
         BenchmarkKind::Barnes => barnes::BarnesConfig::tiny().build(cores),
         BenchmarkKind::KdTree => kdtree::KdTreeConfig::tiny().build(cores),
+        BenchmarkKind::Custom => {
+            panic!("custom workloads have no generator; replay them from a trace file")
+        }
     }
 }

@@ -1,9 +1,11 @@
 //! The [`Workload`] container and benchmark identifiers.
 
 use std::fmt;
+use tw_trace::{TraceDocument, TraceError};
 use tw_types::{RegionTable, TraceOp};
 
-/// The six applications evaluated in the paper (Table 4.2).
+/// The six applications evaluated in the paper (Table 4.2), plus the
+/// catch-all kind for externally captured or hand-written traces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BenchmarkKind {
     /// PARSEC fluidanimate (ghost-cell variant).
@@ -18,6 +20,10 @@ pub enum BenchmarkKind {
     Barnes,
     /// Parallel SAH kD-tree construction.
     KdTree,
+    /// A workload replayed from a trace file rather than generated — the
+    /// trace-driven interface to third-party reference streams. Not part of
+    /// [`BenchmarkKind::ALL`] (the paper's figures) and has no generator.
+    Custom,
 }
 
 impl BenchmarkKind {
@@ -40,6 +46,7 @@ impl BenchmarkKind {
             BenchmarkKind::Radix => "radix",
             BenchmarkKind::Barnes => "barnes",
             BenchmarkKind::KdTree => "kD-tree",
+            BenchmarkKind::Custom => "custom",
         }
     }
 
@@ -52,7 +59,17 @@ impl BenchmarkKind {
             BenchmarkKind::Radix => "4 million keys, 1024 radix",
             BenchmarkKind::Barnes => "16K bodies",
             BenchmarkKind::KdTree => "bunny",
+            BenchmarkKind::Custom => "external trace",
         }
+    }
+
+    /// Resolves a benchmark from its figure label (case-insensitive).
+    /// Unknown names map to [`BenchmarkKind::Custom`], so any trace replays.
+    pub fn by_name(name: &str) -> BenchmarkKind {
+        BenchmarkKind::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+            .unwrap_or(BenchmarkKind::Custom)
     }
 }
 
@@ -101,16 +118,16 @@ impl Workload {
             .unwrap_or(0)
     }
 
-    /// Checks the structural invariants every generator must uphold: at least
-    /// one core, every core sees the same barrier sequence, and every memory
-    /// access falls in a declared region.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a descriptive message if an invariant is violated; used by
-    /// tests and debug assertions in the simulator.
-    pub fn assert_well_formed(&self) {
-        assert!(!self.traces.is_empty(), "workload has no cores");
+    /// Checks the structural invariants every workload must uphold — at
+    /// least one core, every core sees the same barrier sequence, and every
+    /// memory access falls in a declared region — returning a description
+    /// of the first violation. Replay of externally supplied traces runs
+    /// this before simulating, so a malformed trace is a diagnosable error
+    /// rather than a simulator deadlock.
+    pub fn try_well_formed(&self) -> Result<(), String> {
+        if self.traces.is_empty() {
+            return Err("workload has no cores".to_string());
+        }
         let barrier_seq = |t: &Vec<TraceOp>| {
             t.iter()
                 .filter_map(|op| match op {
@@ -121,22 +138,63 @@ impl Workload {
         };
         let reference = barrier_seq(&self.traces[0]);
         for (i, t) in self.traces.iter().enumerate() {
-            assert_eq!(
-                barrier_seq(t),
-                reference,
-                "core {i} disagrees on the barrier sequence"
-            );
+            if barrier_seq(t) != reference {
+                return Err(format!("core {i} disagrees on the barrier sequence"));
+            }
         }
         for t in &self.traces {
             for op in t {
-                if let TraceOp::Mem { addr, .. } = op {
-                    assert!(
-                        self.regions.region_of(*addr).is_some(),
-                        "access to {addr} falls outside every declared region"
-                    );
+                if let Some(addr) = op.addr() {
+                    if self.regions.region_of(addr).is_none() {
+                        return Err(format!(
+                            "access to {addr} falls outside every declared region"
+                        ));
+                    }
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Checks the structural invariants every generator must uphold (see
+    /// [`Workload::try_well_formed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if an invariant is violated; used by
+    /// tests and debug assertions in the simulator.
+    pub fn assert_well_formed(&self) {
+        if let Err(msg) = self.try_well_formed() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Exports this workload as a persistable [`TraceDocument`].
+    pub fn to_trace(&self) -> TraceDocument {
+        TraceDocument {
+            benchmark: self.kind.name().to_string(),
+            input: self.input.clone(),
+            regions: self.regions.clone(),
+            streams: self.traces.clone(),
+        }
+    }
+
+    /// Builds a first-class workload from a replayed trace.
+    ///
+    /// The benchmark name in the trace header is mapped back to its
+    /// [`BenchmarkKind`] when it names a paper benchmark; anything else
+    /// becomes [`BenchmarkKind::Custom`]. The workload invariants are
+    /// validated, so a malformed external trace is rejected here rather
+    /// than deadlocking the simulator.
+    pub fn from_trace(doc: TraceDocument) -> Result<Workload, TraceError> {
+        let wl = Workload {
+            kind: BenchmarkKind::by_name(&doc.benchmark),
+            input: doc.input,
+            regions: doc.regions,
+            traces: doc.streams,
+        };
+        wl.try_well_formed().map_err(TraceError::Malformed)?;
+        Ok(wl)
     }
 }
 
@@ -201,5 +259,57 @@ mod tests {
         let mut wl = tiny_workload();
         wl.traces[0].push(TraceOp::load(Addr::new(1 << 30), RegionId(1)));
         wl.assert_well_formed();
+    }
+
+    #[test]
+    fn benchmark_names_round_trip_and_unknowns_become_custom() {
+        for b in BenchmarkKind::ALL {
+            assert_eq!(BenchmarkKind::by_name(b.name()), b);
+            assert_eq!(BenchmarkKind::by_name(&b.name().to_uppercase()), b);
+        }
+        assert_eq!(BenchmarkKind::by_name("custom"), BenchmarkKind::Custom);
+        assert_eq!(
+            BenchmarkKind::by_name("somebody-elses-trace"),
+            BenchmarkKind::Custom
+        );
+        assert!(!BenchmarkKind::ALL.contains(&BenchmarkKind::Custom));
+    }
+
+    #[test]
+    fn trace_bridge_round_trips_a_workload() {
+        let wl = tiny_workload();
+        let doc = wl.to_trace();
+        assert_eq!(doc.benchmark, "FFT");
+        assert_eq!(doc.cores(), 2);
+        let back = Workload::from_trace(doc).unwrap();
+        assert_eq!(back.kind, BenchmarkKind::Fft);
+        assert_eq!(back.input, wl.input);
+        assert_eq!(back.traces, wl.traces);
+        assert_eq!(back.regions.len(), wl.regions.len());
+    }
+
+    #[test]
+    fn from_trace_maps_unknown_benchmarks_to_custom() {
+        let mut doc = tiny_workload().to_trace();
+        doc.benchmark = "their-workload".into();
+        let wl = Workload::from_trace(doc).unwrap();
+        assert_eq!(wl.kind, BenchmarkKind::Custom);
+        assert_eq!(wl.kind.name(), "custom");
+        assert_eq!(wl.kind.paper_input(), "external trace");
+    }
+
+    #[test]
+    fn from_trace_rejects_malformed_streams() {
+        // Barrier mismatch between the two cores.
+        let mut doc = tiny_workload().to_trace();
+        doc.streams[1].push(TraceOp::barrier(9));
+        let err = Workload::from_trace(doc).err().unwrap().to_string();
+        assert!(err.contains("barrier sequence"), "{err}");
+
+        // Access outside every declared region.
+        let mut doc = tiny_workload().to_trace();
+        doc.streams[0].push(TraceOp::load(Addr::new(1 << 40), RegionId(1)));
+        let err = Workload::from_trace(doc).err().unwrap().to_string();
+        assert!(err.contains("outside every declared region"), "{err}");
     }
 }
