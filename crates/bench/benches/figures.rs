@@ -66,7 +66,7 @@ fn bench_single_runs(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_tiny_fft");
     group.sample_size(10);
     for protocol in [ProtocolKind::Mesi, ProtocolKind::DBypFull] {
-        let workload = build_tiny(BenchmarkKind::Fft, 16);
+        let workload = build_tiny(BenchmarkKind::Fft, 16).unwrap();
         group.bench_function(protocol.name(), |b| {
             b.iter(|| {
                 let sim = Simulator::new(SimConfig::new(protocol), &workload);

@@ -98,7 +98,7 @@ fn bench_profiler(c: &mut Criterion) {
 }
 
 fn bench_flex_planning(c: &mut Criterion) {
-    let workload = build_tiny(BenchmarkKind::Barnes, 16);
+    let workload = build_tiny(BenchmarkKind::Barnes, 16).unwrap();
     let sys = SystemConfig::default();
     c.bench_function("flex_fetch_plan_barnes_cells", |b| {
         b.iter(|| {
@@ -118,7 +118,7 @@ fn bench_workload_generation(c: &mut Criterion) {
     group.sample_size(10);
     for bench in BenchmarkKind::ALL {
         group.bench_function(bench.name(), |b| {
-            b.iter(|| black_box(build_tiny(bench, 16).total_mem_ops()))
+            b.iter(|| black_box(build_tiny(bench, 16).unwrap().total_mem_ops()))
         });
     }
     group.finish();

@@ -14,6 +14,9 @@
 //! cargo run -p tw-bench --release --bin experiments -- trace info out.trace
 //! cargo run -p tw-bench --release --bin experiments -- trace diff a.trace b.trace
 //! cargo run -p tw-bench --release --bin experiments -- trace roundtrip --tiny
+//!
+//! cargo run -p tw-bench --release --bin experiments -- fuzz --seeds 50
+//! cargo run -p tw-bench --release --bin experiments -- fuzz --self-test
 //! ```
 //!
 //! With no arguments, `all` at the scaled profile is assumed. `--json`
@@ -27,6 +30,7 @@ use denovo_waste::{
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
+use tw_scenarios::{detect, golden_execute, synthesize, DifferentialRunner, Mutation, SynthConfig};
 use tw_trace::TraceDocument;
 use tw_types::ProtocolKind;
 use tw_workloads::{BenchmarkKind, Workload};
@@ -88,6 +92,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("trace") {
         return trace_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return fuzz_main(&args[1..]);
+    }
     // Reject anything unrecognized up front: a typo'd `--json` or figure
     // name must not silently cost a multi-minute matrix run. The rejected
     // token itself is always named in the error.
@@ -100,7 +107,7 @@ fn main() -> ExitCode {
         }
         if !a.starts_with("--") && !FIGURES.contains(&a.as_str()) {
             eprintln!(
-                "unknown figure `{a}`; expected one of: {} (or the `trace` subcommand)",
+                "unknown figure `{a}`; expected one of: {} (or the `trace` / `fuzz` subcommands)",
                 FIGURES.join(" ")
             );
             return ExitCode::from(2);
@@ -214,15 +221,11 @@ fn parse_trace_args(args: &[String]) -> Result<TraceArgs, String> {
             "--text" => out.text = true,
             "--bench" => {
                 let name = it.next().ok_or("--bench needs a benchmark name")?;
-                let kind = BenchmarkKind::by_name(name);
-                if kind == BenchmarkKind::Custom {
-                    let names: Vec<&str> = BenchmarkKind::ALL.iter().map(|b| b.name()).collect();
-                    return Err(format!(
-                        "unknown benchmark `{name}`; expected one of: {}",
-                        names.join(" ")
-                    ));
-                }
-                out.bench = kind;
+                // `by_name` rejects unknown names with a message listing
+                // every accepted one; kinds without a generator (custom,
+                // synthesized) are rejected later by `try_workload` with a
+                // message naming the replacement workflow.
+                out.bench = BenchmarkKind::by_name(name)?;
             }
             "--protocol" => {
                 let name = it.next().ok_or("--protocol needs a protocol name")?;
@@ -302,7 +305,7 @@ fn trace_record(args: &TraceArgs) -> Result<ExitCode, String> {
     };
     let protocol = args.protocol.unwrap_or(ProtocolKind::Mesi);
     let system = args.scale.system();
-    let workload = args.scale.workload(args.bench, system.tiles());
+    let workload = args.scale.try_workload(args.bench, system.tiles())?;
     let cfg = SimConfig::new(protocol).with_system(system);
     eprintln!(
         "recording {} / {} at the {:?} profile...",
@@ -444,7 +447,7 @@ fn trace_roundtrip(args: &TraceArgs) -> Result<ExitCode, String> {
     }
     let protocol = args.protocol.unwrap_or(ProtocolKind::DBypFull);
     let system = args.scale.system();
-    let workload = args.scale.workload(args.bench, system.tiles());
+    let workload = args.scale.try_workload(args.bench, system.tiles())?;
     let cfg = SimConfig::new(protocol).with_system(system.clone());
     eprintln!(
         "roundtrip: {} / {} at the {:?} profile",
@@ -486,4 +489,204 @@ fn trace_roundtrip(args: &TraceArgs) -> Result<ExitCode, String> {
         recorded.total_flit_hops()
     );
     Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// The `fuzz` subcommand: randomized workload synthesis + differential oracle.
+// ---------------------------------------------------------------------------
+
+struct FuzzArgs {
+    /// Number of seeds to sweep.
+    seeds: u64,
+    /// First seed (so CI shards and bisections can window the space).
+    start: u64,
+    /// Every k-th seed synthesizes the fully-bypass streaming preset, which
+    /// additionally checks the `DBypFull ≤ MESI` dominance invariant.
+    streaming_every: u64,
+    scale: ScaleProfile,
+    self_test: bool,
+}
+
+fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
+    let mut out = FuzzArgs {
+        seeds: 20,
+        start: 0,
+        streaming_every: 5,
+        // Fuzzing wants breadth over fidelity: default to the tiny geometry
+        // (the scale flags below still override).
+        scale: ScaleProfile::Tiny,
+        self_test: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or(format!("{flag} needs a number"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{flag}: {e}"))
+        };
+        match a.as_str() {
+            "--seeds" => out.seeds = num("--seeds")?,
+            "--start" => out.start = num("--start")?,
+            "--streaming-every" => out.streaming_every = num("--streaming-every")?,
+            "--tiny" => out.scale = ScaleProfile::Tiny,
+            "--scaled" => out.scale = ScaleProfile::Scaled,
+            "--paper" => out.scale = ScaleProfile::Paper,
+            "--self-test" => out.self_test = true,
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}`; expected --seeds N | --start N | --streaming-every N | --tiny | --scaled | --paper | --self-test"
+                ));
+            }
+        }
+    }
+    // An empty window (degenerate shard arithmetic) or an overflowing one
+    // (which would wrap to an empty range in release builds) would report a
+    // false-green sweep of zero workloads.
+    if out.seeds == 0 && !out.self_test {
+        return Err("--seeds 0 would sweep nothing and report a vacuous success".to_string());
+    }
+    if out.start.checked_add(out.seeds).is_none() {
+        return Err("--start + --seeds overflows the u64 seed space".to_string());
+    }
+    Ok(out)
+}
+
+/// Order-sensitive digest of the per-protocol summaries, so the printed
+/// line (and therefore the byte-diffed fuzz transcript) is sensitive to any
+/// change in any protocol's cycles, traffic or waste accounting. Built on
+/// the oracle's fingerprint fold so there is exactly one mixer to maintain.
+fn summary_digest(summaries: &[tw_scenarios::ProtocolSummary]) -> u64 {
+    let mut h: u64 = 0xd1f7_ed5c_e4a2_1097;
+    for s in summaries {
+        h = tw_scenarios::oracle::fold(
+            h,
+            [
+                s.total_cycles,
+                s.flit_hops.to_bits(),
+                s.waste_fraction.to_bits(),
+                0,
+            ],
+        );
+    }
+    h
+}
+
+/// `fuzz`: sweep synthesized workloads across the full protocol registry and
+/// diff every run against the golden functional model. The stdout transcript
+/// is deterministic in the seed window — CI byte-diffs two runs — and the
+/// exit code is nonzero on any invariant violation.
+fn fuzz_main(args: &[String]) -> ExitCode {
+    let parsed = match parse_fuzz_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if parsed.self_test {
+        return fuzz_self_test();
+    }
+    let runner = DifferentialRunner::new(parsed.scale);
+    let started = Instant::now();
+    let mut violations = 0usize;
+    for seed in parsed.start..parsed.start + parsed.seeds {
+        let streaming = parsed.streaming_every != 0 && seed % parsed.streaming_every == 0;
+        let wl = if streaming {
+            SynthConfig::streaming(seed).build()
+        } else {
+            synthesize(seed)
+        };
+        let outcome = runner.check(&wl);
+        println!(
+            "seed={seed} {} ops={} phases={} fp={:016x} digest={:016x} {}",
+            if streaming { "streaming" } else { "general" },
+            outcome.oracle.mem_ops(),
+            outcome.oracle.phases,
+            outcome.oracle.fingerprint,
+            summary_digest(&outcome.summaries),
+            if outcome.ok() { "ok" } else { "VIOLATION" },
+        );
+        for v in &outcome.violations {
+            println!("  violation: {v}");
+            violations += 1;
+        }
+    }
+    println!(
+        "fuzz: {} workloads x {} protocols, {} violations",
+        parsed.seeds,
+        runner.protocols.len(),
+        violations
+    );
+    eprintln!(
+        "fuzz swept {} seeds in {:.2?}",
+        parsed.seeds,
+        started.elapsed()
+    );
+    if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `fuzz --self-test`: prove the oracle catches injected coherence
+/// violations by applying every known-bad mutation class and requiring a
+/// detection for each. Guards against the differential runner silently
+/// degrading into a rubber stamp.
+fn fuzz_self_test() -> ExitCode {
+    let mut undetected = 0usize;
+    // Per-class application counts: a class that never found a site was
+    // never exercised, and a self-test that skipped a whole detection layer
+    // must fail rather than rubber-stamp it.
+    let mut applied_per_class = [0usize; Mutation::ALL.len()];
+    for seed in 0..8u64 {
+        let wl = synthesize(seed);
+        let reference = match golden_execute(&wl) {
+            Ok(r) => r,
+            Err(race) => {
+                println!("self-test seed={seed}: reference workload races: {race}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (class, m) in Mutation::ALL.into_iter().enumerate() {
+            let Some(mutated) = m.apply(&wl) else {
+                println!("self-test seed={seed} {}: no site", m.name());
+                continue;
+            };
+            applied_per_class[class] += 1;
+            match detect(&reference, &mutated) {
+                Some(d) => {
+                    println!(
+                        "self-test seed={seed} {}: detected ({})",
+                        m.name(),
+                        d.label()
+                    );
+                }
+                None => {
+                    println!("self-test seed={seed} {}: UNDETECTED", m.name());
+                    undetected += 1;
+                }
+            }
+        }
+    }
+    let mut unexercised = 0usize;
+    for (class, m) in Mutation::ALL.into_iter().enumerate() {
+        if applied_per_class[class] == 0 {
+            println!("self-test: class {} was NEVER EXERCISED", m.name());
+            unexercised += 1;
+        }
+    }
+    println!(
+        "self-test: {} mutations over {} classes, {} undetected, {} unexercised",
+        applied_per_class.iter().sum::<usize>(),
+        Mutation::ALL.len(),
+        undetected,
+        unexercised
+    );
+    if undetected == 0 && unexercised == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

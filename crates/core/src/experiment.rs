@@ -50,10 +50,13 @@ impl ScaleProfile {
         sys
     }
 
-    /// Builds the workload for one benchmark at this scale.
-    pub fn workload(self, bench: BenchmarkKind, cores: usize) -> Workload {
+    /// Builds the workload for one benchmark at this scale. The trace-only
+    /// kinds (`Custom`, `Synthesized`) have no fixed-input generator and are
+    /// reported as an error — feed those through
+    /// [`ExperimentMatrix::run_on`] instead.
+    pub fn try_workload(self, bench: BenchmarkKind, cores: usize) -> Result<Workload, String> {
         match self {
-            ScaleProfile::Paper => match bench {
+            ScaleProfile::Paper => Ok(match bench {
                 BenchmarkKind::Fluidanimate => {
                     tw_workloads::fluidanimate::FluidanimateConfig::paper().build(cores)
                 }
@@ -62,13 +65,26 @@ impl ScaleProfile {
                 BenchmarkKind::Radix => tw_workloads::radix::RadixConfig::paper().build(cores),
                 BenchmarkKind::Barnes => tw_workloads::barnes::BarnesConfig::paper().build(cores),
                 BenchmarkKind::KdTree => tw_workloads::kdtree::KdTreeConfig::paper().build(cores),
-                BenchmarkKind::Custom => {
-                    panic!("custom workloads have no generator; use ExperimentMatrix::run_on")
+                BenchmarkKind::Custom | BenchmarkKind::Synthesized => {
+                    // Route through the scaled builder purely for its error
+                    // message, which names the replacement workflow.
+                    return build_scaled(bench, cores);
                 }
-            },
+            }),
             ScaleProfile::Scaled => build_scaled(bench, cores),
             ScaleProfile::Tiny => build_tiny(bench, cores),
         }
+    }
+
+    /// Builds the workload for one benchmark at this scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the trace-only kinds (see [`ScaleProfile::try_workload`]);
+    /// the matrix only ever calls this for [`BenchmarkKind::ALL`] entries.
+    pub fn workload(self, bench: BenchmarkKind, cores: usize) -> Workload {
+        self.try_workload(bench, cores)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -591,7 +607,7 @@ mod tests {
         // A captured FFT trace re-labelled as a custom workload must run
         // under every protocol of a matrix and normalize against its own
         // MESI cell.
-        let mut wl = build_tiny(BenchmarkKind::Fft, 16);
+        let mut wl = build_tiny(BenchmarkKind::Fft, 16).unwrap();
         wl.kind = BenchmarkKind::Custom;
         let matrix = ExperimentMatrix::subset(
             vec![ProtocolKind::Mesi, ProtocolKind::DBypFull],
@@ -609,7 +625,7 @@ mod tests {
 
     #[test]
     fn run_on_rejects_duplicate_kinds() {
-        let wl = build_tiny(BenchmarkKind::Fft, 16);
+        let wl = build_tiny(BenchmarkKind::Fft, 16).unwrap();
         let matrix = ExperimentMatrix::subset(vec![ProtocolKind::Mesi], vec![], ScaleProfile::Tiny);
         let result = std::panic::catch_unwind(|| matrix.run_on(vec![wl.clone(), wl.clone()]));
         assert!(result.is_err());

@@ -22,7 +22,7 @@
 //! use tw_types::ProtocolKind;
 //! use tw_workloads::{build_tiny, BenchmarkKind};
 //!
-//! let workload = build_tiny(BenchmarkKind::Fft, 16);
+//! let workload = build_tiny(BenchmarkKind::Fft, 16).unwrap();
 //! let config = SimConfig::new(ProtocolKind::DBypFull);
 //! let report = Simulator::new(config, &workload).run();
 //! assert!(report.traffic.total() > 0.0);

@@ -324,7 +324,7 @@ mod tests {
     use tw_workloads::{build_tiny, BenchmarkKind};
 
     fn run(protocol: ProtocolKind, bench: BenchmarkKind) -> SimReport {
-        let wl = build_tiny(bench, 16);
+        let wl = build_tiny(bench, 16).unwrap();
         Simulator::new(SimConfig::new(protocol), &wl).run()
     }
 
@@ -383,7 +383,7 @@ mod tests {
 
     #[test]
     fn bucketed_ledger_tracks_raw_mesh_flit_hops() {
-        let wl = build_tiny(BenchmarkKind::Radix, 16);
+        let wl = build_tiny(BenchmarkKind::Radix, 16).unwrap();
         let sim = Simulator::new(SimConfig::new(ProtocolKind::DBypFull), &wl);
         assert_eq!(sim.protocol(), ProtocolKind::DBypFull);
         let report = sim.run();
@@ -404,7 +404,7 @@ mod tests {
 
     #[test]
     fn mismatched_core_count_is_rejected() {
-        let wl = build_tiny(BenchmarkKind::Fft, 4);
+        let wl = build_tiny(BenchmarkKind::Fft, 4).unwrap();
         let result =
             std::panic::catch_unwind(|| Simulator::new(SimConfig::new(ProtocolKind::Mesi), &wl));
         assert!(result.is_err());
@@ -412,7 +412,7 @@ mod tests {
 
     #[test]
     fn captured_stream_replays_to_a_bit_identical_report() {
-        let wl = build_tiny(BenchmarkKind::Lu, 16);
+        let wl = build_tiny(BenchmarkKind::Lu, 16).unwrap();
         let (report, captured) =
             Simulator::new(SimConfig::new(ProtocolKind::DBypFull), &wl).run_captured();
         captured.assert_well_formed();

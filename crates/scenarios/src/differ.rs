@@ -1,0 +1,340 @@
+//! The cross-protocol differential runner.
+//!
+//! For one workload the runner sweeps the full protocol registry and checks
+//! every metamorphic invariant the paper's methodology depends on:
+//!
+//! 1. **Identical service** — every protocol's captured serviced stream is
+//!    exactly the input stream (hence all nine service identical op counts);
+//! 2. **Functional agreement** — the captured stream re-executed under the
+//!    golden SC-per-phase model reproduces the reference fingerprint;
+//! 3. **Replay determinism** — replaying the captured stream under the same
+//!    protocol reproduces a bit-identical [`SimReport`];
+//! 4. **Sane accounting** — the waste fraction of every report lies in
+//!    `[0, 1]` and total traffic is finite and positive;
+//! 5. **Bypass dominance** — on a fully-bypass-annotated streaming workload
+//!    (the scenario L2 bypass exists for), `DBypFull` moves no more traffic
+//!    than MESI.
+
+use crate::mutate::{detect, Detection};
+use crate::oracle::{golden_execute, OracleReport};
+use crate::synth::is_fully_bypass_streaming;
+use denovo_waste::{ExperimentMatrix, RunOutcome, ScaleProfile, SimConfig, Simulator};
+use rayon::prelude::*;
+use std::fmt;
+use tw_types::ProtocolKind;
+use tw_workloads::Workload;
+
+/// One invariant violation found by the runner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The workload failed structural validation before any simulation.
+    Malformed(String),
+    /// The golden model rejected the workload as racy.
+    Race(String),
+    /// A protocol serviced a stream different from the input.
+    StreamDiverged {
+        /// The offending protocol.
+        protocol: ProtocolKind,
+    },
+    /// A protocol's captured stream disagrees with the golden model.
+    OracleMismatch {
+        /// The offending protocol.
+        protocol: ProtocolKind,
+        /// How the divergence was classified.
+        detection: String,
+    },
+    /// Replaying a captured stream did not reproduce the original report.
+    ReplayMismatch {
+        /// The offending protocol.
+        protocol: ProtocolKind,
+    },
+    /// A report's waste fraction left `[0, 1]` or its traffic was not a
+    /// positive finite number.
+    BadAccounting {
+        /// The offending protocol.
+        protocol: ProtocolKind,
+        /// The waste fraction observed.
+        waste_fraction: f64,
+        /// The total traffic observed.
+        traffic: f64,
+    },
+    /// `DBypFull` moved more traffic than MESI on a fully-bypass-annotated
+    /// streaming workload.
+    BypassRegression {
+        /// DBypFull's total flit-hops.
+        dbypfull: f64,
+        /// MESI's total flit-hops.
+        mesi: f64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Malformed(m) => write!(f, "malformed workload: {m}"),
+            Violation::Race(m) => write!(f, "racy workload: {m}"),
+            Violation::StreamDiverged { protocol } => {
+                write!(f, "{protocol}: serviced stream diverged from the input")
+            }
+            Violation::OracleMismatch {
+                protocol,
+                detection,
+            } => write!(f, "{protocol}: captured stream fails the oracle ({detection})"),
+            Violation::ReplayMismatch { protocol } => {
+                write!(f, "{protocol}: replayed capture is not bit-identical")
+            }
+            Violation::BadAccounting {
+                protocol,
+                waste_fraction,
+                traffic,
+            } => write!(
+                f,
+                "{protocol}: waste fraction {waste_fraction} / traffic {traffic} out of range"
+            ),
+            Violation::BypassRegression { dbypfull, mesi } => write!(
+                f,
+                "DBypFull moved more traffic ({dbypfull:.0}) than MESI ({mesi:.0}) on a fully-bypass streaming workload"
+            ),
+        }
+    }
+}
+
+/// Per-protocol numbers surfaced in the fuzz summary (all deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolSummary {
+    /// The protocol.
+    pub protocol: ProtocolKind,
+    /// Total execution cycles.
+    pub total_cycles: u64,
+    /// Total flit-hops.
+    pub flit_hops: f64,
+    /// Fraction of traffic classified as waste.
+    pub waste_fraction: f64,
+}
+
+/// The verdict on one workload.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// The golden model's report (op counts + fingerprint).
+    pub oracle: OracleReport,
+    /// One summary per protocol, in registry order.
+    pub summaries: Vec<ProtocolSummary>,
+    /// Every invariant violation found (empty on success).
+    pub violations: Vec<Violation>,
+}
+
+impl DiffOutcome {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Sweeps one workload across a protocol set and checks the invariants.
+#[derive(Debug, Clone)]
+pub struct DifferentialRunner {
+    /// System scale simulated (geometry + cache sizes).
+    pub scale: ScaleProfile,
+    /// Protocols swept, in summary order.
+    pub protocols: Vec<ProtocolKind>,
+}
+
+impl DifferentialRunner {
+    /// The full nine-protocol registry at the given scale.
+    pub fn new(scale: ScaleProfile) -> Self {
+        DifferentialRunner {
+            scale,
+            protocols: ProtocolKind::ALL.to_vec(),
+        }
+    }
+
+    /// Runs every protocol over the workload and returns the verdict.
+    pub fn check(&self, wl: &Workload) -> DiffOutcome {
+        let empty = |violation: Violation| DiffOutcome {
+            oracle: OracleReport {
+                loads: 0,
+                stores: 0,
+                phases: 0,
+                fingerprint: 0,
+            },
+            summaries: Vec::new(),
+            violations: vec![violation],
+        };
+        if let Err(msg) = wl.try_well_formed() {
+            return empty(Violation::Malformed(msg));
+        }
+        let system = self.scale.system();
+        if wl.cores() != system.tiles() {
+            return empty(Violation::Malformed(format!(
+                "workload has {} cores but the {:?} system has {} tiles",
+                wl.cores(),
+                self.scale,
+                system.tiles()
+            )));
+        }
+        let oracle = match golden_execute(wl) {
+            Ok(o) => o,
+            Err(race) => return empty(Violation::Race(race.to_string())),
+        };
+
+        // Every (protocol) cell is independent; fan out on the rayon pool.
+        // `map` preserves order, so summaries stay in registry order and the
+        // fuzz output is deterministic.
+        let cells: Vec<(ProtocolSummary, Vec<Violation>)> = self
+            .protocols
+            .par_iter()
+            .map(|&protocol| {
+                let cfg = SimConfig::new(protocol).with_system(system.clone());
+                let (report, captured) = Simulator::new(cfg.clone(), wl).run_captured();
+                let mut violations = Vec::new();
+
+                if captured.traces != wl.traces {
+                    violations.push(Violation::StreamDiverged { protocol });
+                } else if let Some(d) = detect(&oracle, &captured) {
+                    // Stream equality makes this unreachable today; it is
+                    // the independent check that keeps the oracle honest if
+                    // capture semantics ever change.
+                    violations.push(Violation::OracleMismatch {
+                        protocol,
+                        detection: match d {
+                            Detection::Malformed(m) | Detection::Race(m) => m,
+                            Detection::FingerprintDiff { expected, actual } => {
+                                format!("fingerprint {actual:#018x} != {expected:#018x}")
+                            }
+                        },
+                    });
+                }
+
+                let replayed = Simulator::new(cfg, &captured).run();
+                if replayed != report {
+                    violations.push(Violation::ReplayMismatch { protocol });
+                }
+
+                let waste = report.waste_traffic_fraction();
+                let traffic = report.total_flit_hops();
+                if !(0.0..=1.0).contains(&waste) || !traffic.is_finite() || traffic <= 0.0 {
+                    violations.push(Violation::BadAccounting {
+                        protocol,
+                        waste_fraction: waste,
+                        traffic,
+                    });
+                }
+
+                (
+                    ProtocolSummary {
+                        protocol,
+                        total_cycles: report.total_cycles,
+                        flit_hops: traffic,
+                        waste_fraction: waste,
+                    },
+                    violations,
+                )
+            })
+            .collect();
+
+        let mut summaries = Vec::with_capacity(cells.len());
+        let mut violations = Vec::new();
+        for (s, v) in cells {
+            summaries.push(s);
+            violations.extend(v);
+        }
+
+        if is_fully_bypass_streaming(wl) {
+            let hops = |p: ProtocolKind| {
+                summaries
+                    .iter()
+                    .find(|s| s.protocol == p)
+                    .map(|s| s.flit_hops)
+            };
+            if let (Some(mesi), Some(dbyp)) =
+                (hops(ProtocolKind::Mesi), hops(ProtocolKind::DBypFull))
+            {
+                if dbyp > mesi {
+                    violations.push(Violation::BypassRegression {
+                        dbypfull: dbyp,
+                        mesi,
+                    });
+                }
+            }
+        }
+
+        DiffOutcome {
+            oracle,
+            summaries,
+            violations,
+        }
+    }
+
+    /// Runs the workload through [`ExperimentMatrix::run_on`] — synthesized
+    /// workloads are first-class matrix inputs, so every MESI-normalized
+    /// figure extractor works on them unchanged.
+    pub fn matrix_outcome(&self, wl: Workload) -> RunOutcome {
+        ExperimentMatrix::subset(self.protocols.clone(), Vec::new(), self.scale).run_on(vec![wl])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, SynthConfig};
+    use tw_workloads::BenchmarkKind;
+
+    #[test]
+    fn clean_workloads_pass_every_invariant() {
+        let runner = DifferentialRunner::new(ScaleProfile::Tiny);
+        for seed in [0u64, 11] {
+            let out = runner.check(&synthesize(seed));
+            assert!(
+                out.ok(),
+                "seed {seed}: {:?}",
+                out.violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(out.summaries.len(), 9);
+            assert!(out.oracle.mem_ops() > 0);
+        }
+    }
+
+    #[test]
+    fn streaming_workloads_satisfy_bypass_dominance() {
+        let runner = DifferentialRunner::new(ScaleProfile::Tiny);
+        let wl = SynthConfig::streaming(2).build();
+        let out = runner.check(&wl);
+        assert!(
+            out.ok(),
+            "{:?}",
+            out.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn core_count_mismatch_is_reported_not_panicked() {
+        let mut cfg = SynthConfig::tiny(1);
+        cfg.cores = 4;
+        let runner = DifferentialRunner::new(ScaleProfile::Tiny);
+        let out = runner.check(&cfg.build());
+        assert!(matches!(
+            out.violations.as_slice(),
+            [Violation::Malformed(_)]
+        ));
+    }
+
+    #[test]
+    fn synthesized_workloads_flow_through_the_matrix() {
+        let runner = DifferentialRunner {
+            scale: ScaleProfile::Tiny,
+            protocols: vec![ProtocolKind::Mesi, ProtocolKind::DBypFull],
+        };
+        let out = runner.matrix_outcome(synthesize(4));
+        assert_eq!(out.benchmarks, vec![BenchmarkKind::Synthesized]);
+        let fig = out.fig_5_1a();
+        let mesi = fig.value("synthesized/MESI", "Total").unwrap();
+        assert!((mesi - 1.0).abs() < 1e-9, "MESI bar normalizes to 1.0");
+        assert!(fig.value("synthesized/DBypFull", "Total").unwrap() > 0.0);
+    }
+}

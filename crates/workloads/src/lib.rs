@@ -38,43 +38,72 @@ pub mod workload;
 pub use builder::TraceBuilder;
 pub use workload::{BenchmarkKind, Workload};
 
+/// The error returned when asked to generate a benchmark kind that has no
+/// fixed-input generator ([`BenchmarkKind::Custom`] comes from trace files,
+/// [`BenchmarkKind::Synthesized`] from the seeded synthesizer).
+fn no_generator(kind: BenchmarkKind) -> String {
+    match kind {
+        BenchmarkKind::Custom => {
+            "custom workloads have no generator; replay them from a trace file".to_string()
+        }
+        BenchmarkKind::Synthesized => {
+            "synthesized workloads have no fixed generator; build them from a seed \
+             with the tw-scenarios synthesizer (or replay a saved trace)"
+                .to_string()
+        }
+        other => unreachable!("{other} has a generator"),
+    }
+}
+
 /// Builds the default (scaled) workload for a benchmark with `cores` cores.
 ///
-/// # Panics
-///
-/// Panics for [`BenchmarkKind::Custom`], which has no generator — custom
-/// workloads come from trace files via [`Workload::from_trace`].
-pub fn build_scaled(kind: BenchmarkKind, cores: usize) -> Workload {
-    match kind {
+/// The trace-only kinds ([`BenchmarkKind::Custom`],
+/// [`BenchmarkKind::Synthesized`]) have no generator here and are reported as
+/// an error rather than a panic, so callers resolving a kind from user input
+/// can surface a diagnosable message.
+pub fn build_scaled(kind: BenchmarkKind, cores: usize) -> Result<Workload, String> {
+    Ok(match kind {
         BenchmarkKind::Fluidanimate => fluidanimate::FluidanimateConfig::scaled().build(cores),
         BenchmarkKind::Lu => lu::LuConfig::scaled().build(cores),
         BenchmarkKind::Fft => fft::FftConfig::scaled().build(cores),
         BenchmarkKind::Radix => radix::RadixConfig::scaled().build(cores),
         BenchmarkKind::Barnes => barnes::BarnesConfig::scaled().build(cores),
         BenchmarkKind::KdTree => kdtree::KdTreeConfig::scaled().build(cores),
-        BenchmarkKind::Custom => {
-            panic!("custom workloads have no generator; replay them from a trace file")
-        }
-    }
+        BenchmarkKind::Custom | BenchmarkKind::Synthesized => return Err(no_generator(kind)),
+    })
 }
 
 /// Builds a miniature workload for a benchmark, suitable for unit tests and
 /// Criterion benches where run time matters more than fidelity.
 ///
-/// # Panics
-///
-/// Panics for [`BenchmarkKind::Custom`], which has no generator — custom
-/// workloads come from trace files via [`Workload::from_trace`].
-pub fn build_tiny(kind: BenchmarkKind, cores: usize) -> Workload {
-    match kind {
+/// The trace-only kinds ([`BenchmarkKind::Custom`],
+/// [`BenchmarkKind::Synthesized`]) have no generator here and are reported as
+/// an error rather than a panic (see [`build_scaled`]).
+pub fn build_tiny(kind: BenchmarkKind, cores: usize) -> Result<Workload, String> {
+    Ok(match kind {
         BenchmarkKind::Fluidanimate => fluidanimate::FluidanimateConfig::tiny().build(cores),
         BenchmarkKind::Lu => lu::LuConfig::tiny().build(cores),
         BenchmarkKind::Fft => fft::FftConfig::tiny().build(cores),
         BenchmarkKind::Radix => radix::RadixConfig::tiny().build(cores),
         BenchmarkKind::Barnes => barnes::BarnesConfig::tiny().build(cores),
         BenchmarkKind::KdTree => kdtree::KdTreeConfig::tiny().build(cores),
-        BenchmarkKind::Custom => {
-            panic!("custom workloads have no generator; replay them from a trace file")
+        BenchmarkKind::Custom | BenchmarkKind::Synthesized => return Err(no_generator(kind)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_only_kinds_are_errors_not_panics() {
+        for kind in [BenchmarkKind::Custom, BenchmarkKind::Synthesized] {
+            let err = build_scaled(kind, 16).unwrap_err();
+            assert!(err.contains("generator"), "{err}");
+            assert!(build_tiny(kind, 16).is_err());
+        }
+        for kind in BenchmarkKind::ALL {
+            assert!(build_tiny(kind, 16).is_ok(), "{kind} must generate");
         }
     }
 }

@@ -24,6 +24,12 @@ pub enum BenchmarkKind {
     /// trace-driven interface to third-party reference streams. Not part of
     /// [`BenchmarkKind::ALL`] (the paper's figures) and has no generator.
     Custom,
+    /// A workload produced by the seeded random synthesizer (`tw-scenarios`),
+    /// which composes sharing-pattern primitives into well-formed reference
+    /// streams. Like [`BenchmarkKind::Custom`] it is not part of
+    /// [`BenchmarkKind::ALL`] and has no fixed-input generator here: building
+    /// one takes a seed, which lives in the synthesizer's configuration.
+    Synthesized,
 }
 
 impl BenchmarkKind {
@@ -47,6 +53,7 @@ impl BenchmarkKind {
             BenchmarkKind::Barnes => "barnes",
             BenchmarkKind::KdTree => "kD-tree",
             BenchmarkKind::Custom => "custom",
+            BenchmarkKind::Synthesized => "synthesized",
         }
     }
 
@@ -60,16 +67,32 @@ impl BenchmarkKind {
             BenchmarkKind::Barnes => "16K bodies",
             BenchmarkKind::KdTree => "bunny",
             BenchmarkKind::Custom => "external trace",
+            BenchmarkKind::Synthesized => "seeded synthesis",
         }
     }
 
-    /// Resolves a benchmark from its figure label (case-insensitive).
-    /// Unknown names map to [`BenchmarkKind::Custom`], so any trace replays.
-    pub fn by_name(name: &str) -> BenchmarkKind {
-        BenchmarkKind::ALL
-            .into_iter()
+    /// Resolves a benchmark from its figure label (case-insensitive),
+    /// including the trace-only kinds `custom` and `synthesized`. Unknown
+    /// names are an error naming the rejected input and every accepted name —
+    /// callers that want the old "anything replays" behavior (trace headers)
+    /// fall back to [`BenchmarkKind::Custom`] explicitly.
+    pub fn by_name(name: &str) -> Result<BenchmarkKind, String> {
+        // The accepted set and the advertised set must come from the same
+        // chain, so a new kind can never desynchronize them.
+        let candidates = || {
+            BenchmarkKind::ALL
+                .into_iter()
+                .chain([BenchmarkKind::Custom, BenchmarkKind::Synthesized])
+        };
+        candidates()
             .find(|b| b.name().eq_ignore_ascii_case(name))
-            .unwrap_or(BenchmarkKind::Custom)
+            .ok_or_else(|| {
+                let names: Vec<&str> = candidates().map(|b| b.name()).collect();
+                format!(
+                    "unknown benchmark `{name}`; expected one of: {}",
+                    names.join(" ")
+                )
+            })
     }
 }
 
@@ -188,7 +211,7 @@ impl Workload {
     /// than deadlocking the simulator.
     pub fn from_trace(doc: TraceDocument) -> Result<Workload, TraceError> {
         let wl = Workload {
-            kind: BenchmarkKind::by_name(&doc.benchmark),
+            kind: BenchmarkKind::by_name(&doc.benchmark).unwrap_or(BenchmarkKind::Custom),
             input: doc.input,
             regions: doc.regions,
             traces: doc.streams,
@@ -262,17 +285,21 @@ mod tests {
     }
 
     #[test]
-    fn benchmark_names_round_trip_and_unknowns_become_custom() {
+    fn benchmark_names_round_trip_and_unknowns_are_rejected() {
         for b in BenchmarkKind::ALL {
-            assert_eq!(BenchmarkKind::by_name(b.name()), b);
-            assert_eq!(BenchmarkKind::by_name(&b.name().to_uppercase()), b);
+            assert_eq!(BenchmarkKind::by_name(b.name()), Ok(b));
+            assert_eq!(BenchmarkKind::by_name(&b.name().to_uppercase()), Ok(b));
         }
-        assert_eq!(BenchmarkKind::by_name("custom"), BenchmarkKind::Custom);
+        assert_eq!(BenchmarkKind::by_name("custom"), Ok(BenchmarkKind::Custom));
         assert_eq!(
-            BenchmarkKind::by_name("somebody-elses-trace"),
-            BenchmarkKind::Custom
+            BenchmarkKind::by_name("Synthesized"),
+            Ok(BenchmarkKind::Synthesized)
         );
+        let err = BenchmarkKind::by_name("somebody-elses-trace").unwrap_err();
+        assert!(err.contains("somebody-elses-trace"), "{err}");
+        assert!(err.contains("fluidanimate"), "{err}");
         assert!(!BenchmarkKind::ALL.contains(&BenchmarkKind::Custom));
+        assert!(!BenchmarkKind::ALL.contains(&BenchmarkKind::Synthesized));
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn main() {
         .nth(1)
         .and_then(|a| parse_benchmark(&a))
         .unwrap_or(BenchmarkKind::KdTree);
-    let workload = build_scaled(bench, 16);
+    let workload = build_scaled(bench, 16).unwrap();
     println!(
         "benchmark: {bench} ({}), {} memory references",
         workload.input,

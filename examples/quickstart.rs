@@ -8,7 +8,7 @@ use tw_types::{MessageClass, ProtocolKind};
 use tw_workloads::{build_scaled, BenchmarkKind};
 
 fn main() {
-    let workload = build_scaled(BenchmarkKind::Radix, 16);
+    let workload = build_scaled(BenchmarkKind::Radix, 16).unwrap();
     println!(
         "workload: {} ({}), {} memory references across {} cores",
         workload.kind,

@@ -12,7 +12,7 @@ use tw_workloads::{build_tiny, BenchmarkKind, Workload};
 
 fn main() {
     // 1. Run one (protocol × benchmark) cell with capture armed.
-    let workload = build_tiny(BenchmarkKind::Radix, 16);
+    let workload = build_tiny(BenchmarkKind::Radix, 16).unwrap();
     let cfg = SimConfig::new(ProtocolKind::DBypFull);
     let (recorded, captured) = Simulator::new(cfg.clone(), &workload).run_captured();
     println!(

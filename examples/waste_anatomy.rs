@@ -38,7 +38,7 @@ fn main() {
         .nth(1)
         .and_then(|a| protocol_by_name(&a))
         .unwrap_or(ProtocolKind::DBypFull);
-    let workload = build_scaled(BenchmarkKind::Fluidanimate, 16);
+    let workload = build_scaled(BenchmarkKind::Fluidanimate, 16).unwrap();
     println!(
         "benchmark: {} ({}); protocol: {protocol}",
         workload.kind, workload.input

@@ -8,7 +8,7 @@ use tw_workloads::{build_tiny, BenchmarkKind};
 #[test]
 fn every_report_is_internally_consistent() {
     for &bench in &BenchmarkKind::ALL {
-        let workload = build_tiny(bench, 16);
+        let workload = build_tiny(bench, 16).unwrap();
         workload.assert_well_formed();
         for &protocol in &ProtocolKind::ALL {
             let report = Simulator::new(SimConfig::new(protocol), &workload).run();
@@ -63,7 +63,7 @@ fn inclusive_mesi_fetches_at_least_as_many_l2_words_as_denovo_variants() {
         BenchmarkKind::Radix,
         BenchmarkKind::Fluidanimate,
     ] {
-        let workload = build_tiny(bench, 16);
+        let workload = build_tiny(bench, 16).unwrap();
         let mesi = Simulator::new(SimConfig::new(ProtocolKind::Mesi), &workload).run();
         let opt = Simulator::new(SimConfig::new(ProtocolKind::DBypL2), &workload).run();
         assert!(
@@ -77,7 +77,7 @@ fn inclusive_mesi_fetches_at_least_as_many_l2_words_as_denovo_variants() {
 
 #[test]
 fn runs_are_deterministic() {
-    let workload = build_tiny(BenchmarkKind::KdTree, 16);
+    let workload = build_tiny(BenchmarkKind::KdTree, 16).unwrap();
     let a = Simulator::new(SimConfig::new(ProtocolKind::DBypFull), &workload).run();
     let b = Simulator::new(SimConfig::new(ProtocolKind::DBypFull), &workload).run();
     assert_eq!(a.total_cycles, b.total_cycles);
@@ -90,7 +90,7 @@ fn runs_are_deterministic() {
 fn alternative_system_configurations_are_respected() {
     // Shrinking the L2 must increase DRAM pressure; the simulator must accept
     // any validated configuration, not just Table 4.1.
-    let workload = build_tiny(BenchmarkKind::Fft, 16);
+    let workload = build_tiny(BenchmarkKind::Fft, 16).unwrap();
     let big = Simulator::new(SimConfig::new(ProtocolKind::Mesi), &workload).run();
 
     let mut small_sys = SystemConfig::default();
