@@ -12,7 +12,7 @@ use tw_types::ProtocolKind;
 use tw_workloads::{build_tiny, BenchmarkKind};
 
 fn matrix() -> RunOutcome {
-    run_bench_matrix()
+    run_bench_matrix().expect("the bench matrix must run")
 }
 
 fn bench_tables(c: &mut Criterion) {

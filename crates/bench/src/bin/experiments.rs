@@ -1,5 +1,5 @@
 //! Regenerates every table and figure of the paper's evaluation section,
-//! and records/replays trace files.
+//! runs declarative experiment plans, and records/replays trace files.
 //!
 //! Usage:
 //!
@@ -8,6 +8,11 @@
 //! cargo run -p tw-bench --release --bin experiments -- fig5_1a headline
 //! cargo run -p tw-bench --release --bin experiments -- --paper all
 //! cargo run -p tw-bench --release --bin experiments -- all --json
+//! cargo run -p tw-bench --release --bin experiments -- all --cache .exp-cache
+//!
+//! cargo run -p tw-bench --release --bin experiments -- plan builtin --tiny > spec.json
+//! cargo run -p tw-bench --release --bin experiments -- plan show spec.json
+//! cargo run -p tw-bench --release --bin experiments -- plan run spec.json --cache .exp-cache
 //!
 //! cargo run -p tw-bench --release --bin experiments -- trace record out.trace --bench FFT
 //! cargo run -p tw-bench --release --bin experiments -- trace replay out.trace
@@ -19,13 +24,18 @@
 //! cargo run -p tw-bench --release --bin experiments -- fuzz --self-test
 //! ```
 //!
-//! With no arguments, `all` at the scaled profile is assumed. `--json`
-//! additionally writes a machine-readable `BENCH_results.json` (matrix wall
-//! time, headline averages, per-figure values) to the current directory.
-//! See EXPERIMENTS.md for the `trace` subcommand walkthrough.
+//! With no arguments, `all` at the scaled profile is assumed (the figure
+//! commands are sugar over the built-in full-matrix spec, run through a
+//! `Session`). `--json` additionally writes a machine-readable
+//! `BENCH_results.json` (matrix wall time, headline averages, per-figure
+//! values) to the current directory; `--cache DIR` routes the run through
+//! the content-addressed result cache. Experiment-layer errors (bad specs,
+//! missing cells, core-count mismatches) exit with status 2. See
+//! EXPERIMENTS.md for the `plan` and `trace` walkthroughs.
 
 use denovo_waste::{
-    protocol_by_name, ExperimentMatrix, RunOutcome, ScaleProfile, SimConfig, SimReport, Simulator,
+    protocol_by_name, ExperimentError, ExperimentMatrix, ExperimentSpec, PlanOutcome, RunOutcome,
+    ScaleProfile, Session, SimConfig, SimReport, Simulator, WorkloadSet,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -35,8 +45,8 @@ use tw_trace::TraceDocument;
 use tw_types::ProtocolKind;
 use tw_workloads::{BenchmarkKind, Workload};
 
-fn print_headline(outcome: &RunOutcome) {
-    let h = outcome.headline();
+fn print_headline(outcome: &RunOutcome) -> Result<(), ExperimentError> {
+    let h = outcome.headline()?;
     println!("== Headline cross-benchmark averages (paper value in parentheses) ==");
     println!(
         "DBypFull traffic vs MESI:    {:.3}  (paper ~0.605, i.e. a 39.5% reduction)",
@@ -70,6 +80,7 @@ fn print_headline(outcome: &RunOutcome) {
         "MESI overhead fraction:      {:.3}  (paper ~0.136)",
         h.mesi_overhead_fraction
     );
+    Ok(())
 }
 
 const FIGURES: [&str; 12] = [
@@ -87,14 +98,37 @@ fn scale_from(args: &[String]) -> ScaleProfile {
     }
 }
 
+/// Extracts the value following a `--flag` from `args`, removing both.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(at) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if at + 1 >= args.len() || args[at + 1].starts_with("--") {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(at + 1);
+    args.remove(at);
+    Ok(Some(value))
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
         return trace_main(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("fuzz") {
         return fuzz_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("plan") {
+        return plan_main(&args[1..]);
+    }
+    let cache = match take_flag_value(&mut args, "--cache") {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
     // Reject anything unrecognized up front: a typo'd `--json` or figure
     // name must not silently cost a multi-minute matrix run. The rejected
     // token itself is always named in the error.
@@ -102,12 +136,14 @@ fn main() -> ExitCode {
         if a.starts_with("--")
             && !matches!(a.as_str(), "--paper" | "--scaled" | "--tiny" | "--json")
         {
-            eprintln!("unknown flag `{a}`; expected --paper | --scaled | --tiny | --json");
+            eprintln!(
+                "unknown flag `{a}`; expected --paper | --scaled | --tiny | --json | --cache DIR"
+            );
             return ExitCode::from(2);
         }
         if !a.starts_with("--") && !FIGURES.contains(&a.as_str()) {
             eprintln!(
-                "unknown figure `{a}`; expected one of: {} (or the `trace` / `fuzz` subcommands)",
+                "unknown figure `{a}`; expected one of: {} (or the `plan` / `trace` / `fuzz` subcommands)",
                 FIGURES.join(" ")
             );
             return ExitCode::from(2);
@@ -122,18 +158,60 @@ fn main() -> ExitCode {
 
     eprintln!("running the experiment matrix ({scale:?} profile); this takes a little while...");
     let started = Instant::now();
-    let outcome = ExperimentMatrix::full(scale).run();
+    // The figure commands are sugar over the built-in full-matrix spec run
+    // through a (optionally cached) session.
+    let spec = ExperimentSpec::full_matrix(scale);
+    let mut session = Session::new();
+    if let Some(dir) = &cache {
+        session = session.with_cache_dir(dir);
+    }
+    let outcome = match session
+        .run(&spec, &WorkloadSet::new())
+        .and_then(RunOutcome::from_plan)
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let matrix_wall = started.elapsed();
     eprintln!(
         "matrix of {} cells finished in {:.2?}",
-        outcome.reports.len(),
+        outcome.cells(),
         matrix_wall
     );
+    if cache.is_some() {
+        let s = outcome.plan().cache;
+        eprintln!(
+            "cache: {} hits / {} misses ({:.0}% hit rate)",
+            s.hits,
+            s.misses,
+            100.0 * s.hit_rate()
+        );
+    }
 
+    match emit_figures(&outcome, scale, json, &wanted, matrix_wall) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn emit_figures(
+    outcome: &RunOutcome,
+    scale: ScaleProfile,
+    json: bool,
+    wanted: &[String],
+    matrix_wall: std::time::Duration,
+) -> Result<ExitCode, ExperimentError> {
     if json {
         let path = "BENCH_results.json";
-        let doc = tw_bench::results_json(&outcome, scale, matrix_wall);
-        std::fs::write(path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        let doc = tw_bench::results_json(outcome, scale, matrix_wall)?;
+        std::fs::write(path, doc)
+            .map_err(|e| ExperimentError::Io(format!("cannot write {path}: {e}")))?;
         println!("wrote {path}");
     }
 
@@ -144,7 +222,7 @@ fn main() -> ExitCode {
     // prints nothing exits nonzero so scripts and CI can rely on it.
     let mut emitted_cells = 0usize;
     let mut emit = |fig: denovo_waste::FigureTable| {
-        emitted_cells += fig.rows.len();
+        emitted_cells += fig.rows().len();
         println!("{fig}");
     };
 
@@ -155,41 +233,186 @@ fn main() -> ExitCode {
         emit(outcome.table_4_2());
     }
     if want("fig5_1a") {
-        emit(outcome.fig_5_1a());
+        emit(outcome.fig_5_1a()?);
     }
     if want("fig5_1b") {
-        emit(outcome.fig_5_1b());
+        emit(outcome.fig_5_1b()?);
     }
     if want("fig5_1c") {
-        emit(outcome.fig_5_1c());
+        emit(outcome.fig_5_1c()?);
     }
     if want("fig5_1d") {
-        emit(outcome.fig_5_1d());
+        emit(outcome.fig_5_1d()?);
     }
     if want("fig5_2") {
-        emit(outcome.fig_5_2());
+        emit(outcome.fig_5_2()?);
     }
     if want("fig5_3a") {
-        emit(outcome.fig_5_3a());
+        emit(outcome.fig_5_3a()?);
     }
     if want("fig5_3b") {
-        emit(outcome.fig_5_3b());
+        emit(outcome.fig_5_3b()?);
     }
     if want("fig5_3c") {
-        emit(outcome.fig_5_3c());
+        emit(outcome.fig_5_3c()?);
     }
     if want("headline") {
-        print_headline(&outcome);
-        emitted_cells += outcome.reports.len();
+        print_headline(outcome)?;
+        emitted_cells += outcome.cells();
     }
     if emitted_cells == 0 {
         eprintln!(
             "error: requested output ({}) produced no cells",
             wanted.join(" ")
         );
-        return ExitCode::FAILURE;
+        return Ok(ExitCode::FAILURE);
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// The `plan` subcommand family: builtin / show / run.
+// ---------------------------------------------------------------------------
+
+fn plan_main(args: &[String]) -> ExitCode {
+    let Some(sub) = args.first().map(String::as_str) else {
+        eprintln!("usage: experiments plan <builtin|show|run> ...");
+        return ExitCode::from(2);
+    };
+    let result = match sub {
+        "builtin" => plan_builtin(&args[1..]),
+        "show" => plan_show(&args[1..]),
+        "run" => plan_run(&args[1..]),
+        s => {
+            eprintln!("unknown plan subcommand `{s}`; expected builtin | show | run");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `plan builtin`: emit the built-in full-matrix spec as JSON — the exact
+/// plan the figure commands are sugar over, and a convenient starting point
+/// for hand-edited sweeps.
+fn plan_builtin(args: &[String]) -> Result<ExitCode, ExperimentError> {
+    for a in args {
+        if !matches!(a.as_str(), "--tiny" | "--scaled" | "--paper") {
+            return Err(ExperimentError::InvalidSpec(format!(
+                "unknown flag `{a}`; expected --tiny | --scaled | --paper"
+            )));
+        }
+    }
+    print!(
+        "{}",
+        ExperimentSpec::full_matrix(scale_from(args)).to_json()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `plan show <spec.json>`: compile the plan and list every cell with its
+/// identity (workload ref, variant geometry, protocol, cache key) without
+/// simulating anything.
+fn plan_show(args: &[String]) -> Result<ExitCode, ExperimentError> {
+    let [path] = args else {
+        return Err(ExperimentError::InvalidSpec(
+            "usage: experiments plan show <spec.json>".to_string(),
+        ));
+    };
+    let spec = ExperimentSpec::load(Path::new(path))?;
+    let plan = spec.compile(&WorkloadSet::new())?;
+    let session = Session::new();
+    println!(
+        "plan `{}`: {} protocols x {} rows = {} cells",
+        plan.name,
+        plan.protocols.len(),
+        plan.rows.len(),
+        plan.cells.len()
+    );
+    for (label, sys) in &plan.variants {
+        println!(
+            "variant `{label}`: {} tiles, {} B lines, {} KB L1, {} KB L2/slice",
+            sys.tiles(),
+            sys.cache.line_bytes,
+            sys.cache.l1_bytes / 1024,
+            sys.cache.l2_slice_bytes / 1024,
+        );
+    }
+    for cell in &plan.cells {
+        println!(
+            "  {:<28} {:<10} workload {:<24} key {}",
+            cell.label,
+            cell.protocol.name(),
+            cell.workload_ref.to_string(),
+            session.key_of(cell),
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `plan run <spec.json>`: compile and execute a plan, printing every
+/// figure; `--cache DIR` routes through the result cache, `--json OUT`
+/// writes the deterministic figures document, `--stats OUT` the cache
+/// statistics.
+fn plan_run(args: &[String]) -> Result<ExitCode, ExperimentError> {
+    let mut args = args.to_vec();
+    let bad = |msg: String| ExperimentError::InvalidSpec(msg);
+    let cache = take_flag_value(&mut args, "--cache").map_err(bad)?;
+    let json_out = take_flag_value(&mut args, "--json").map_err(bad)?;
+    let stats_out = take_flag_value(&mut args, "--stats").map_err(bad)?;
+    let [path] = args.as_slice() else {
+        return Err(ExperimentError::InvalidSpec(
+            "usage: experiments plan run <spec.json> [--cache DIR] [--json OUT] [--stats OUT]"
+                .to_string(),
+        ));
+    };
+    let spec = ExperimentSpec::load(Path::new(path))?;
+    let mut session = Session::new();
+    if let Some(dir) = &cache {
+        session = session.with_cache_dir(dir);
+    }
+    eprintln!("running plan `{}` ({:?} scale)...", spec.name, spec.scale);
+    let started = Instant::now();
+    let outcome = session.run(&spec, &WorkloadSet::new())?;
+    eprintln!(
+        "plan of {} cells finished in {:.2?}",
+        outcome.cells(),
+        started.elapsed()
+    );
+    print_plan_outcome(&outcome, json_out.as_deref(), stats_out.as_deref())
+}
+
+fn print_plan_outcome(
+    outcome: &PlanOutcome,
+    json_out: Option<&str>,
+    stats_out: Option<&str>,
+) -> Result<ExitCode, ExperimentError> {
+    for fig in outcome.all_figures()? {
+        println!("{fig}");
+    }
+    let s = outcome.cache;
+    println!(
+        "cache: {} hits / {} misses ({:.0}% hit rate)",
+        s.hits,
+        s.misses,
+        100.0 * s.hit_rate()
+    );
+    if let Some(path) = json_out {
+        std::fs::write(path, tw_bench::plan_figures_json(outcome)?)
+            .map_err(|e| ExperimentError::Io(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = stats_out {
+        std::fs::write(path, tw_bench::cache_stats_json(&outcome.name, &s))
+            .map_err(|e| ExperimentError::Io(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 // ---------------------------------------------------------------------------
@@ -355,9 +578,9 @@ fn trace_replay(args: &TraceArgs) -> Result<ExitCode, String> {
         None => {
             let matrix = ExperimentMatrix::subset(ProtocolKind::ALL.to_vec(), vec![], args.scale);
             let kind = workload.kind;
-            let outcome = matrix.run_on(vec![workload]);
+            let outcome = matrix.run_on(vec![workload]).map_err(|e| e.to_string())?;
             for &p in &ProtocolKind::ALL {
-                summarize(outcome.report(kind, p));
+                summarize(outcome.report(kind, p).map_err(|e| e.to_string())?);
             }
         }
     }

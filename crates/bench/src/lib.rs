@@ -2,7 +2,8 @@
 //!
 //! The `experiments` binary regenerates every table and figure of the paper's
 //! evaluation section (run `cargo run -p tw-bench --release --bin experiments
-//! -- all`, or `-- all --json` for a machine-readable `BENCH_results.json`);
+//! -- all`, or `-- all --json` for a machine-readable `BENCH_results.json`)
+//! and runs arbitrary declarative plans (`experiments plan run spec.json`);
 //! the Criterion benches under `benches/` cover the same figures at a reduced
 //! scale plus microbenchmarks of every substrate crate. The experiment index
 //! and recorded full-scale numbers live in `EXPERIMENTS.md`.
@@ -10,21 +11,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use denovo_waste::{ExperimentMatrix, FigureTable, RunOutcome, ScaleProfile};
+use denovo_waste::{
+    CacheStats, ExperimentError, ExperimentMatrix, FigureTable, PlanOutcome, RunOutcome,
+    ScaleProfile,
+};
 use std::fmt::Write as _;
 use std::time::Duration;
 use tw_types::ProtocolKind;
 use tw_workloads::BenchmarkKind;
 
 /// Runs the full nine-protocol × six-benchmark matrix at the given scale.
-pub fn run_full_matrix(scale: ScaleProfile) -> RunOutcome {
+///
+/// # Errors
+///
+/// Any [`ExperimentError`] from the underlying plan run.
+pub fn run_full_matrix(scale: ScaleProfile) -> Result<RunOutcome, ExperimentError> {
     ExperimentMatrix::full(scale).run()
 }
 
 /// Runs a reduced matrix used by the per-figure Criterion benches: the five
 /// protocols the headline summary compares, on two benchmarks, at the tiny
 /// scale.
-pub fn run_bench_matrix() -> RunOutcome {
+///
+/// # Errors
+///
+/// Any [`ExperimentError`] from the underlying plan run.
+pub fn run_bench_matrix() -> Result<RunOutcome, ExperimentError> {
     ExperimentMatrix::subset(
         vec![
             ProtocolKind::Mesi,
@@ -71,16 +83,16 @@ fn figure_json(fig: &FigureTable, out: &mut String) {
     let _ = write!(
         out,
         "{{\"title\":\"{}\",\"columns\":[",
-        json_escape(&fig.title)
+        json_escape(fig.title())
     );
-    for (i, c) in fig.columns.iter().enumerate() {
+    for (i, c) in fig.columns().iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(out, "\"{}\"", json_escape(c));
     }
     out.push_str("],\"rows\":[");
-    for (i, (label, values)) in fig.rows.iter().enumerate() {
+    for (i, (label, values)) in fig.rows().iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -99,8 +111,18 @@ fn figure_json(fig: &FigureTable, out: &mut String) {
 /// Serializes one experiment run — matrix wall time, headline averages and
 /// every figure of the evaluation section — as the `BENCH_results.json`
 /// document consumed by the performance-trajectory tooling.
-pub fn results_json(outcome: &RunOutcome, scale: ScaleProfile, matrix_wall: Duration) -> String {
-    let h = outcome.headline();
+///
+/// # Errors
+///
+/// Any [`ExperimentError`] from figure extraction (for example a missing
+/// baseline protocol).
+pub fn results_json(
+    outcome: &RunOutcome,
+    scale: ScaleProfile,
+    matrix_wall: Duration,
+) -> Result<String, ExperimentError> {
+    let h = outcome.headline()?;
+    let figures = outcome.all_figures(scale)?;
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"denovo-waste/bench-results/v1\",\n");
@@ -121,7 +143,7 @@ pub fn results_json(outcome: &RunOutcome, scale: ScaleProfile, matrix_wall: Dura
         let _ = write!(out, "\"{b}\"");
     }
     out.push_str("],\n");
-    let _ = writeln!(out, "  \"cells\": {},", outcome.reports.len());
+    let _ = writeln!(out, "  \"cells\": {},", outcome.cells());
     let _ = writeln!(
         out,
         "  \"matrix_wall_ms\": {},",
@@ -148,7 +170,6 @@ pub fn results_json(outcome: &RunOutcome, scale: ScaleProfile, matrix_wall: Dura
     }
     out.push_str("  },\n");
     out.push_str("  \"figures\": [\n");
-    let figures = outcome.all_figures(scale);
     for (i, fig) in figures.iter().enumerate() {
         out.push_str("    ");
         figure_json(fig, &mut out);
@@ -158,7 +179,64 @@ pub fn results_json(outcome: &RunOutcome, scale: ScaleProfile, matrix_wall: Dura
         out.push('\n');
     }
     out.push_str("  ]\n}\n");
-    out
+    Ok(out)
+}
+
+/// Serializes a plan outcome's figures as a deterministic JSON document —
+/// the `plan run --json` artifact. Deliberately contains **no wall time and
+/// no cache statistics**, so a cold and a warm run of the same plan emit
+/// byte-identical documents (CI diffs exactly that).
+///
+/// # Errors
+///
+/// Any [`ExperimentError`] from figure extraction.
+pub fn plan_figures_json(outcome: &PlanOutcome) -> Result<String, ExperimentError> {
+    let figures = outcome.all_figures()?;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"denovo-waste/plan-results/v1\",\n");
+    let _ = writeln!(out, "  \"plan\": \"{}\",", json_escape(&outcome.name));
+    let _ = write!(out, "  \"protocols\": [");
+    for (i, p) in outcome.protocols.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{p}\"");
+    }
+    out.push_str("],\n");
+    let _ = write!(out, "  \"rows\": [");
+    for (i, (_, label)) in outcome.rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", json_escape(label));
+    }
+    out.push_str("],\n");
+    let _ = writeln!(out, "  \"cells\": {},", outcome.cells());
+    out.push_str("  \"figures\": [\n");
+    for (i, fig) in figures.iter().enumerate() {
+        out.push_str("    ");
+        figure_json(fig, &mut out);
+        if i + 1 < figures.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    Ok(out)
+}
+
+/// Serializes a plan run's cache statistics — the `plan run --stats`
+/// artifact CI uploads next to `BENCH_results.json`.
+pub fn cache_stats_json(plan: &str, stats: &CacheStats) -> String {
+    format!(
+        "{{\n  \"schema\": \"denovo-waste/cache-stats/v1\",\n  \"plan\": \"{}\",\n  \"cells\": {},\n  \"hits\": {},\n  \"misses\": {},\n  \"hit_rate\": {}\n}}\n",
+        json_escape(plan),
+        stats.total(),
+        stats.hits,
+        stats.misses,
+        json_num(stats.hit_rate()),
+    )
 }
 
 #[cfg(test)]
@@ -192,8 +270,9 @@ mod tests {
             vec![BenchmarkKind::Fft, BenchmarkKind::Radix],
             ScaleProfile::Tiny,
         )
-        .run();
-        let json = results_json(&outcome, ScaleProfile::Tiny, Duration::from_millis(1234));
+        .run()
+        .unwrap();
+        let json = results_json(&outcome, ScaleProfile::Tiny, Duration::from_millis(1234)).unwrap();
         // Structural sanity without a JSON parser: balanced delimiters and
         // the expected top-level keys.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -209,5 +288,16 @@ mod tests {
         }
         assert!(json.contains("\"matrix_wall_ms\": 1234"));
         assert!(json.contains("Figure 5.1a"));
+
+        // The plan-level document shares the figure payload but carries no
+        // wall time (it must be byte-reproducible).
+        let plan_json = plan_figures_json(outcome.plan()).unwrap();
+        assert!(plan_json.contains("denovo-waste/plan-results/v1"));
+        assert!(plan_json.contains("Figure 5.1a"));
+        assert!(!plan_json.contains("matrix_wall_ms"));
+
+        let stats = cache_stats_json(&outcome.plan().name, &outcome.plan().cache);
+        assert!(stats.contains("\"hits\": 0"));
+        assert!(stats.contains("\"misses\": 10"));
     }
 }

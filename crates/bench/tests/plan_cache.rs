@@ -1,0 +1,281 @@
+//! Properties of the content-addressed result cache.
+//!
+//! The cache's contract: a warm re-run returns **bit-identical** reports
+//! (reusing `SimReport`'s exact `PartialEq` from the determinism work) at a
+//! fraction of the cold cost, and *any* change to a key component — a trace
+//! byte, the protocol, a geometry field, the engine version — misses instead
+//! of serving a stale result. Plus the spec-codec property: every
+//! representable spec round-trips through its JSON form.
+
+use denovo_waste::{
+    cache_key, ExperimentSpec, ScaleProfile, Session, SystemVariant, WorkloadSet, WorkloadSpec,
+    ENGINE_VERSION,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::time::Instant;
+use tw_scenarios::synthesize;
+use tw_types::{Digest, ProtocolKind, SystemConfig, TraceOp};
+
+/// A fresh per-test cache directory under the system temp dir.
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tw-plan-cache-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_rerun_of_the_full_tiny_matrix_is_bit_identical_and_10x_faster() {
+    let dir = fresh_dir("warm-rerun");
+    let spec = ExperimentSpec::full_matrix(ScaleProfile::Tiny);
+    let session = Session::new().with_cache_dir(&dir);
+    let none = WorkloadSet::new();
+
+    let cold_started = Instant::now();
+    let cold = session.run(&spec, &none).unwrap();
+    let cold_elapsed = cold_started.elapsed();
+    assert_eq!(cold.cache.hits, 0);
+    assert_eq!(cold.cache.misses, 54);
+
+    let warm_started = Instant::now();
+    let warm = session.run(&spec, &none).unwrap();
+    let mut warm_elapsed = warm_started.elapsed();
+    assert_eq!(warm.cache.hits, 54, "warm re-run must be 100% cache hits");
+    assert_eq!(warm.cache.misses, 0);
+    assert!((warm.cache.hit_rate() - 1.0).abs() < 1e-12);
+
+    // Bit-identical reports (SimReport's PartialEq is exact, including every
+    // f64), and therefore byte-identical figure output.
+    assert_eq!(
+        warm.reports, cold.reports,
+        "cached reports must be bit-identical"
+    );
+    assert_eq!(
+        tw_bench::plan_figures_json(&warm).unwrap(),
+        tw_bench::plan_figures_json(&cold).unwrap(),
+        "figure JSON must be byte-identical across cold/warm runs"
+    );
+
+    // The acceptance bar is >= 10x; in practice the warm run only rebuilds
+    // and digests workloads plus parses 54 small files (~60x measured).
+    // Wall-clock on a loaded runner is noisy, so a warm measurement that
+    // misses the bar gets one re-measurement and the best attempt counts —
+    // a genuine cache regression fails both.
+    if cold_elapsed < warm_elapsed * 10 {
+        let retry_started = Instant::now();
+        let retry = session.run(&spec, &none).unwrap();
+        assert_eq!(retry.cache.hits, 54);
+        warm_elapsed = warm_elapsed.min(retry_started.elapsed());
+    }
+    assert!(
+        cold_elapsed >= warm_elapsed * 10,
+        "warm re-run must be at least 10x faster (cold {cold_elapsed:?}, warm {warm_elapsed:?})"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One-workload, one-protocol spec over a provided synthesized workload.
+fn synth_spec(protocol: ProtocolKind) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::subset(vec![protocol], vec![], ScaleProfile::Tiny);
+    spec.name = "cache-mutation".into();
+    spec.workloads = vec![WorkloadSpec::provided("synth")];
+    spec
+}
+
+#[test]
+fn mutating_any_key_component_misses() {
+    let dir = fresh_dir("key-mutation");
+    let session = Session::new().with_cache_dir(&dir);
+    let wl = synthesize(3);
+    let mut set = WorkloadSet::new();
+    set.insert("synth", wl.clone());
+
+    // Prime the cache and prove the baseline hits.
+    let spec = synth_spec(ProtocolKind::Mesi);
+    assert_eq!(session.run(&spec, &set).unwrap().cache.misses, 1);
+    assert_eq!(session.run(&spec, &set).unwrap().cache.hits, 1);
+
+    // (1) One trace byte: lengthen a compute burst by a cycle. The workload
+    // is still well-formed, but its content digest — and so the key — moves.
+    let mut mutated = wl.clone();
+    let op = mutated.traces[0]
+        .iter_mut()
+        .find(|op| matches!(op, TraceOp::Compute { .. }))
+        .expect("synthesized workloads contain compute bursts");
+    if let TraceOp::Compute { cycles } = op {
+        *cycles += 1;
+    }
+    let mut mutated_set = WorkloadSet::new();
+    mutated_set.insert("synth", mutated);
+    let out = session.run(&spec, &mutated_set).unwrap();
+    assert_eq!(
+        (out.cache.hits, out.cache.misses),
+        (0, 1),
+        "a single trace byte must miss"
+    );
+
+    // (2) The protocol.
+    let out = session
+        .run(&synth_spec(ProtocolKind::DeNovo), &set)
+        .unwrap();
+    assert_eq!(
+        (out.cache.hits, out.cache.misses),
+        (0, 1),
+        "a different protocol must miss"
+    );
+
+    // (3) A geometry field (l2_slice_bytes).
+    let mut l2 = synth_spec(ProtocolKind::Mesi);
+    l2.variants = vec![SystemVariant::l2_slice("l2-64k", 64 * 1024)];
+    let out = session.run(&l2, &set).unwrap();
+    assert_eq!(
+        (out.cache.hits, out.cache.misses),
+        (0, 1),
+        "a different L2 slice size must miss"
+    );
+
+    // (4) The engine version (the key function is pure, so this is provable
+    // without monkey-patching the const).
+    let sys = SystemConfig::default();
+    let digest = Digest::of_bytes(b"same-trace");
+    assert_ne!(
+        cache_key(digest, &sys, ProtocolKind::Mesi, 100, ENGINE_VERSION),
+        cache_key(
+            digest,
+            &sys,
+            ProtocolKind::Mesi,
+            100,
+            "denovo-waste/engine-v999"
+        ),
+        "an engine-version bump must retire every entry"
+    );
+
+    // Nothing above disturbed the original entries: the primed cell still hits.
+    assert_eq!(session.run(&spec, &set).unwrap().cache.hits, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_entries_are_recomputed_not_trusted() {
+    let dir = fresh_dir("corrupt");
+    let session = Session::new().with_cache_dir(&dir);
+    let mut set = WorkloadSet::new();
+    set.insert("synth", synthesize(5));
+    let spec = synth_spec(ProtocolKind::DBypFull);
+
+    let cold = session.run(&spec, &set).unwrap();
+    assert_eq!(cold.cache.misses, 1);
+
+    // Garble every entry in the cache directory.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        std::fs::write(&path, b"{ not a cache entry").unwrap();
+    }
+
+    let warm = session.run(&spec, &set).unwrap();
+    assert_eq!(
+        (warm.cache.hits, warm.cache.misses),
+        (0, 1),
+        "a corrupt entry must be a miss, not a parse failure or a stale hit"
+    );
+    assert_eq!(warm.reports, cold.reports);
+
+    // The recompute overwrote the corrupt entry, so the next run hits again.
+    assert_eq!(session.run(&spec, &set).unwrap().cache.hits, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Builds a representable spec from proptest-drawn raw parts.
+fn spec_from_raw(
+    scale_i: usize,
+    proto_mask: u16,
+    workload_raw: &[(u8, u8)],
+    variant_raw: &[(u8, u8)],
+    baseline_i: usize,
+) -> ExperimentSpec {
+    let scale = [
+        ScaleProfile::Paper,
+        ScaleProfile::Scaled,
+        ScaleProfile::Tiny,
+    ][scale_i % 3];
+    let protocols: Vec<ProtocolKind> = ProtocolKind::ALL
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| proto_mask & (1 << i) != 0)
+        .map(|(_, p)| p)
+        .collect();
+    let workloads = workload_raw
+        .iter()
+        .enumerate()
+        .map(|(i, (kind, which))| {
+            let name = format!("w{i}");
+            match kind % 3 {
+                0 => WorkloadSpec {
+                    name,
+                    source: denovo_waste::WorkloadSource::Bench(
+                        tw_workloads::BenchmarkKind::ALL[*which as usize % 6],
+                    ),
+                },
+                1 => WorkloadSpec::trace(name, format!("traces/t{which}.trace")),
+                _ => WorkloadSpec {
+                    name,
+                    source: denovo_waste::WorkloadSource::Provided(format!("p{which}")),
+                },
+            }
+        })
+        .collect();
+    let variants = variant_raw
+        .iter()
+        .enumerate()
+        .map(|(i, (kind, k))| {
+            let label = format!("v{i}");
+            let k = u64::from(*k % 6);
+            match kind % 4 {
+                0 => SystemVariant::l2_slice(label, 1024 << k),
+                1 => SystemVariant::mesh(label, 2 + k as usize, 2 + (k as usize / 2)),
+                2 => SystemVariant {
+                    l1_bytes: Some(4096 << k),
+                    ..SystemVariant::base()
+                },
+                _ => SystemVariant {
+                    line_bytes: Some(16 << (k % 3)),
+                    ..SystemVariant::base()
+                },
+            }
+        })
+        .enumerate()
+        .map(|(i, mut v)| {
+            v.label = format!("v{i}");
+            v
+        })
+        .collect();
+    let baseline = denovo_waste::Baseline::Protocol(protocols[baseline_i % protocols.len().max(1)]);
+    ExperimentSpec {
+        name: "prop-spec".into(),
+        scale,
+        protocols,
+        workloads,
+        variants,
+        baseline,
+    }
+}
+
+proptest! {
+    /// Any representable spec round-trips exactly through its JSON document.
+    #[test]
+    fn spec_json_round_trips(
+        scale_i in 0usize..3,
+        proto_mask in 1u16..512,
+        workload_raw in prop::collection::vec((0u8..3, 0u8..8), 1..6),
+        variant_raw in prop::collection::vec((0u8..4, 0u8..8), 0..5),
+        baseline_i in 0usize..9,
+    ) {
+        let spec = spec_from_raw(scale_i, proto_mask, &workload_raw, &variant_raw, baseline_i);
+        let text = spec.to_json();
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+}

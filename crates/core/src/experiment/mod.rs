@@ -1,0 +1,507 @@
+//! The experiment layer: declarative plans, cached sessions, outcomes.
+//!
+//! The layer is split along its lifecycle (see `DESIGN.md` §10):
+//!
+//! * [`plan`] — the declarative, JSON-round-trippable [`ExperimentSpec`]
+//!   (sweep axes: protocols × workloads × system variants), compiled into
+//!   cells with stable identity ([`WorkloadRef`] = name + content digest);
+//! * [`session`] — [`Session`] executes compiled plans through an optional
+//!   content-addressed result cache keyed by everything that determines a
+//!   report (trace bytes, system, protocol, engine version);
+//! * [`outcome`] — [`PlanOutcome`] extracts the paper's tables and figures,
+//!   normalized to an explicit [`Baseline`] (MESI by default).
+//!
+//! [`ExperimentMatrix`] and [`RunOutcome`] are thin facades preserving the
+//! original benchmark-keyed API: `ExperimentMatrix::full(scale).run()` still
+//! works (now returning `Result` instead of panicking) and is sugar for a
+//! built-in spec run through an uncached session.
+
+mod codec;
+mod json;
+pub mod outcome;
+pub mod plan;
+pub mod session;
+
+pub use outcome::{HeadlineSummary, PlanOutcome, RunOutcome};
+pub use plan::{
+    Baseline, CompiledPlan, ExperimentError, ExperimentSpec, PlannedCell, RowKey, SystemVariant,
+    WorkloadRef, WorkloadSet, WorkloadSource, WorkloadSpec, SPEC_SCHEMA,
+};
+pub use session::{cache_key, CacheStats, Session, ENGINE_VERSION};
+
+use tw_types::SystemConfig;
+use tw_workloads::{build_scaled, build_tiny, BenchmarkKind, Workload};
+
+/// Which input scale to run (see DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleProfile {
+    /// The paper's input sizes on the Table 4.1 system. Slow; intended for
+    /// full reproduction runs.
+    Paper,
+    /// Scaled-down inputs with the L2 shrunk proportionally so every
+    /// working-set-to-cache relationship of the paper is preserved. This is
+    /// the default for `EXPERIMENTS.md`.
+    Scaled,
+    /// Miniature inputs for tests and Criterion benches.
+    Tiny,
+}
+
+impl ScaleProfile {
+    /// The spec-grammar name of this profile (lowercase).
+    pub const fn name(self) -> &'static str {
+        match self {
+            ScaleProfile::Paper => "paper",
+            ScaleProfile::Scaled => "scaled",
+            ScaleProfile::Tiny => "tiny",
+        }
+    }
+
+    /// Resolves a profile from its spec-grammar name (case-insensitive).
+    pub fn by_name(name: &str) -> Result<ScaleProfile, String> {
+        [
+            ScaleProfile::Paper,
+            ScaleProfile::Scaled,
+            ScaleProfile::Tiny,
+        ]
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown scale `{name}`; expected paper | scaled | tiny"))
+    }
+
+    /// The system configuration this profile simulates.
+    pub fn system(self) -> SystemConfig {
+        let mut sys = SystemConfig::default();
+        match self {
+            ScaleProfile::Paper => {}
+            ScaleProfile::Scaled => {
+                // 64 KB slices (1 MB total): keeps "working set >> L2" true
+                // for fluidanimate/FFT/radix/kD-tree and "working set << L2"
+                // true for LU/Barnes at the scaled input sizes.
+                sys.cache.l2_slice_bytes = 64 * 1024;
+            }
+            ScaleProfile::Tiny => {
+                sys.cache.l1_bytes = 16 * 1024;
+                sys.cache.l2_slice_bytes = 32 * 1024;
+            }
+        }
+        sys
+    }
+
+    /// Builds the workload for one benchmark at this scale. The trace-only
+    /// kinds (`Custom`, `Synthesized`) have no fixed-input generator and are
+    /// reported as an error — feed those through a plan's `provided`
+    /// workloads (or the [`ExperimentMatrix::run_on`] facade) instead.
+    pub fn try_workload(self, bench: BenchmarkKind, cores: usize) -> Result<Workload, String> {
+        match self {
+            ScaleProfile::Paper => Ok(match bench {
+                BenchmarkKind::Fluidanimate => {
+                    tw_workloads::fluidanimate::FluidanimateConfig::paper().build(cores)
+                }
+                BenchmarkKind::Lu => tw_workloads::lu::LuConfig::paper().build(cores),
+                BenchmarkKind::Fft => tw_workloads::fft::FftConfig::paper().build(cores),
+                BenchmarkKind::Radix => tw_workloads::radix::RadixConfig::paper().build(cores),
+                BenchmarkKind::Barnes => tw_workloads::barnes::BarnesConfig::paper().build(cores),
+                BenchmarkKind::KdTree => tw_workloads::kdtree::KdTreeConfig::paper().build(cores),
+                BenchmarkKind::Custom | BenchmarkKind::Synthesized => {
+                    // Route through the scaled builder purely for its error
+                    // message, which names the replacement workflow.
+                    return build_scaled(bench, cores);
+                }
+            }),
+            ScaleProfile::Scaled => build_scaled(bench, cores),
+            ScaleProfile::Tiny => build_tiny(bench, cores),
+        }
+    }
+}
+
+/// A set of (protocol × benchmark) runs — the facade over the plan API that
+/// keeps the original one-liners working.
+#[derive(Debug, Clone)]
+pub struct ExperimentMatrix {
+    /// Protocols to simulate (figure order).
+    pub protocols: Vec<tw_types::ProtocolKind>,
+    /// Benchmarks to simulate (figure order).
+    pub benchmarks: Vec<BenchmarkKind>,
+    /// Input/system scale.
+    pub scale: ScaleProfile,
+}
+
+impl ExperimentMatrix {
+    /// The full matrix of the paper: all nine protocols on all six benchmarks.
+    pub fn full(scale: ScaleProfile) -> Self {
+        ExperimentMatrix {
+            protocols: tw_types::ProtocolKind::ALL.to_vec(),
+            benchmarks: BenchmarkKind::ALL.to_vec(),
+            scale,
+        }
+    }
+
+    /// A reduced matrix (useful for tests): the given protocols on the given
+    /// benchmarks.
+    pub fn subset(
+        protocols: Vec<tw_types::ProtocolKind>,
+        benchmarks: Vec<BenchmarkKind>,
+        scale: ScaleProfile,
+    ) -> Self {
+        ExperimentMatrix {
+            protocols,
+            benchmarks,
+            scale,
+        }
+    }
+
+    /// The equivalent declarative spec (what [`ExperimentMatrix::run`]
+    /// executes).
+    pub fn spec(&self) -> ExperimentSpec {
+        ExperimentSpec::subset(self.protocols.clone(), self.benchmarks.clone(), self.scale)
+    }
+
+    /// Runs every (protocol, benchmark) pair through an uncached
+    /// [`Session`], cells rayon-parallel.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExperimentError`] from compiling or executing the equivalent
+    /// spec (a workload that cannot be generated, an invalid system, ...).
+    pub fn run(&self) -> Result<RunOutcome, ExperimentError> {
+        RunOutcome::from_plan(Session::new().run(&self.spec(), &WorkloadSet::new())?)
+    }
+
+    /// Runs every protocol of the matrix over externally supplied workloads
+    /// (replayed traces, synthesized scenarios) instead of the generated
+    /// benchmarks. The `benchmarks` field is ignored; each workload becomes
+    /// a plan row named by its [`BenchmarkKind`], so baseline-normalized
+    /// figures work as long as the protocol list includes the baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::DuplicateWorkload`] if two workloads share a
+    /// [`BenchmarkKind`] (the benchmark-keyed facade cannot represent that —
+    /// give them distinct names in an [`ExperimentSpec`] instead), or
+    /// [`ExperimentError::CoreCountMismatch`] if a workload's core count
+    /// does not match the scale's system.
+    pub fn run_on(&self, workloads: Vec<Workload>) -> Result<RunOutcome, ExperimentError> {
+        let mut spec = self.spec();
+        spec.workloads = Vec::new();
+        let mut set = WorkloadSet::new();
+        for wl in workloads {
+            let name = wl.kind.name().to_string();
+            if spec.workloads.iter().any(|w| w.name == name) {
+                return Err(ExperimentError::DuplicateWorkload(name));
+            }
+            spec.workloads.push(WorkloadSpec::provided(name.clone()));
+            set.insert(name, wl);
+        }
+        RunOutcome::from_plan(Session::new().run(&spec, &set)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_types::ProtocolKind;
+
+    fn tiny_outcome() -> RunOutcome {
+        ExperimentMatrix::subset(
+            vec![
+                ProtocolKind::Mesi,
+                ProtocolKind::DeNovo,
+                ProtocolKind::DBypFull,
+            ],
+            vec![BenchmarkKind::Fft, BenchmarkKind::Radix],
+            ScaleProfile::Tiny,
+        )
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn matrix_runs_all_pairs() {
+        let out = tiny_outcome();
+        assert_eq!(out.cells(), 6);
+        assert!(
+            out.report(BenchmarkKind::Fft, ProtocolKind::Mesi)
+                .unwrap()
+                .total_cycles
+                > 0
+        );
+    }
+
+    #[test]
+    fn missing_cells_are_errors_not_panics() {
+        let out = tiny_outcome();
+        let err = out
+            .report(BenchmarkKind::Lu, ProtocolKind::Mesi)
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::MissingCell { .. }), "{err}");
+        let err = out.headline().unwrap_err();
+        assert!(matches!(err, ExperimentError::MissingProtocol(_)), "{err}");
+    }
+
+    #[test]
+    fn fig_5_1a_is_normalized_to_mesi() {
+        let out = tiny_outcome();
+        let fig = out.fig_5_1a().unwrap();
+        let mesi_total = fig.value("FFT/MESI", "Total").unwrap();
+        assert!(
+            (mesi_total - 1.0).abs() < 1e-9,
+            "MESI bar must be exactly 1.0"
+        );
+        let opt_total = fig.value("FFT/DBypFull", "Total").unwrap();
+        assert!(opt_total < 1.0, "optimized protocol must reduce traffic");
+    }
+
+    #[test]
+    fn fig_5_2_mesi_components_sum_to_one() {
+        let out = tiny_outcome();
+        let fig = out.fig_5_2().unwrap();
+        let total = fig.value("radix/MESI", "Total").unwrap();
+        assert!((total - 1.0).abs() < 1e-9);
+        let parts: f64 = TimeClass::ALL
+            .iter()
+            .map(|c| fig.value("radix/MESI", c.label()).unwrap())
+            .sum();
+        assert!((parts - total).abs() < 1e-6);
+    }
+
+    use crate::timing::TimeClass;
+
+    #[test]
+    fn waste_figures_have_mesi_used_below_one() {
+        let out = tiny_outcome();
+        for fig in [
+            out.fig_5_3a().unwrap(),
+            out.fig_5_3b().unwrap(),
+            out.fig_5_3c().unwrap(),
+        ] {
+            let used = fig.value("FFT/MESI", "Used Words").unwrap();
+            assert!(used > 0.0 && used <= 1.0, "{}: used={used}", fig.title());
+        }
+    }
+
+    #[test]
+    fn full_figure_set_has_ten_entries() {
+        let out = tiny_outcome();
+        assert_eq!(out.all_figures(ScaleProfile::Tiny).unwrap().len(), 10);
+        assert!(out.table_4_2().rows().len() >= 2);
+    }
+
+    #[test]
+    fn custom_workloads_run_through_the_matrix() {
+        // A captured FFT trace re-labelled as a custom workload must run
+        // under every protocol of a matrix and normalize against its own
+        // MESI cell.
+        let mut wl = build_tiny(BenchmarkKind::Fft, 16).unwrap();
+        wl.kind = BenchmarkKind::Custom;
+        let matrix = ExperimentMatrix::subset(
+            vec![ProtocolKind::Mesi, ProtocolKind::DBypFull],
+            vec![],
+            ScaleProfile::Tiny,
+        );
+        let out = matrix.run_on(vec![wl]).unwrap();
+        assert_eq!(out.benchmarks, vec![BenchmarkKind::Custom]);
+        assert_eq!(out.cells(), 2);
+        let fig = out.fig_5_1a().unwrap();
+        let mesi = fig.value("custom/MESI", "Total").unwrap();
+        assert!((mesi - 1.0).abs() < 1e-9);
+        assert!(fig.value("custom/DBypFull", "Total").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_on_rejects_duplicate_kinds_without_panicking() {
+        let wl = build_tiny(BenchmarkKind::Fft, 16).unwrap();
+        let matrix = ExperimentMatrix::subset(vec![ProtocolKind::Mesi], vec![], ScaleProfile::Tiny);
+        let err = matrix.run_on(vec![wl.clone(), wl]).unwrap_err();
+        assert!(
+            matches!(err, ExperimentError::DuplicateWorkload(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn run_on_rejects_core_count_mismatch_without_panicking() {
+        let wl = build_tiny(BenchmarkKind::Fft, 4).unwrap();
+        let matrix = ExperimentMatrix::subset(vec![ProtocolKind::Mesi], vec![], ScaleProfile::Tiny);
+        let err = matrix.run_on(vec![wl]).unwrap_err();
+        assert!(
+            matches!(err, ExperimentError::CoreCountMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn scale_profiles_produce_distinct_systems() {
+        assert_eq!(
+            ScaleProfile::Paper.system().cache.l2_slice_bytes,
+            256 * 1024
+        );
+        assert_eq!(
+            ScaleProfile::Scaled.system().cache.l2_slice_bytes,
+            64 * 1024
+        );
+        assert!(ScaleProfile::Tiny.system().cache.l1_bytes < 32 * 1024);
+        assert!(ScaleProfile::Paper.system().validate().is_ok());
+        assert!(ScaleProfile::Scaled.system().validate().is_ok());
+        assert!(ScaleProfile::Tiny.system().validate().is_ok());
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for s in [
+            ScaleProfile::Paper,
+            ScaleProfile::Scaled,
+            ScaleProfile::Tiny,
+        ] {
+            assert_eq!(ScaleProfile::by_name(s.name()), Ok(s));
+            assert_eq!(ScaleProfile::by_name(&s.name().to_uppercase()), Ok(s));
+        }
+        assert!(ScaleProfile::by_name("huge").is_err());
+    }
+
+    #[test]
+    fn spec_json_round_trips_the_full_matrix_and_a_sweep() {
+        let full = ExperimentSpec::full_matrix(ScaleProfile::Tiny);
+        let back = ExperimentSpec::from_json(&full.to_json()).unwrap();
+        assert_eq!(back, full);
+
+        let sweep = ExperimentSpec {
+            name: "l2-sweep".into(),
+            scale: ScaleProfile::Tiny,
+            protocols: vec![ProtocolKind::Mesi, ProtocolKind::DBypFull],
+            workloads: vec![
+                WorkloadSpec::bench(BenchmarkKind::Fft),
+                WorkloadSpec::provided("synth-a"),
+                WorkloadSpec::trace("ext", "some/path.trace"),
+            ],
+            variants: vec![
+                SystemVariant::l2_slice("l2-16k", 16 * 1024),
+                SystemVariant::mesh("mesh-2x2", 2, 2),
+                SystemVariant::base(),
+            ],
+            baseline: Baseline::Protocol(ProtocolKind::Mesi),
+        };
+        let text = sweep.to_json();
+        assert_eq!(ExperimentSpec::from_json(&text).unwrap(), sweep);
+    }
+
+    #[test]
+    fn spec_errors_name_the_offence() {
+        for (mangle, needle) in [
+            (
+                ExperimentSpec {
+                    protocols: vec![],
+                    ..ExperimentSpec::full_matrix(ScaleProfile::Tiny)
+                },
+                "protocol axis is empty",
+            ),
+            (
+                ExperimentSpec {
+                    workloads: vec![],
+                    ..ExperimentSpec::full_matrix(ScaleProfile::Tiny)
+                },
+                "workload axis is empty",
+            ),
+        ] {
+            let err = mangle.compile(&WorkloadSet::new()).unwrap_err().to_string();
+            assert!(err.contains(needle), "{err}");
+        }
+        let mut dup = ExperimentSpec::full_matrix(ScaleProfile::Tiny);
+        dup.workloads.push(WorkloadSpec::bench(BenchmarkKind::Fft));
+        assert!(matches!(
+            dup.compile(&WorkloadSet::new()).unwrap_err(),
+            ExperimentError::DuplicateWorkload(_)
+        ));
+        let mut bad_sys = ExperimentSpec::full_matrix(ScaleProfile::Tiny);
+        bad_sys.variants = vec![SystemVariant::l2_slice("tiny-l2", 100)];
+        assert!(matches!(
+            bad_sys.compile(&WorkloadSet::new()).unwrap_err(),
+            ExperimentError::InvalidSystem { .. }
+        ));
+    }
+
+    #[test]
+    fn spec_json_rejects_ambiguous_and_unknown_workload_fields() {
+        let base = |workloads: &str| {
+            format!(
+                r#"{{"schema": "{SPEC_SCHEMA}", "name": "x", "scale": "tiny",
+                     "workloads": [{workloads}]}}"#
+            )
+        };
+        // Two source keys in one entry must not silently resolve to one.
+        let err = ExperimentSpec::from_json(&base(r#"{"bench": "FFT", "provided": "synth"}"#))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("exactly one"), "{err}");
+        // A stray field is named, like variant entries do it.
+        let err = ExperimentSpec::from_json(&base(r#"{"bench": "FFT", "benhc": "LU"}"#))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown workload field `benhc`"), "{err}");
+        // A source-less entry is still rejected.
+        let err = ExperimentSpec::from_json(&base(r#"{"name": "orphan"}"#))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn compiled_cells_carry_stable_identity() {
+        let spec = ExperimentSpec::subset(
+            vec![ProtocolKind::Mesi, ProtocolKind::DeNovo],
+            vec![BenchmarkKind::Fft, BenchmarkKind::Lu],
+            ScaleProfile::Tiny,
+        );
+        let plan = spec.compile(&WorkloadSet::new()).unwrap();
+        assert_eq!(plan.cells.len(), 4);
+        assert_eq!(plan.rows.len(), 2);
+        // Same workload across the protocol axis shares one digest; the two
+        // benchmarks have distinct digests.
+        let fft: Vec<_> = plan
+            .cells
+            .iter()
+            .filter(|c| c.workload_ref.name == "FFT")
+            .collect();
+        assert_eq!(fft.len(), 2);
+        assert_eq!(fft[0].workload_ref.digest, fft[1].workload_ref.digest);
+        let lu = plan
+            .cells
+            .iter()
+            .find(|c| c.workload_ref.name == "LU")
+            .unwrap();
+        assert_ne!(lu.workload_ref.digest, fft[0].workload_ref.digest);
+        // Recompiling reproduces the same identities.
+        let again = spec.compile(&WorkloadSet::new()).unwrap();
+        assert_eq!(
+            again.cells[0].workload_ref.digest,
+            plan.cells[0].workload_ref.digest
+        );
+    }
+
+    #[test]
+    fn variant_sweep_produces_distinct_systems_per_row() {
+        let mut spec = ExperimentSpec::subset(
+            vec![ProtocolKind::Mesi],
+            vec![BenchmarkKind::Fft],
+            ScaleProfile::Tiny,
+        );
+        spec.variants = vec![
+            SystemVariant::base(),
+            SystemVariant::l2_slice("l2-64k", 64 * 1024),
+        ];
+        let plan = spec.compile(&WorkloadSet::new()).unwrap();
+        assert_eq!(plan.rows.len(), 2);
+        assert_eq!(plan.cells.len(), 2);
+        assert_eq!(plan.cells[0].label, "FFT@base");
+        assert_eq!(plan.cells[1].label, "FFT@l2-64k");
+        assert_ne!(
+            plan.cells[0].system.cache.l2_slice_bytes,
+            plan.cells[1].system.cache.l2_slice_bytes
+        );
+        // Same input trace on both variants — identity is per workload, not
+        // per cell.
+        assert_eq!(
+            plan.cells[0].workload_ref.digest,
+            plan.cells[1].workload_ref.digest
+        );
+    }
+}

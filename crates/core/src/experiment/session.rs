@@ -1,0 +1,308 @@
+//! Plan execution through a content-addressed result cache.
+//!
+//! A [`Session`] turns a compiled plan into a [`PlanOutcome`]. Cells fan out
+//! on the rayon pool exactly like the old matrix runner; the difference is
+//! the cache in front of the simulator. The cache key of a cell digests
+//! **everything that determines its `SimReport`**:
+//!
+//! * the workload's canonical trace bytes (via its content digest),
+//! * the fully-resolved [`SystemConfig`] (every result-affecting field),
+//! * the protocol,
+//! * the barrier overhead of the run configuration, and
+//! * [`ENGINE_VERSION`] — bumped whenever simulation semantics change, which
+//!   retires every stale entry at once.
+//!
+//! Entries are one JSON file per key under the cache directory (see
+//! `codec.rs` for the bit-exact report encoding). A corrupt, truncated or
+//! mismatched entry is treated as a miss and recomputed/overwritten, so the
+//! cache can never poison a run — at worst it fails to speed one up.
+
+use super::codec;
+use super::json::Json;
+use super::outcome::PlanOutcome;
+use super::plan::{CompiledPlan, ExperimentError, ExperimentSpec, PlannedCell, WorkloadSet};
+use crate::report::SimReport;
+use crate::sim::{SimConfig, Simulator};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use tw_types::{Cycle, Digest, Digester, ProtocolKind, SystemConfig};
+
+/// Version stamp of the simulation engine, folded into every cache key.
+///
+/// Bump this whenever a change alters any simulated number — protocol
+/// behavior, timing model, traffic accounting, workload generators feeding
+/// digested traces, the trace binary format, or the report codec. The cache
+/// then misses on every old entry instead of serving stale results. The
+/// suffix tracks the PR history: v3 is the engine as of the plan/session
+/// redesign.
+pub const ENGINE_VERSION: &str = "denovo-waste/engine-v3";
+
+/// Cache hit/miss counters for one executed plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cells served from the cache.
+    pub hits: u64,
+    /// Cells simulated (and, when a cache directory is configured, stored).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total cells executed.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of cells served from the cache (0 when nothing ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Computes the content-addressed cache key for one cell.
+///
+/// Exposed so tests can prove key sensitivity to every component; everything
+/// else should go through [`Session`].
+pub fn cache_key(
+    trace_digest: Digest,
+    system: &SystemConfig,
+    protocol: ProtocolKind,
+    barrier_overhead: Cycle,
+    engine_version: &str,
+) -> Digest {
+    let mut d = Digester::new();
+    d.write_str(engine_version);
+    d.write_str(protocol.name());
+    d.write_u64(barrier_overhead);
+    system.digest_fields(&mut d);
+    // The trace digest already covers regions, streams and metadata.
+    d.write_u64((trace_digest.0 >> 64) as u64);
+    d.write_u64(trace_digest.0 as u64);
+    d.finish()
+}
+
+/// Executes experiment plans, optionally through a persistent result cache.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    cache_dir: Option<PathBuf>,
+    barrier_overhead: Cycle,
+}
+
+impl Session {
+    /// A session with no cache: every cell simulates.
+    pub fn new() -> Self {
+        Session {
+            cache_dir: None,
+            barrier_overhead: SimConfig::new(ProtocolKind::Mesi).barrier_overhead,
+        }
+    }
+
+    /// Routes this session through a cache directory (created on first
+    /// use). Re-running a plan whose cells are cached is near-instant, and
+    /// editing one protocol only recomputes that protocol's column.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The cache directory, if one is configured.
+    pub fn cache_dir(&self) -> Option<&std::path::Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Compiles and executes a spec in one step.
+    pub fn run(
+        &self,
+        spec: &ExperimentSpec,
+        provided: &WorkloadSet,
+    ) -> Result<PlanOutcome, ExperimentError> {
+        self.execute(&spec.compile(provided)?)
+    }
+
+    /// Executes a compiled plan.
+    pub fn execute(&self, plan: &CompiledPlan) -> Result<PlanOutcome, ExperimentError> {
+        if let Some(dir) = &self.cache_dir {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                ExperimentError::Io(format!(
+                    "cannot create cache directory {}: {e}",
+                    dir.display()
+                ))
+            })?;
+        }
+        let results: Vec<Result<(SimReport, bool), ExperimentError>> = plan
+            .cells
+            .par_iter()
+            .map(|cell| self.run_cell(cell))
+            .collect();
+
+        let mut reports = BTreeMap::new();
+        let mut cache = CacheStats::default();
+        for (cell, result) in plan.cells.iter().zip(results) {
+            let (report, hit) = result?;
+            if hit {
+                cache.hits += 1;
+            } else {
+                cache.misses += 1;
+            }
+            reports.insert((cell.row.clone(), cell.protocol), report);
+        }
+        Ok(PlanOutcome {
+            name: plan.name.clone(),
+            protocols: plan.protocols.clone(),
+            baseline: plan.baseline,
+            rows: plan.rows.clone(),
+            variants: plan.variants.clone(),
+            reports,
+            cache,
+        })
+    }
+
+    /// The cache key of one planned cell under this session's run
+    /// configuration.
+    pub fn key_of(&self, cell: &PlannedCell) -> Digest {
+        cache_key(
+            cell.workload_ref.digest,
+            &cell.system,
+            cell.protocol,
+            self.barrier_overhead,
+            ENGINE_VERSION,
+        )
+    }
+
+    fn run_cell(&self, cell: &PlannedCell) -> Result<(SimReport, bool), ExperimentError> {
+        let key = self.key_of(cell);
+        if let Some(dir) = &self.cache_dir {
+            let path = dir.join(format!("{key}.json"));
+            if let Some(report) = load_entry(&path, key) {
+                return Ok((report, true));
+            }
+            let report = self.simulate(cell);
+            store_entry(&path, key, cell, &report)?;
+            return Ok((report, false));
+        }
+        Ok((self.simulate(cell), false))
+    }
+
+    fn simulate(&self, cell: &PlannedCell) -> SimReport {
+        let mut cfg = SimConfig::new(cell.protocol).with_system(cell.system.clone());
+        cfg.barrier_overhead = self.barrier_overhead;
+        Simulator::new(cfg, &cell.workload).run()
+    }
+}
+
+/// Loads a cache entry, returning `None` (a miss) on any problem: absent
+/// file, unreadable bytes, wrong schema/engine/key, or a decode failure.
+fn load_entry(path: &std::path::Path, key: Digest) -> Option<SimReport> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    if doc.get("engine")?.as_str().ok()? != ENGINE_VERSION {
+        return None;
+    }
+    if doc.get("key")?.as_str().ok()? != key.to_string() {
+        return None;
+    }
+    codec::report_from_json(doc.get("report")?).ok()
+}
+
+/// Persists one entry atomically (write to a sibling temp file, then
+/// rename), so a crashed or concurrent run can never leave a torn entry.
+fn store_entry(
+    path: &std::path::Path,
+    key: Digest,
+    cell: &PlannedCell,
+    report: &SimReport,
+) -> Result<(), ExperimentError> {
+    let doc = Json::Obj(vec![
+        ("engine".to_string(), Json::str(ENGINE_VERSION)),
+        ("key".to_string(), Json::str(key.to_string())),
+        (
+            "workload".to_string(),
+            Json::str(cell.workload_ref.to_string()),
+        ),
+        ("protocol".to_string(), Json::str(cell.protocol.name())),
+        ("report".to_string(), codec::report_to_json(report)),
+    ]);
+    // Two cells can legitimately share a key (same content under two
+    // names), and two processes can share a cache directory; the cell
+    // identity plus the process id keep every writer on its own temp file.
+    let mut nonce = Digester::new();
+    nonce.write_str(&cell.label);
+    nonce.write_str(cell.protocol.name());
+    let tmp = path.with_extension(format!(
+        "tmp-{}-{}",
+        std::process::id(),
+        nonce.finish().short()
+    ));
+    std::fs::write(&tmp, doc.pretty())
+        .map_err(|e| ExperimentError::Io(format!("cannot write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| ExperimentError::Io(format!("cannot commit {}: {e}", path.display())))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_key_is_sensitive_to_every_component() {
+        let sys = SystemConfig::default();
+        let digest = Digest::of_bytes(b"trace");
+        let base = cache_key(digest, &sys, ProtocolKind::Mesi, 100, ENGINE_VERSION);
+        assert_eq!(
+            base,
+            cache_key(digest, &sys, ProtocolKind::Mesi, 100, ENGINE_VERSION)
+        );
+        // Trace bytes.
+        assert_ne!(
+            base,
+            cache_key(
+                Digest::of_bytes(b"tracf"),
+                &sys,
+                ProtocolKind::Mesi,
+                100,
+                ENGINE_VERSION
+            )
+        );
+        // Protocol.
+        assert_ne!(
+            base,
+            cache_key(digest, &sys, ProtocolKind::DeNovo, 100, ENGINE_VERSION)
+        );
+        // System geometry.
+        let mut other = sys.clone();
+        other.cache.l2_slice_bytes = 128 * 1024;
+        assert_ne!(
+            base,
+            cache_key(digest, &other, ProtocolKind::Mesi, 100, ENGINE_VERSION)
+        );
+        // Run configuration.
+        assert_ne!(
+            base,
+            cache_key(digest, &sys, ProtocolKind::Mesi, 101, ENGINE_VERSION)
+        );
+        // Engine version.
+        assert_ne!(
+            base,
+            cache_key(
+                digest,
+                &sys,
+                ProtocolKind::Mesi,
+                100,
+                "denovo-waste/engine-v2"
+            )
+        );
+    }
+
+    #[test]
+    fn cache_stats_arithmetic() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.total(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

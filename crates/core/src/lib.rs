@@ -39,7 +39,12 @@ pub mod report;
 pub mod sim;
 pub mod timing;
 
-pub use experiment::{ExperimentMatrix, RunOutcome, ScaleProfile};
+pub use experiment::{
+    cache_key, Baseline, CacheStats, CompiledPlan, ExperimentError, ExperimentMatrix,
+    ExperimentSpec, HeadlineSummary, PlanOutcome, PlannedCell, RowKey, RunOutcome, ScaleProfile,
+    Session, SystemVariant, WorkloadRef, WorkloadSet, WorkloadSource, WorkloadSpec, ENGINE_VERSION,
+    SPEC_SCHEMA,
+};
 pub use figures::FigureTable;
 pub use report::SimReport;
 pub use sim::{protocol_by_name, SimConfig, Simulator};

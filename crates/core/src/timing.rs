@@ -86,6 +86,20 @@ impl ExecutionBreakdown {
             *self.cycles.entry(*class).or_insert(0) += c;
         }
     }
+
+    /// Iterates over the raw `(class, cycles)` entries in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (TimeClass, Cycle)> + '_ {
+        self.cycles.iter().map(|(c, n)| (*c, *n))
+    }
+
+    /// Rebuilds a breakdown from raw entries, inserted verbatim — the
+    /// inverse of [`ExecutionBreakdown::iter`], used by the experiment
+    /// result cache's report codec.
+    pub fn from_entries(entries: impl IntoIterator<Item = (TimeClass, Cycle)>) -> Self {
+        ExecutionBreakdown {
+            cycles: entries.into_iter().collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +129,18 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.get(TimeClass::Compute), 15);
         assert_eq!(a.get(TimeClass::OnChipHit), 7);
+    }
+
+    #[test]
+    fn raw_entries_round_trip_bit_exactly() {
+        let mut b = ExecutionBreakdown::new();
+        b.add(TimeClass::Compute, 42);
+        b.add(TimeClass::Sync, 7);
+        assert_eq!(ExecutionBreakdown::from_entries(b.iter()), b);
+        assert_eq!(
+            ExecutionBreakdown::from_entries(std::iter::empty()),
+            ExecutionBreakdown::new()
+        );
     }
 
     #[test]

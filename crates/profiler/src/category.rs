@@ -135,6 +135,34 @@ impl WasteReport {
             .sum()
     }
 
+    /// Iterates over the raw per-category word counts in a stable order.
+    pub fn words_iter(&self) -> impl Iterator<Item = (WasteCategory, u64)> + '_ {
+        self.words.iter().map(|(c, n)| (*c, *n))
+    }
+
+    /// Iterates over the raw per-(class, category) flit-hop entries in a
+    /// stable order.
+    pub fn flit_hops_iter(&self) -> impl Iterator<Item = (MessageClass, WasteCategory, f64)> + '_ {
+        self.flit_hops.iter().map(|((cl, ca), h)| (*cl, *ca, *h))
+    }
+
+    /// Rebuilds a report from raw entries, inserted verbatim — the inverse
+    /// of [`WasteReport::words_iter`] / [`WasteReport::flit_hops_iter`].
+    /// `from_parts(x.words_iter(), x.flit_hops_iter())` is bit-identical to
+    /// `x` (the experiment result cache's round-trip guarantee).
+    pub fn from_parts(
+        words: impl IntoIterator<Item = (WasteCategory, u64)>,
+        flit_hops: impl IntoIterator<Item = (MessageClass, WasteCategory, f64)>,
+    ) -> Self {
+        WasteReport {
+            words: words.into_iter().collect(),
+            flit_hops: flit_hops
+                .into_iter()
+                .map(|(cl, ca, h)| ((cl, ca), h))
+                .collect(),
+        }
+    }
+
     /// Merges another report into this one.
     pub fn merge(&mut self, other: &WasteReport) {
         for (cat, n) in &other.words {
@@ -197,6 +225,16 @@ mod tests {
     #[test]
     fn empty_report_has_zero_waste_fraction() {
         assert_eq!(WasteReport::new().waste_fraction(), 0.0);
+    }
+
+    #[test]
+    fn raw_entries_round_trip_bit_exactly() {
+        let mut r = WasteReport::new();
+        r.record(WasteCategory::Used, MessageClass::Load, 0.1 + 0.2);
+        r.record(WasteCategory::Evict, MessageClass::Store, 0.0);
+        let back = WasteReport::from_parts(r.words_iter(), r.flit_hops_iter());
+        assert_eq!(back, r);
+        assert_eq!(back.words(WasteCategory::Evict), 1);
     }
 
     #[test]

@@ -77,6 +77,18 @@ impl TrafficBreakdown {
     pub fn iter(&self) -> impl Iterator<Item = (MessageClass, TrafficBucket, f64)> + '_ {
         self.hops.iter().map(|((c, b), h)| (*c, *b, *h))
     }
+
+    /// Rebuilds a breakdown from raw `(class, bucket, flit_hops)` entries,
+    /// inserting them verbatim (no zero-dropping, later duplicates
+    /// overwrite). `from_entries(x.iter())` is bit-identical to `x`, which
+    /// is what the experiment result cache's round-trip guarantee rests on.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (MessageClass, TrafficBucket, f64)>,
+    ) -> Self {
+        TrafficBreakdown {
+            hops: entries.into_iter().map(|(c, b, h)| ((c, b), h)).collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +128,14 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.get(MessageClass::Load, TrafficBucket::ReqCtl), 3.0);
         assert_eq!(a.get(MessageClass::Overhead, TrafficBucket::Overhead), 3.0);
+    }
+
+    #[test]
+    fn raw_entries_round_trip_bit_exactly() {
+        let mut t = TrafficBreakdown::new();
+        t.add(MessageClass::Load, TrafficBucket::ReqCtl, 1.25);
+        t.add(MessageClass::Overhead, TrafficBucket::Overhead, 0.1 + 0.2);
+        assert_eq!(TrafficBreakdown::from_entries(t.iter()), t);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 use crate::mutate::{detect, Detection};
 use crate::oracle::{golden_execute, OracleReport};
 use crate::synth::is_fully_bypass_streaming;
-use denovo_waste::{ExperimentMatrix, RunOutcome, ScaleProfile, SimConfig, Simulator};
+use denovo_waste::{
+    ExperimentError, ExperimentSpec, RunOutcome, ScaleProfile, Session, SimConfig, Simulator,
+    WorkloadSet, WorkloadSpec,
+};
 use rayon::prelude::*;
 use std::fmt;
 use tw_types::ProtocolKind;
@@ -265,11 +268,22 @@ impl DifferentialRunner {
         }
     }
 
-    /// Runs the workload through [`ExperimentMatrix::run_on`] — synthesized
-    /// workloads are first-class matrix inputs, so every MESI-normalized
+    /// Runs the workload through a [`Session`]-executed plan — synthesized
+    /// workloads are first-class plan rows, so every baseline-normalized
     /// figure extractor works on them unchanged.
-    pub fn matrix_outcome(&self, wl: Workload) -> RunOutcome {
-        ExperimentMatrix::subset(self.protocols.clone(), Vec::new(), self.scale).run_on(vec![wl])
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExperimentError`] from compiling or executing the plan (for
+    /// example a core-count mismatch with the scale's system).
+    pub fn matrix_outcome(&self, wl: Workload) -> Result<RunOutcome, ExperimentError> {
+        let name = wl.kind.name().to_string();
+        let mut spec = ExperimentSpec::subset(self.protocols.clone(), Vec::new(), self.scale);
+        spec.name = format!("differential-{name}");
+        spec.workloads = vec![WorkloadSpec::provided(name.clone())];
+        let mut set = WorkloadSet::new();
+        set.insert(name, wl);
+        RunOutcome::from_plan(Session::new().run(&spec, &set)?)
     }
 }
 
@@ -330,9 +344,9 @@ mod tests {
             scale: ScaleProfile::Tiny,
             protocols: vec![ProtocolKind::Mesi, ProtocolKind::DBypFull],
         };
-        let out = runner.matrix_outcome(synthesize(4));
+        let out = runner.matrix_outcome(synthesize(4)).unwrap();
         assert_eq!(out.benchmarks, vec![BenchmarkKind::Synthesized]);
-        let fig = out.fig_5_1a();
+        let fig = out.fig_5_1a().unwrap();
         let mesi = fig.value("synthesized/MESI", "Total").unwrap();
         assert!((mesi - 1.0).abs() < 1e-9, "MESI bar normalizes to 1.0");
         assert!(fig.value("synthesized/DBypFull", "Total").unwrap() > 0.0);

@@ -161,6 +161,18 @@ impl TraceDocument {
         Ok(buf)
     }
 
+    /// The canonical content digest of this trace: the digest of its binary
+    /// encoding, streamed without materializing the bytes. Two documents
+    /// share a digest exactly when their binary encodings are identical,
+    /// which (by the round-trip property) means they are structurally equal
+    /// — this is the workload identity the experiment layer's cell identity
+    /// and result-cache keys are built from.
+    pub fn digest(&self) -> Result<tw_types::Digest, TraceError> {
+        let mut w = tw_types::DigestWriter::new();
+        self.write_binary(&mut w)?;
+        Ok(w.finish())
+    }
+
     /// The text encoding as a string.
     pub fn to_text(&self) -> String {
         text::emit(self)
@@ -266,6 +278,23 @@ mod tests {
         assert_eq!(total.compute_cycles, 12);
         assert_eq!(total.barriers, 4);
         assert_eq!(doc.stats().len(), 2);
+    }
+
+    #[test]
+    fn digest_matches_binary_bytes_and_tracks_content() {
+        let doc = sample_doc();
+        let streamed = doc.digest().unwrap();
+        let materialized = tw_types::Digest::of_bytes(&doc.to_binary_bytes().unwrap());
+        assert_eq!(streamed, materialized);
+
+        // Any content change — op stream, metadata, region annotations —
+        // must move the digest.
+        let mut other = sample_doc();
+        other.streams[0][0] = TraceOp::load(Addr::new(8), RegionId(1));
+        assert_ne!(other.digest().unwrap(), streamed);
+        let mut other = sample_doc();
+        other.input = "65 points".into();
+        assert_ne!(other.digest().unwrap(), streamed);
     }
 
     #[test]

@@ -264,6 +264,59 @@ impl SystemConfig {
         Ok(())
     }
 
+    /// Folds every parameter that influences simulation results into a
+    /// [`Digester`], in a fixed field order — the canonical encoding the
+    /// experiment layer's result-cache key is built from. Any new
+    /// result-affecting field MUST be added here, or stale cache entries
+    /// will be served for configurations that differ in it.
+    pub fn digest_fields(&self, d: &mut crate::digest::Digester) {
+        let c = &self.cache;
+        for v in [
+            c.line_bytes,
+            c.l1_bytes,
+            c.l1_ways as u64,
+            c.l2_slice_bytes,
+            c.l2_ways as u64,
+            c.write_table_entries as u64,
+            c.write_combine_timeout,
+        ] {
+            d.write_u64(v);
+        }
+        let n = &self.noc;
+        for v in [
+            n.cols as u64,
+            n.rows as u64,
+            n.link_bytes,
+            n.link_latency,
+            n.router_latency,
+            n.max_data_flits as u64,
+        ] {
+            d.write_u64(v);
+        }
+        let m = &self.dram;
+        for v in [
+            m.controllers as u64,
+            m.banks as u64,
+            m.ranks as u64,
+            m.row_bytes,
+            m.row_hit_cycles,
+            m.row_miss_cycles,
+            m.burst_cycles,
+            m.queue_depth as u64,
+        ] {
+            d.write_u64(v);
+        }
+        let t = &self.timing;
+        for v in [
+            t.core_mhz,
+            t.l1_hit_cycles,
+            t.l2_hit_cycles,
+            t.l2_occupancy_cycles,
+        ] {
+            d.write_u64(v);
+        }
+    }
+
     /// Renders the configuration as the rows of paper Table 4.1.
     pub fn table_rows(&self) -> Vec<(String, String)> {
         vec![
@@ -386,6 +439,32 @@ mod tests {
         let mut cfg = SystemConfig::default();
         cfg.dram.row_bytes = 32;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn digest_fields_is_sensitive_to_every_subsystem() {
+        let base = {
+            let mut d = crate::digest::Digester::new();
+            SystemConfig::default().digest_fields(&mut d);
+            d.finish()
+        };
+        let digest_of = |f: &dyn Fn(&mut SystemConfig)| {
+            let mut cfg = SystemConfig::default();
+            f(&mut cfg);
+            let mut d = crate::digest::Digester::new();
+            cfg.digest_fields(&mut d);
+            d.finish()
+        };
+        assert_eq!(base, digest_of(&|_| {}), "digest must be deterministic");
+        let mutations: [&dyn Fn(&mut SystemConfig); 4] = [
+            &|c| c.cache.l2_slice_bytes = 128 * 1024,
+            &|c| c.noc.cols = 2,
+            &|c| c.dram.banks = 4,
+            &|c| c.timing.l2_hit_cycles = 11,
+        ];
+        for (i, m) in mutations.iter().enumerate() {
+            assert_ne!(base, digest_of(m), "mutation {i} did not change the digest");
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod digest;
 pub mod error;
 pub mod geometry;
 pub mod mask;
@@ -35,6 +36,7 @@ pub mod trace;
 
 pub use addr::{Addr, LineAddr, WordIdx, WORDS_PER_LINE, WORD_BYTES};
 pub use config::{CacheConfig, DramConfig, NocConfig, SystemConfig, TimingConfig};
+pub use digest::{Digest, DigestWriter, Digester};
 pub use error::ConfigError;
 pub use geometry::{CoreId, MeshCoord, TileId};
 pub use mask::WordMask;

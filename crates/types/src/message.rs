@@ -212,6 +212,23 @@ pub enum TrafficBucket {
 }
 
 impl TrafficBucket {
+    /// Every bucket, in a stable serialization order (request/response
+    /// buckets, writeback buckets, then overhead).
+    pub const ALL: [TrafficBucket; 12] = [
+        TrafficBucket::ReqCtl,
+        TrafficBucket::RespCtl,
+        TrafficBucket::RespL1Used,
+        TrafficBucket::RespL1Waste,
+        TrafficBucket::RespL2Used,
+        TrafficBucket::RespL2Waste,
+        TrafficBucket::WbControl,
+        TrafficBucket::WbL2Used,
+        TrafficBucket::WbL2Waste,
+        TrafficBucket::WbMemUsed,
+        TrafficBucket::WbMemWaste,
+        TrafficBucket::Overhead,
+    ];
+
     /// Buckets used for load/store breakdowns (Figures 5.1b/5.1c), in
     /// stacking order.
     pub const REQUEST_RESPONSE: [TrafficBucket; 6] = [
@@ -278,6 +295,24 @@ mod tests {
         assert_eq!(MessageClass::Load.to_string(), "LD");
         assert_eq!(MessageClass::Writeback.to_string(), "WB");
         assert_eq!(MessageClass::ALL.len(), 4);
+    }
+
+    #[test]
+    fn bucket_all_is_complete_and_duplicate_free() {
+        for w in TrafficBucket::ALL.windows(2) {
+            assert!(
+                TrafficBucket::ALL.iter().filter(|b| **b == w[0]).count() == 1,
+                "{:?} listed twice",
+                w[0]
+            );
+        }
+        for b in TrafficBucket::REQUEST_RESPONSE
+            .iter()
+            .chain(TrafficBucket::WRITEBACK.iter())
+            .chain(std::iter::once(&TrafficBucket::Overhead))
+        {
+            assert!(TrafficBucket::ALL.contains(b), "{b:?} missing from ALL");
+        }
     }
 
     #[test]

@@ -192,6 +192,32 @@ impl Workload {
         }
     }
 
+    /// The canonical content digest of this workload: the digest of its
+    /// binary trace encoding (see [`TraceDocument::digest`]). This is the
+    /// identity half of a `WorkloadRef` — two workloads with the same digest
+    /// have identical streams, regions and metadata, so every simulation
+    /// result derived from them is interchangeable.
+    pub fn content_digest(&self) -> Result<tw_types::Digest, TraceError> {
+        // Stream the encoder straight into the digester instead of going
+        // through `to_trace()`, which would clone every per-core stream.
+        let mut sink = tw_types::DigestWriter::new();
+        let mut writer = tw_trace::TraceWriter::new(
+            &mut sink,
+            self.kind.name(),
+            &self.input,
+            self.cores(),
+            &self.regions,
+        )?;
+        for stream in &self.traces {
+            for op in stream {
+                writer.op(op)?;
+            }
+            writer.end_stream()?;
+        }
+        writer.finish()?;
+        Ok(sink.finish())
+    }
+
     /// Exports this workload as a persistable [`TraceDocument`].
     pub fn to_trace(&self) -> TraceDocument {
         TraceDocument {
@@ -300,6 +326,21 @@ mod tests {
         assert!(err.contains("fluidanimate"), "{err}");
         assert!(!BenchmarkKind::ALL.contains(&BenchmarkKind::Custom));
         assert!(!BenchmarkKind::ALL.contains(&BenchmarkKind::Synthesized));
+    }
+
+    #[test]
+    fn content_digest_matches_the_trace_documents_digest() {
+        let wl = tiny_workload();
+        assert_eq!(
+            wl.content_digest().unwrap(),
+            wl.to_trace().digest().unwrap()
+        );
+        let mut other = tiny_workload();
+        other.traces[0][0] = TraceOp::load(Addr::new(128), RegionId(1));
+        assert_ne!(
+            other.content_digest().unwrap(),
+            wl.content_digest().unwrap()
+        );
     }
 
     #[test]

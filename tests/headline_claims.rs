@@ -12,13 +12,17 @@ use tw_types::{MessageClass, ProtocolKind};
 use tw_workloads::BenchmarkKind;
 
 fn outcome() -> denovo_waste::RunOutcome {
-    ExperimentMatrix::full(ScaleProfile::Tiny).run()
+    ExperimentMatrix::full(ScaleProfile::Tiny)
+        .run()
+        .expect("the tiny full matrix must run")
 }
 
 #[test]
 fn headline_directions_hold_at_tiny_scale() {
     let out = outcome();
-    let h = out.headline();
+    let h = out
+        .headline()
+        .expect("full matrix has every headline protocol");
 
     // Abstract: the fully optimized protocol moves (much) less traffic than
     // MESI and than the prior best DeNovo configuration, and the baseline
@@ -67,8 +71,8 @@ fn mmeml1_removes_store_resp_l2_waste() {
     // served from memory.
     let out = outcome();
     for &b in &[BenchmarkKind::Fft, BenchmarkKind::Radix] {
-        let mesi = out.report(b, ProtocolKind::Mesi);
-        let mm = out.report(b, ProtocolKind::MMemL1);
+        let mesi = out.report(b, ProtocolKind::Mesi).unwrap();
+        let mm = out.report(b, ProtocolKind::MMemL1).unwrap();
         let bucket =
             |r: &denovo_waste::SimReport, bucket| r.traffic.get(MessageClass::Store, bucket);
         let mesi_l2 = bucket(mesi, tw_types::TrafficBucket::RespL2Used)
@@ -88,7 +92,7 @@ fn write_validate_eliminates_store_data_responses() {
     // fetching data entirely.
     let out = outcome();
     for &b in &[BenchmarkKind::Fft, BenchmarkKind::Fluidanimate] {
-        let validate = out.report(b, ProtocolKind::DValidateL2);
+        let validate = out.report(b, ProtocolKind::DValidateL2).unwrap();
         let st_data = validate
             .traffic
             .get(MessageClass::Store, tw_types::TrafficBucket::RespL1Used)
@@ -114,7 +118,7 @@ fn denovo_overhead_is_negligible_without_bloom_filters() {
     // Bloom-filter copies of DBypFull are the one exception.
     let out = outcome();
     for &b in &BenchmarkKind::ALL {
-        let r = out.report(b, ProtocolKind::DFlexL2);
+        let r = out.report(b, ProtocolKind::DFlexL2).unwrap();
         let overhead = r.traffic.class_total(MessageClass::Overhead);
         // Registration displacement invalidations are the only residual
         // overhead and they are tiny.
@@ -139,10 +143,12 @@ fn flex_reduces_load_traffic_for_flex_benchmarks_only() {
     // kD-tree: Flex + bypass together cut load traffic sharply.
     let kd_base = out
         .report(BenchmarkKind::KdTree, ProtocolKind::DeNovo)
+        .unwrap()
         .traffic
         .class_total(MessageClass::Load);
     let kd_opt = out
         .report(BenchmarkKind::KdTree, ProtocolKind::DBypL2)
+        .unwrap()
         .traffic
         .class_total(MessageClass::Load);
     assert!(
@@ -153,10 +159,12 @@ fn flex_reduces_load_traffic_for_flex_benchmarks_only() {
     // (at the scaled profile it is a clear reduction, see EXPERIMENTS.md).
     let ba_base = out
         .report(BenchmarkKind::Barnes, ProtocolKind::DeNovo)
+        .unwrap()
         .traffic
         .class_total(MessageClass::Load);
     let ba_flex = out
         .report(BenchmarkKind::Barnes, ProtocolKind::DFlexL2)
+        .unwrap()
         .traffic
         .class_total(MessageClass::Load);
     assert!(
@@ -165,10 +173,12 @@ fn flex_reduces_load_traffic_for_flex_benchmarks_only() {
     );
     let lu_base = out
         .report(BenchmarkKind::Lu, ProtocolKind::DeNovo)
+        .unwrap()
         .traffic
         .class_total(MessageClass::Load);
     let lu_flex = out
         .report(BenchmarkKind::Lu, ProtocolKind::DFlexL1)
+        .unwrap()
         .traffic
         .class_total(MessageClass::Load);
     assert!(
