@@ -7,7 +7,7 @@ use std::hint::black_box;
 use tw_bloom::{BloomBank, BloomConfig};
 use tw_dram::MemoryController;
 use tw_mem::{CacheArray, CacheGeometry};
-use tw_noc::{Mesh, PacketSize};
+use tw_noc::{Mesh, PacketSize, WormholeMesh};
 use tw_profiler::{CacheLevel, CacheWasteProfiler};
 use tw_protocols::flex_fetch_plan;
 use tw_types::{Addr, DramConfig, LineAddr, MessageClass, NocConfig, SystemConfig, TileId};
@@ -57,6 +57,25 @@ fn bench_mesh(c: &mut Criterion) {
                 black_box(mesh.send(src, dst, size, i));
             }
             mesh.total_flit_hops()
+        })
+    });
+}
+
+fn bench_flit_mesh(c: &mut Criterion) {
+    // The flit-level counterpart of `mesh_send_full_line`: same send
+    // pattern through the wormhole simulator, so the trajectory artifacts
+    // track the cost ratio of the two network models.
+    c.bench_function("wormhole_mesh_send_full_line", |b| {
+        let noc = NocConfig::default();
+        b.iter(|| {
+            let mut mesh = WormholeMesh::new(noc.clone());
+            let size = PacketSize::with_data_words(&noc, 16);
+            for i in 0..1024u64 {
+                let src = TileId((i % 16) as usize);
+                let dst = TileId(((i * 7) % 16) as usize);
+                black_box(mesh.send(src, dst, size, i));
+            }
+            mesh.total_stall_cycles()
         })
     });
 }
@@ -127,7 +146,7 @@ fn bench_workload_generation(c: &mut Criterion) {
 criterion_group! {
     name = substrates;
     config = Criterion::default().sample_size(20);
-    targets = bench_cache_array, bench_bloom, bench_mesh, bench_dram, bench_profiler,
+    targets = bench_cache_array, bench_bloom, bench_mesh, bench_flit_mesh, bench_dram, bench_profiler,
               bench_flex_planning, bench_workload_generation
 }
 criterion_main!(substrates);

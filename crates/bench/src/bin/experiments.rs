@@ -9,8 +9,10 @@
 //! cargo run -p tw-bench --release --bin experiments -- --paper all
 //! cargo run -p tw-bench --release --bin experiments -- all --json
 //! cargo run -p tw-bench --release --bin experiments -- all --cache .exp-cache
+//! cargo run -p tw-bench --release --bin experiments -- fig5_2 --network flit
 //!
 //! cargo run -p tw-bench --release --bin experiments -- plan builtin --tiny > spec.json
+//! cargo run -p tw-bench --release --bin experiments -- plan builtin --tiny --network analytic,flit > both.json
 //! cargo run -p tw-bench --release --bin experiments -- plan show spec.json
 //! cargo run -p tw-bench --release --bin experiments -- plan run spec.json --cache .exp-cache
 //!
@@ -42,7 +44,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 use tw_scenarios::{detect, golden_execute, synthesize, DifferentialRunner, Mutation, SynthConfig};
 use tw_trace::TraceDocument;
-use tw_types::ProtocolKind;
+use tw_types::{NetworkModelKind, ProtocolKind};
 use tw_workloads::{BenchmarkKind, Workload};
 
 fn print_headline(outcome: &RunOutcome) -> Result<(), ExperimentError> {
@@ -111,6 +113,14 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>,
     Ok(Some(value))
 }
 
+/// Parses a comma-separated `--network` value into model kinds (unknown
+/// names are rejected with the name in the error, per the by_name rule).
+fn parse_networks(list: &str) -> Result<Vec<NetworkModelKind>, String> {
+    list.split(',')
+        .map(|n| NetworkModelKind::by_name(n.trim()))
+        .collect()
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
@@ -129,6 +139,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // The figure commands run one network model (the benchmark-keyed figure
+    // rows can't represent two models per benchmark); a multi-model sweep
+    // is a plan (`plan builtin --network analytic,flit` + `plan run`).
+    let network = match take_flag_value(&mut args, "--network").and_then(|v| match v {
+        None => Ok(None),
+        Some(name) => NetworkModelKind::by_name(&name).map(Some),
+    }) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
     // Reject anything unrecognized up front: a typo'd `--json` or figure
     // name must not silently cost a multi-minute matrix run. The rejected
     // token itself is always named in the error.
@@ -137,7 +160,7 @@ fn main() -> ExitCode {
             && !matches!(a.as_str(), "--paper" | "--scaled" | "--tiny" | "--json")
         {
             eprintln!(
-                "unknown flag `{a}`; expected --paper | --scaled | --tiny | --json | --cache DIR"
+                "unknown flag `{a}`; expected --paper | --scaled | --tiny | --json | --cache DIR | --network NAME"
             );
             return ExitCode::from(2);
         }
@@ -160,7 +183,10 @@ fn main() -> ExitCode {
     let started = Instant::now();
     // The figure commands are sugar over the built-in full-matrix spec run
     // through a (optionally cached) session.
-    let spec = ExperimentSpec::full_matrix(scale);
+    let mut spec = ExperimentSpec::full_matrix(scale);
+    if let Some(n) = network {
+        spec.networks = vec![n];
+    }
     let mut session = Session::new();
     if let Some(dir) = &cache {
         session = session.with_cache_dir(dir);
@@ -299,25 +325,32 @@ fn plan_main(args: &[String]) -> ExitCode {
 
 /// `plan builtin`: emit the built-in full-matrix spec as JSON — the exact
 /// plan the figure commands are sugar over, and a convenient starting point
-/// for hand-edited sweeps.
+/// for hand-edited sweeps. `--network analytic,flit` adds the network axis
+/// (the one-command way to author the analytic-vs-flit Fig 5.2 sweep).
 fn plan_builtin(args: &[String]) -> Result<ExitCode, ExperimentError> {
-    for a in args {
+    let mut args = args.to_vec();
+    let networks = take_flag_value(&mut args, "--network")
+        .and_then(|v| v.map(|list| parse_networks(&list)).transpose())
+        .map_err(ExperimentError::InvalidSpec)?;
+    for a in &args {
         if !matches!(a.as_str(), "--tiny" | "--scaled" | "--paper") {
             return Err(ExperimentError::InvalidSpec(format!(
-                "unknown flag `{a}`; expected --tiny | --scaled | --paper"
+                "unknown flag `{a}`; expected --tiny | --scaled | --paper | --network LIST"
             )));
         }
     }
-    print!(
-        "{}",
-        ExperimentSpec::full_matrix(scale_from(args)).to_json()
-    );
+    let mut spec = ExperimentSpec::full_matrix(scale_from(&args));
+    if let Some(networks) = networks {
+        spec.networks = networks;
+    }
+    print!("{}", spec.to_json());
     Ok(ExitCode::SUCCESS)
 }
 
-/// `plan show <spec.json>`: compile the plan and list every cell with its
-/// identity (workload ref, variant geometry, protocol, cache key) without
-/// simulating anything.
+/// `plan show <spec.json>`: print every sweep axis of the spec (protocols,
+/// workloads, system variants, network models), then the compiled cells
+/// with their identity (workload ref, variant geometry, protocol, cache
+/// key) — nothing is simulated.
 fn plan_show(args: &[String]) -> Result<ExitCode, ExperimentError> {
     let [path] = args else {
         return Err(ExperimentError::InvalidSpec(
@@ -328,19 +361,62 @@ fn plan_show(args: &[String]) -> Result<ExitCode, ExperimentError> {
     let plan = spec.compile(&WorkloadSet::new())?;
     let session = Session::new();
     println!(
-        "plan `{}`: {} protocols x {} rows = {} cells",
+        "plan `{}` ({} scale): {} protocols x {} rows = {} cells",
         plan.name,
+        spec.scale.name(),
         plan.protocols.len(),
         plan.rows.len(),
         plan.cells.len()
     );
+    println!(
+        "axis protocols: {}",
+        spec.protocols
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!(
+        "axis workloads: {}",
+        spec.workloads
+            .iter()
+            .map(|w| w.name.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!(
+        "axis variants:  {}",
+        if spec.variants.is_empty() {
+            "base (implicit)".to_string()
+        } else {
+            spec.variants
+                .iter()
+                .map(|v| v.label.as_str())
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    );
+    println!(
+        "axis networks:  {}",
+        if spec.networks.is_empty() {
+            "analytic (default)".to_string()
+        } else {
+            spec.networks
+                .iter()
+                .map(|n| n.name())
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    );
+    println!("baseline:       {}", spec.baseline.protocol().name());
     for (label, sys) in &plan.variants {
         println!(
-            "variant `{label}`: {} tiles, {} B lines, {} KB L1, {} KB L2/slice",
+            "variant `{label}`: {} tiles, {} B lines, {} KB L1, {} KB L2/slice, {} network",
             sys.tiles(),
             sys.cache.line_bytes,
             sys.cache.l1_bytes / 1024,
             sys.cache.l2_slice_bytes / 1024,
+            sys.network.name(),
         );
     }
     for cell in &plan.cells {
@@ -727,6 +803,9 @@ struct FuzzArgs {
     /// additionally checks the `DBypFull ≤ MESI` dominance invariant.
     streaming_every: u64,
     scale: ScaleProfile,
+    /// Network model the primary sweep runs under (the runner checks the
+    /// cross-model identity against the other model either way).
+    network: NetworkModelKind,
     self_test: bool,
 }
 
@@ -738,6 +817,7 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
         // Fuzzing wants breadth over fidelity: default to the tiny geometry
         // (the scale flags below still override).
         scale: ScaleProfile::Tiny,
+        network: NetworkModelKind::default(),
         self_test: false,
     };
     let mut it = args.iter();
@@ -755,10 +835,14 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
             "--tiny" => out.scale = ScaleProfile::Tiny,
             "--scaled" => out.scale = ScaleProfile::Scaled,
             "--paper" => out.scale = ScaleProfile::Paper,
+            "--network" => {
+                let name = it.next().ok_or("--network needs a model name")?;
+                out.network = NetworkModelKind::by_name(name)?;
+            }
             "--self-test" => out.self_test = true,
             other => {
                 return Err(format!(
-                    "unknown flag `{other}`; expected --seeds N | --start N | --streaming-every N | --tiny | --scaled | --paper | --self-test"
+                    "unknown flag `{other}`; expected --seeds N | --start N | --streaming-every N | --tiny | --scaled | --paper | --network NAME | --self-test"
                 ));
             }
         }
@@ -795,6 +879,21 @@ fn summary_digest(summaries: &[tw_scenarios::ProtocolSummary]) -> u64 {
     h
 }
 
+/// Digest of the per-protocol *traffic* numbers only (flit-hops + waste
+/// fraction, no cycles) — the quantity that must be byte-identical across
+/// network models. CI runs the sweep once per model and diffs exactly these
+/// fields out of the transcripts.
+fn traffic_digest(summaries: &[tw_scenarios::ProtocolSummary]) -> u64 {
+    let mut h: u64 = 0x7aff_1c0d_1935_7a0b;
+    for s in summaries {
+        h = tw_scenarios::oracle::fold(
+            h,
+            [s.flit_hops.to_bits(), s.waste_fraction.to_bits(), 0, 0],
+        );
+    }
+    h
+}
+
 /// `fuzz`: sweep synthesized workloads across the full protocol registry and
 /// diff every run against the golden functional model. The stdout transcript
 /// is deterministic in the seed window — CI byte-diffs two runs — and the
@@ -810,7 +909,7 @@ fn fuzz_main(args: &[String]) -> ExitCode {
     if parsed.self_test {
         return fuzz_self_test();
     }
-    let runner = DifferentialRunner::new(parsed.scale);
+    let runner = DifferentialRunner::new(parsed.scale).with_network(parsed.network);
     let started = Instant::now();
     let mut violations = 0usize;
     for seed in parsed.start..parsed.start + parsed.seeds {
@@ -822,12 +921,13 @@ fn fuzz_main(args: &[String]) -> ExitCode {
         };
         let outcome = runner.check(&wl);
         println!(
-            "seed={seed} {} ops={} phases={} fp={:016x} digest={:016x} {}",
+            "seed={seed} {} ops={} phases={} fp={:016x} digest={:016x} traffic={:016x} {}",
             if streaming { "streaming" } else { "general" },
             outcome.oracle.mem_ops(),
             outcome.oracle.phases,
             outcome.oracle.fingerprint,
             summary_digest(&outcome.summaries),
+            traffic_digest(&outcome.summaries),
             if outcome.ok() { "ok" } else { "VIOLATION" },
         );
         for v in &outcome.violations {

@@ -15,7 +15,7 @@ use proptest::prelude::*;
 use std::path::PathBuf;
 use std::time::Instant;
 use tw_scenarios::synthesize;
-use tw_types::{Digest, ProtocolKind, SystemConfig, TraceOp};
+use tw_types::{Digest, NetworkModelKind, ProtocolKind, SystemConfig, TraceOp};
 
 /// A fresh per-test cache directory under the system temp dir.
 fn fresh_dir(name: &str) -> PathBuf {
@@ -158,6 +158,78 @@ fn mutating_any_key_component_misses() {
 }
 
 #[test]
+fn network_model_is_a_cache_key_component() {
+    let dir = fresh_dir("network-key");
+    let session = Session::new().with_cache_dir(&dir);
+    let mut set = WorkloadSet::new();
+    set.insert("synth", synthesize(3));
+
+    // Prime the cache under the (default) analytic model.
+    let spec = synth_spec(ProtocolKind::Mesi);
+    assert_eq!(session.run(&spec, &set).unwrap().cache.misses, 1);
+    assert_eq!(session.run(&spec, &set).unwrap().cache.hits, 1);
+
+    // Flipping NetworkModelKind on the otherwise-identical cell must miss:
+    // the models report different execution times, so a cross-model hit
+    // would serve wrong numbers.
+    let mut flit = synth_spec(ProtocolKind::Mesi);
+    flit.networks = vec![NetworkModelKind::FlitLevel];
+    let out = session.run(&flit, &set).unwrap();
+    assert_eq!(
+        (out.cache.hits, out.cache.misses),
+        (0, 1),
+        "a different network model must miss"
+    );
+
+    // ... and both entries now coexist: each model re-runs warm.
+    assert_eq!(session.run(&spec, &set).unwrap().cache.hits, 1);
+    assert_eq!(session.run(&flit, &set).unwrap().cache.hits, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_flit_level_rerun_is_bit_identical_and_10x_faster() {
+    // The flit-level model gets the same cache bar as the analytic one: a
+    // warm full-Tiny-matrix re-run must be 100% hits, bit-identical, and
+    // at least 10x faster than the cold simulation.
+    let dir = fresh_dir("warm-flit");
+    let mut spec = ExperimentSpec::full_matrix(ScaleProfile::Tiny);
+    spec.networks = vec![NetworkModelKind::FlitLevel];
+    let session = Session::new().with_cache_dir(&dir);
+    let none = WorkloadSet::new();
+
+    let cold_started = Instant::now();
+    let cold = session.run(&spec, &none).unwrap();
+    let cold_elapsed = cold_started.elapsed();
+    assert_eq!((cold.cache.hits, cold.cache.misses), (0, 54));
+
+    let warm_started = Instant::now();
+    let warm = session.run(&spec, &none).unwrap();
+    let mut warm_elapsed = warm_started.elapsed();
+    assert_eq!((warm.cache.hits, warm.cache.misses), (54, 0));
+    assert_eq!(
+        warm.reports, cold.reports,
+        "cached flit-level reports must be bit-identical"
+    );
+
+    // Same wall-clock-noise policy as the analytic bar: one re-measurement,
+    // best attempt counts.
+    if cold_elapsed < warm_elapsed * 10 {
+        let retry_started = Instant::now();
+        let retry = session.run(&spec, &none).unwrap();
+        assert_eq!(retry.cache.hits, 54);
+        warm_elapsed = warm_elapsed.min(retry_started.elapsed());
+    }
+    assert!(
+        cold_elapsed >= warm_elapsed * 10,
+        "warm flit-level re-run must be at least 10x faster (cold {cold_elapsed:?}, warm {warm_elapsed:?})"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupt_cache_entries_are_recomputed_not_trusted() {
     let dir = fresh_dir("corrupt");
     let session = Session::new().with_cache_dir(&dir);
@@ -194,6 +266,7 @@ fn spec_from_raw(
     proto_mask: u16,
     workload_raw: &[(u8, u8)],
     variant_raw: &[(u8, u8)],
+    network_mask: u8,
     baseline_i: usize,
 ) -> ExperimentSpec {
     let scale = [
@@ -233,13 +306,14 @@ fn spec_from_raw(
         .map(|(i, (kind, k))| {
             let label = format!("v{i}");
             let k = u64::from(*k % 6);
-            match kind % 4 {
+            match kind % 5 {
                 0 => SystemVariant::l2_slice(label, 1024 << k),
                 1 => SystemVariant::mesh(label, 2 + k as usize, 2 + (k as usize / 2)),
                 2 => SystemVariant {
                     l1_bytes: Some(4096 << k),
                     ..SystemVariant::base()
                 },
+                3 => SystemVariant::network(label, NetworkModelKind::ALL[k as usize % 2]),
                 _ => SystemVariant {
                     line_bytes: Some(16 << (k % 3)),
                     ..SystemVariant::base()
@@ -252,6 +326,12 @@ fn spec_from_raw(
             v
         })
         .collect();
+    let networks = match network_mask % 4 {
+        0 => Vec::new(),
+        1 => vec![NetworkModelKind::Analytic],
+        2 => vec![NetworkModelKind::FlitLevel],
+        _ => NetworkModelKind::ALL.to_vec(),
+    };
     let baseline = denovo_waste::Baseline::Protocol(protocols[baseline_i % protocols.len().max(1)]);
     ExperimentSpec {
         name: "prop-spec".into(),
@@ -259,6 +339,7 @@ fn spec_from_raw(
         protocols,
         workloads,
         variants,
+        networks,
         baseline,
     }
 }
@@ -270,10 +351,13 @@ proptest! {
         scale_i in 0usize..3,
         proto_mask in 1u16..512,
         workload_raw in prop::collection::vec((0u8..3, 0u8..8), 1..6),
-        variant_raw in prop::collection::vec((0u8..4, 0u8..8), 0..5),
+        variant_raw in prop::collection::vec((0u8..5, 0u8..8), 0..5),
+        network_mask in 0u8..4,
         baseline_i in 0usize..9,
     ) {
-        let spec = spec_from_raw(scale_i, proto_mask, &workload_raw, &variant_raw, baseline_i);
+        let spec = spec_from_raw(
+            scale_i, proto_mask, &workload_raw, &variant_raw, network_mask, baseline_i,
+        );
         let text = spec.to_json();
         let back = ExperimentSpec::from_json(&text).unwrap();
         prop_assert_eq!(back, spec);

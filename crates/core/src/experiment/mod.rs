@@ -378,6 +378,10 @@ mod tests {
                 SystemVariant::mesh("mesh-2x2", 2, 2),
                 SystemVariant::base(),
             ],
+            networks: vec![
+                tw_types::NetworkModelKind::Analytic,
+                tw_types::NetworkModelKind::FlitLevel,
+            ],
             baseline: Baseline::Protocol(ProtocolKind::Mesi),
         };
         let text = sweep.to_json();
@@ -442,6 +446,75 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn network_axis_expands_variants_with_model_suffixed_labels() {
+        use tw_types::NetworkModelKind;
+        let mut spec = ExperimentSpec::subset(
+            vec![ProtocolKind::Mesi],
+            vec![BenchmarkKind::Fft],
+            ScaleProfile::Tiny,
+        );
+        spec.networks = NetworkModelKind::ALL.to_vec();
+        let plan = spec.compile(&WorkloadSet::new()).unwrap();
+        assert_eq!(plan.rows.len(), 2);
+        assert_eq!(plan.cells.len(), 2);
+        assert_eq!(plan.cells[0].label, "FFT@base+analytic");
+        assert_eq!(plan.cells[1].label, "FFT@base+flit");
+        assert_eq!(plan.cells[0].system.network, NetworkModelKind::Analytic);
+        assert_eq!(plan.cells[1].system.network, NetworkModelKind::FlitLevel);
+        // Same workload identity on both rows — only the system differs.
+        assert_eq!(
+            plan.cells[0].workload_ref.digest,
+            plan.cells[1].workload_ref.digest
+        );
+
+        // A single-model axis keeps the plain labels and just sets the model.
+        spec.networks = vec![NetworkModelKind::FlitLevel];
+        let plan = spec.compile(&WorkloadSet::new()).unwrap();
+        assert_eq!(plan.cells[0].label, "FFT");
+        assert_eq!(plan.cells[0].system.network, NetworkModelKind::FlitLevel);
+    }
+
+    #[test]
+    fn network_axis_misuse_is_a_named_error() {
+        use tw_types::NetworkModelKind;
+        let mut dup = ExperimentSpec::full_matrix(ScaleProfile::Tiny);
+        dup.networks = vec![NetworkModelKind::FlitLevel, NetworkModelKind::FlitLevel];
+        let err = dup.compile(&WorkloadSet::new()).unwrap_err().to_string();
+        assert!(err.contains("appears twice in the network axis"), "{err}");
+
+        let mut conflict = ExperimentSpec::full_matrix(ScaleProfile::Tiny);
+        conflict.networks = vec![NetworkModelKind::FlitLevel];
+        conflict.variants = vec![SystemVariant::network(
+            "wormhole",
+            NetworkModelKind::FlitLevel,
+        )];
+        let err = conflict
+            .compile(&WorkloadSet::new())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        assert!(err.contains("`wormhole`"), "{err}");
+
+        // Unknown model names are rejected with the name in the error, both
+        // on the axis and in a variant override (the PR-3 by_name rule).
+        for doc in [
+            format!(
+                r#"{{"schema": "{SPEC_SCHEMA}", "name": "x", "scale": "tiny",
+                     "workloads": [{{"bench": "FFT"}}], "networks": ["booksim"]}}"#
+            ),
+            format!(
+                r#"{{"schema": "{SPEC_SCHEMA}", "name": "x", "scale": "tiny",
+                     "workloads": [{{"bench": "FFT"}}],
+                     "variants": [{{"label": "v", "network": "booksim"}}]}}"#
+            ),
+        ] {
+            let err = ExperimentSpec::from_json(&doc).unwrap_err().to_string();
+            assert!(err.contains("`booksim`"), "{err}");
+            assert!(err.contains("analytic"), "{err}");
+        }
     }
 
     #[test]

@@ -25,7 +25,9 @@ use crate::report::SimReport;
 use crate::timing::{ExecutionBreakdown, TimeClass};
 use engine::{executor_for, Engine, Net, ProtocolExecutor, TraceCapture};
 use tw_profiler::{CacheLevel, CacheWasteProfiler, MemoryWasteProfiler};
-use tw_types::{Cycle, MemKind, MessageClass, ProtocolKind, SystemConfig, TraceOp, TrafficBucket};
+use tw_types::{
+    Cycle, MemKind, MessageClass, ProtocolKind, Stamp, SystemConfig, TraceOp, TrafficBucket,
+};
 use tw_workloads::Workload;
 
 /// Configuration of one simulation run.
@@ -80,7 +82,11 @@ enum CoreState {
 pub struct Simulator<'wl> {
     pub(crate) engine: Engine<'wl>,
     exec: &'static dyn ProtocolExecutor,
-    clocks: Vec<Cycle>,
+    /// Per-core clocks. Scheduling and barrier matching consult only the
+    /// canonical lane, so the service order — and with it every traffic and
+    /// waste number — is identical under every network model; the timed
+    /// lane carries the configured model's latency into the report.
+    clocks: Vec<Stamp>,
     pc: Vec<usize>,
     state: Vec<CoreState>,
 }
@@ -103,7 +109,7 @@ impl<'wl> Simulator<'wl> {
         let exec = executor_for(cfg.protocol);
         let engine = Engine {
             tiles: build_tiles(&cfg.system, cfg.protocol),
-            net: Net::new(cfg.system.noc.clone()),
+            net: Net::new(cfg.system.noc.clone(), cfg.system.network),
             l1_prof: (0..cores)
                 .map(|_| CacheWasteProfiler::new(CacheLevel::L1))
                 .collect(),
@@ -117,7 +123,7 @@ impl<'wl> Simulator<'wl> {
         Simulator {
             engine,
             exec,
-            clocks: vec![0; cores],
+            clocks: vec![Stamp::at(0); cores],
             pc: vec![0; cores],
             state: vec![CoreState::Running; cores],
         }
@@ -156,9 +162,11 @@ impl<'wl> Simulator<'wl> {
     /// releasing barriers when nobody is runnable.
     fn run_loop(&mut self) {
         loop {
+            // Canonical-lane ordering: which core runs next must not depend
+            // on the configured network model (see `clocks`).
             let next = (0..self.clocks.len())
                 .filter(|&c| self.state[c] == CoreState::Running)
-                .min_by_key(|&c| self.clocks[c]);
+                .min_by_key(|&c| self.clocks[c].canon);
             match next {
                 Some(core) => self.step_core(core),
                 None => {
@@ -200,7 +208,7 @@ impl<'wl> Simulator<'wl> {
                     MemKind::Load => self.exec.load(&mut self.engine, core, addr, region, now),
                     MemKind::Store => self.exec.store(&mut self.engine, core, addr, region, now),
                 };
-                debug_assert!(done >= now);
+                debug_assert!(done.not_before(now));
                 self.clocks[core] = done;
                 self.pc[core] += 1;
                 self.engine.record_serviced(core, op);
@@ -229,11 +237,16 @@ impl<'wl> Simulator<'wl> {
             "cores are waiting at different barriers: {ids:?}"
         );
         // Finished cores no longer participate; everyone still waiting
-        // synchronizes to the latest arrival.
-        let release = waiting.iter().map(|&c| self.clocks[c]).max().unwrap_or(0)
+        // synchronizes to the latest arrival — on each lane independently,
+        // so the canonical release point stays model-invariant while the
+        // timed release reflects the configured network's latency.
+        let release = waiting
+            .iter()
+            .map(|&c| self.clocks[c])
+            .fold(Stamp::at(0), Stamp::max)
             + self.engine.cfg.barrier_overhead;
         for &c in &waiting {
-            let wait = release - self.clocks[c];
+            let wait = release.since(self.clocks[c]);
             self.engine.time[c].add(TimeClass::Sync, wait);
             self.clocks[c] = release;
             self.pc[c] += 1;
@@ -248,7 +261,7 @@ impl<'wl> Simulator<'wl> {
         // DeNovo registrations) so its traffic is accounted — the paper's
         // measurement period ends at a barrier, where those tables would
         // have drained anyway.
-        let last = *self.clocks.iter().max().unwrap_or(&0);
+        let last = self.clocks.iter().copied().fold(Stamp::at(0), Stamp::max);
         self.exec.finish(&mut self.engine, last);
         let eng = self.engine;
 
@@ -285,7 +298,9 @@ impl<'wl> Simulator<'wl> {
         for t in &eng.time {
             time.merge(t);
         }
-        let total_cycles = *self.clocks.iter().max().unwrap_or(&0);
+        // Reported execution time lives on the timed lane (identical to the
+        // canonical lane under the default analytic model).
+        let total_cycles = self.clocks.iter().map(|s| s.timed).max().unwrap_or(0);
 
         let (mut accesses, mut hits, mut total) = (0u64, 0u64, 0u64);
         for tile in &eng.tiles {
@@ -426,6 +441,47 @@ mod tests {
         // protocol too.
         let other = Simulator::new(SimConfig::new(ProtocolKind::Mesi), &captured).run();
         assert!(other.total_cycles > 0);
+    }
+
+    #[test]
+    fn flit_level_model_moves_identical_traffic_and_never_runs_faster() {
+        // The traffic-identity invariant of DESIGN.md §11: the network
+        // model may only move time. Everything the canonical lane drives —
+        // per-bucket flit-hops, every waste classification, DRAM behavior —
+        // must be bit-identical, and the flit-level execution time must be
+        // at or above the analytic lower bound.
+        let flit_sys = SystemConfig {
+            network: tw_types::NetworkModelKind::FlitLevel,
+            ..SystemConfig::default()
+        };
+        for &p in &[ProtocolKind::Mesi, ProtocolKind::DBypFull] {
+            for &b in &[BenchmarkKind::Fft, BenchmarkKind::Fluidanimate] {
+                let wl = build_tiny(b, 16).unwrap();
+                let analytic = Simulator::new(SimConfig::new(p), &wl).run();
+                let flit =
+                    Simulator::new(SimConfig::new(p).with_system(flit_sys.clone()), &wl).run();
+                assert_eq!(flit.traffic, analytic.traffic, "{p}/{b} traffic");
+                assert_eq!(flit.mesh_flit_hops, analytic.mesh_flit_hops, "{p}/{b}");
+                assert_eq!(flit.l1_waste, analytic.l1_waste, "{p}/{b} L1 waste");
+                assert_eq!(flit.l2_waste, analytic.l2_waste, "{p}/{b} L2 waste");
+                assert_eq!(flit.mem_waste, analytic.mem_waste, "{p}/{b} mem waste");
+                assert_eq!(flit.dram_accesses, analytic.dram_accesses, "{p}/{b}");
+                assert_eq!(
+                    flit.dram_row_hit_rate, analytic.dram_row_hit_rate,
+                    "{p}/{b}: DRAM evolves on the canonical lane"
+                );
+                assert!(
+                    flit.total_cycles >= analytic.total_cycles,
+                    "{p}/{b}: flit-level time {} undercuts analytic {}",
+                    flit.total_cycles,
+                    analytic.total_cycles
+                );
+                // And the flit-level run is itself deterministic.
+                let again =
+                    Simulator::new(SimConfig::new(p).with_system(flit_sys.clone()), &wl).run();
+                assert_eq!(again, flit, "{p}/{b} flit-level rerun");
+            }
+        }
     }
 
     #[test]

@@ -15,11 +15,11 @@
 use crate::machine::{L1Meta, Tile};
 use crate::sim::SimConfig;
 use crate::timing::ExecutionBreakdown;
-use tw_noc::{Mesh, PacketSize};
+use tw_noc::{model_for, Mesh, NetworkModel, PacketSize};
 use tw_profiler::{CacheWasteProfiler, MemoryWasteProfiler, TrafficBreakdown};
 use tw_types::{
-    Addr, Cycle, LineAddr, MessageClass, MessageKind, NocConfig, ProtocolKind, RegionId,
-    SystemConfig, TileId, TraceOp, TrafficBucket,
+    Addr, LineAddr, MessageClass, MessageKind, NetworkModelKind, NocConfig, ProtocolKind, RegionId,
+    Stamp, SystemConfig, TileId, TraceOp, TrafficBucket,
 };
 use tw_workloads::Workload;
 
@@ -50,10 +50,21 @@ impl TraceCapture {
     }
 }
 
-/// The mesh plus the flit-hop ledger.
+/// The network: the canonical mesh, an optional flit-level timing overlay,
+/// and the flit-hop ledger.
+///
+/// The canonical [`Mesh`] is always maintained — it advances the canonical
+/// lane of every [`Stamp`] and owns the flit-hop ledger, so routes, traffic
+/// and all state-ordering decisions are identical no matter which
+/// [`NetworkModelKind`] the run configured. The overlay, resolved once at
+/// construction through the [`NetworkModel`] registry (`model_for`),
+/// advances only the timed lane: under the default analytic model the two
+/// lanes coincide and the overlay is elided entirely (the canonical mesh
+/// *is* the analytic model), keeping the fast path exactly as fast.
 #[derive(Debug)]
 pub(crate) struct Net {
     mesh: Mesh,
+    timed: Option<Box<dyn NetworkModel>>,
     pub(crate) traffic: TrafficBreakdown,
     noc: NocConfig,
 }
@@ -62,15 +73,22 @@ pub(crate) struct Net {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Delivery {
     /// Cycle the tail of the message arrives at its destination.
-    pub arrival: Cycle,
+    pub arrival: Stamp,
     /// Flit-hops attributable to each data word carried (0 for local hops).
     pub per_word_hops: f64,
 }
 
 impl Net {
-    pub(crate) fn new(noc: NocConfig) -> Self {
+    pub(crate) fn new(noc: NocConfig, network: NetworkModelKind) -> Self {
+        let timed = match network {
+            // The canonical mesh already is the analytic model; a second
+            // copy would only burn cycles producing identical numbers.
+            NetworkModelKind::Analytic => None,
+            kind => Some(model_for(kind, noc.clone())),
+        };
         Net {
             mesh: Mesh::new(noc.clone()),
+            timed,
             traffic: TrafficBreakdown::new(),
             noc,
         }
@@ -86,7 +104,7 @@ impl Net {
         to: TileId,
         kind: MessageKind,
         data_words: usize,
-        now: Cycle,
+        now: Stamp,
     ) -> Delivery {
         debug_assert!(
             data_words <= self.noc.max_data_words(),
@@ -98,7 +116,19 @@ impl Net {
             PacketSize::with_data_words(&self.noc, data_words)
         };
         let hops = self.mesh.hops(from, to) as f64;
-        let arrival = self.mesh.send(from, to, size, now);
+        let canon = self.mesh.send(from, to, size, now.canon);
+        let timed = match &mut self.timed {
+            None => now.timed + (canon - now.canon),
+            Some(model) => {
+                // The analytic reservation is the congestion lower bound
+                // (DESIGN.md §11): the flit-level model may stall a message
+                // further, never deliver it faster, so the timed lane runs
+                // at or behind the canonical lane everywhere.
+                let raw = model.send(from, to, size, now.timed);
+                raw.max(now.timed + (canon - now.canon))
+            }
+        };
+        let arrival = Stamp { canon, timed };
 
         let class = kind.class();
         let ctl_bucket = match kind {
@@ -196,18 +226,26 @@ impl<'wl> Engine<'wl> {
 
     /// Performs a DRAM access at controller `mc` and returns its completion
     /// cycle.
+    ///
+    /// Row-buffer and queue state evolve on the canonical lane only, so
+    /// DRAM behavior (access counts, row-hit rate) is identical across
+    /// network models; the timed lane inherits the same service duration.
     pub(crate) fn dram_access(
         &mut self,
         mc: TileId,
         line: LineAddr,
         write: bool,
-        at: Cycle,
-    ) -> Cycle {
-        self.tiles[mc.0]
+        at: Stamp,
+    ) -> Stamp {
+        let done = self.tiles[mc.0]
             .mc
             .as_mut()
             .expect("tile has a memory controller")
-            .access(line, write, at)
+            .access(line, write, at.canon);
+        Stamp {
+            canon: done,
+            timed: at.timed + (done - at.canon),
+        }
     }
 
     /// Whether the L1 of `core` currently holds readable data for `addr`.
@@ -263,35 +301,35 @@ pub(crate) trait ProtocolExecutor: Sync {
     /// The family name (stable, used by the registry round-trip).
     fn family(&self) -> &'static str;
 
-    /// Services one load, returning the cycle the core may proceed.
+    /// Services one load, returning the timestamp the core may proceed at.
     fn load(
         &self,
         eng: &mut Engine<'_>,
         core: usize,
         addr: Addr,
         region: RegionId,
-        now: Cycle,
-    ) -> Cycle;
+        now: Stamp,
+    ) -> Stamp;
 
-    /// Services one store, returning the cycle the core may proceed.
+    /// Services one store, returning the timestamp the core may proceed at.
     fn store(
         &self,
         eng: &mut Engine<'_>,
         core: usize,
         addr: Addr,
         region: RegionId,
-        now: Cycle,
-    ) -> Cycle;
+        now: Stamp,
+    ) -> Stamp;
 
     /// Protocol actions at a barrier release (self-invalidation, table
     /// drains, ...). The default is no action.
-    fn barrier_released(&self, eng: &mut Engine<'_>, at: Cycle) {
+    fn barrier_released(&self, eng: &mut Engine<'_>, at: Stamp) {
         let _ = (eng, at);
     }
 
     /// Protocol actions at the end of the run, before profilers are drained.
     /// The default is no action.
-    fn finish(&self, eng: &mut Engine<'_>, at: Cycle) {
+    fn finish(&self, eng: &mut Engine<'_>, at: Stamp) {
         let _ = (eng, at);
     }
 }

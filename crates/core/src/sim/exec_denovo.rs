@@ -8,7 +8,7 @@ use crate::timing::TimeClass;
 use tw_mem::LineEntry;
 use tw_protocols::{flex_fetch_plan, DenovoL1Line, DenovoL2Line, DenovoWordState, FlexPlan};
 use tw_types::{
-    Addr, CoreId, Cycle, LineAddr, MessageClass, MessageKind, RegionId, TileId, WordMask,
+    Addr, CoreId, LineAddr, MessageClass, MessageKind, RegionId, Stamp, TileId, WordMask,
 };
 
 /// Executor for the DeNovo protocol family (`DeNovo` through `DBypFull`).
@@ -25,8 +25,8 @@ impl ProtocolExecutor for DenovoExecutor {
         core: usize,
         addr: Addr,
         region: RegionId,
-        now: Cycle,
-    ) -> Cycle {
+        now: Stamp,
+    ) -> Stamp {
         eng.denovo_load(core, addr, region, now)
     }
 
@@ -36,16 +36,16 @@ impl ProtocolExecutor for DenovoExecutor {
         core: usize,
         addr: Addr,
         region: RegionId,
-        now: Cycle,
-    ) -> Cycle {
+        now: Stamp,
+    ) -> Stamp {
         eng.denovo_store(core, addr, region, now)
     }
 
-    fn barrier_released(&self, eng: &mut Engine<'_>, at: Cycle) {
+    fn barrier_released(&self, eng: &mut Engine<'_>, at: Stamp) {
         eng.denovo_barrier_actions(at);
     }
 
-    fn finish(&self, eng: &mut Engine<'_>, at: Cycle) {
+    fn finish(&self, eng: &mut Engine<'_>, at: Stamp) {
         // Flush any still-pending registrations so their traffic is
         // accounted (the paper's measurement period ends at a barrier, where
         // the write-combining table would have drained anyway).
@@ -56,9 +56,9 @@ impl ProtocolExecutor for DenovoExecutor {
 /// How one cache line of a fetch plan was served.
 #[derive(Debug, Clone, Copy)]
 struct LineService {
-    arrival: Cycle,
-    reached_mc: Option<Cycle>,
-    dram_done: Option<Cycle>,
+    arrival: Stamp,
+    reached_mc: Option<Stamp>,
+    dram_done: Option<Stamp>,
 }
 
 impl Engine<'_> {
@@ -77,7 +77,7 @@ impl Engine<'_> {
     }
 
     /// Executes a load under any DeNovo configuration.
-    fn denovo_load(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
+    fn denovo_load(&mut self, core: usize, addr: Addr, region: RegionId, now: Stamp) -> Stamp {
         let lb = self.line_bytes();
         let line = LineAddr::containing(addr, lb);
         let l1_hit_cycles = self.system().timing.l1_hit_cycles;
@@ -170,12 +170,12 @@ impl Engine<'_> {
 
         match (service.reached_mc, service.dram_done) {
             (Some(reached), Some(done)) => {
-                self.time[core].add(TimeClass::ToMc, reached.saturating_sub(now));
-                self.time[core].add(TimeClass::Mem, done.saturating_sub(reached));
-                self.time[core].add(TimeClass::FromMc, service.arrival.saturating_sub(done));
+                self.time[core].add(TimeClass::ToMc, reached.since(now));
+                self.time[core].add(TimeClass::Mem, done.since(reached));
+                self.time[core].add(TimeClass::FromMc, service.arrival.since(done));
             }
             _ => {
-                self.time[core].add(TimeClass::OnChipHit, service.arrival.saturating_sub(now));
+                self.time[core].add(TimeClass::OnChipHit, service.arrival.since(now));
             }
         }
         service.arrival.max(now + 1)
@@ -192,7 +192,7 @@ impl Engine<'_> {
         is_demand: bool,
         bypass: bool,
         direct_to_mc: bool,
-        now: Cycle,
+        now: Stamp,
     ) -> LineService {
         let me = TileId(core);
         let home = self.home_of(line);
@@ -406,7 +406,7 @@ impl Engine<'_> {
     /// Executes a store under any DeNovo configuration. Writes are
     /// write-validate at the L1: the word is written locally and a
     /// registration request is coalesced in the write-combining table.
-    fn denovo_store(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
+    fn denovo_store(&mut self, core: usize, addr: Addr, region: RegionId, now: Stamp) -> Stamp {
         let lb = self.line_bytes();
         let line = LineAddr::containing(addr, lb);
         let w = addr.word_in_line(lb);
@@ -439,8 +439,10 @@ impl Engine<'_> {
         }
 
         if !was_registered {
-            let mut flushes = self.tiles[core].write_combine.record_write(line, w, now);
-            flushes.extend(self.tiles[core].write_combine.expire(now));
+            let mut flushes = self.tiles[core]
+                .write_combine
+                .record_write(line, w, now.canon);
+            flushes.extend(self.tiles[core].write_combine.expire(now.canon));
             for (entry, _reason) in flushes {
                 self.denovo_send_registration(core, entry.line, entry.pending, now);
             }
@@ -455,7 +457,7 @@ impl Engine<'_> {
         core: usize,
         line: LineAddr,
         words: WordMask,
-        now: Cycle,
+        now: Stamp,
     ) {
         if words.is_empty() {
             return;
@@ -507,7 +509,7 @@ impl Engine<'_> {
         words: WordMask,
         class: MessageClass,
         per_word_hops: f64,
-        at: Cycle,
+        at: Stamp,
     ) {
         if words.is_empty() {
             return;
@@ -549,7 +551,7 @@ impl Engine<'_> {
         words: WordMask,
         class: MessageClass,
         per_word_hops: f64,
-        at: Cycle,
+        at: Stamp,
     ) {
         if words.is_empty() {
             return;
@@ -578,7 +580,7 @@ impl Engine<'_> {
     /// Ensures an L2 entry exists for `line`. In store context under the
     /// baseline (fetch-on-write) L2 policy, a missing line is fetched from
     /// memory in full before the registration is applied.
-    fn denovo_ensure_l2(&mut self, home: TileId, line: LineAddr, store_ctx: bool, at: Cycle) {
+    fn denovo_ensure_l2(&mut self, home: TileId, line: LineAddr, store_ctx: bool, at: Stamp) {
         if self.tiles[home.0].l2.contains(line) {
             return;
         }
@@ -617,7 +619,7 @@ impl Engine<'_> {
     /// Evicts an L1 line: registered (dirty) words are written back (and any
     /// still-pending registrations are folded into the same message); valid
     /// words are dropped silently.
-    fn denovo_evict_l1(&mut self, core: usize, victim: LineEntry<L1Meta>, at: Cycle) {
+    fn denovo_evict_l1(&mut self, core: usize, victim: LineEntry<L1Meta>, at: Stamp) {
         let L1Meta::Denovo(dl) = &victim.meta else {
             return;
         };
@@ -664,7 +666,7 @@ impl Engine<'_> {
     /// Evicts an L2 line: words registered to L1s are recalled (written back
     /// by their owners), then dirty words are written back to memory —
     /// dirty-words-only when the protocol supports it, whole line otherwise.
-    fn denovo_evict_l2(&mut self, home: TileId, victim: LineEntry<L2Meta>, at: Cycle) {
+    fn denovo_evict_l2(&mut self, home: TileId, victim: LineEntry<L2Meta>, at: Stamp) {
         let L2Meta::Denovo(dl) = &victim.meta else {
             return;
         };
@@ -725,7 +727,7 @@ impl Engine<'_> {
 
     /// Barrier-time protocol actions: drain the write-combining tables,
     /// self-invalidate stale valid words, and clear the L1 Bloom shadows.
-    fn denovo_barrier_actions(&mut self, at: Cycle) {
+    fn denovo_barrier_actions(&mut self, at: Stamp) {
         let cores = self.tiles.len();
         for core in 0..cores {
             let flushed = self.tiles[core].write_combine.release_all();

@@ -8,7 +8,7 @@ use crate::timing::TimeClass;
 use tw_mem::LineEntry;
 use tw_protocols::{DirectoryEntry, MesiState};
 use tw_types::{
-    Addr, CoreId, Cycle, LineAddr, MessageClass, MessageKind, RegionId, TileId, WordMask,
+    Addr, CoreId, LineAddr, MessageClass, MessageKind, RegionId, Stamp, TileId, WordMask,
 };
 
 /// Executor for the MESI protocol family (`Mesi`, `MMemL1`).
@@ -25,8 +25,8 @@ impl ProtocolExecutor for MesiExecutor {
         core: usize,
         addr: Addr,
         region: RegionId,
-        now: Cycle,
-    ) -> Cycle {
+        now: Stamp,
+    ) -> Stamp {
         eng.mesi_load(core, addr, region, now)
     }
 
@@ -36,8 +36,8 @@ impl ProtocolExecutor for MesiExecutor {
         core: usize,
         addr: Addr,
         region: RegionId,
-        now: Cycle,
-    ) -> Cycle {
+        now: Stamp,
+    ) -> Stamp {
         eng.mesi_store(core, addr, region, now)
     }
 
@@ -68,7 +68,7 @@ impl Engine<'_> {
 
     /// Executes a load under MESI/MMemL1, returning the cycle at which the
     /// core may proceed.
-    fn mesi_load(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
+    fn mesi_load(&mut self, core: usize, addr: Addr, region: RegionId, now: Stamp) -> Stamp {
         let lb = self.line_bytes();
         let line = LineAddr::containing(addr, lb);
         let l1_hit_cycles = self.system().timing.l1_hit_cycles;
@@ -172,7 +172,7 @@ impl Engine<'_> {
             );
             self.l1_prof[core].loaded(addr);
             self.mem_prof.loaded(addr);
-            self.time[core].add(TimeClass::OnChipHit, delivery.arrival - now);
+            self.time[core].add(TimeClass::OnChipHit, delivery.arrival.since(now));
             delivery.arrival
         } else {
             // ---- L2 miss: fetch from memory --------------------------------
@@ -237,16 +237,16 @@ impl Engine<'_> {
             self.l1_prof[core].loaded(addr);
             self.mem_prof.loaded(addr);
 
-            self.time[core].add(TimeClass::ToMc, to_mc.arrival - now);
-            self.time[core].add(TimeClass::Mem, dram_done - to_mc.arrival);
-            self.time[core].add(TimeClass::FromMc, arrival - dram_done);
+            self.time[core].add(TimeClass::ToMc, to_mc.arrival.since(now));
+            self.time[core].add(TimeClass::Mem, dram_done.since(to_mc.arrival));
+            self.time[core].add(TimeClass::FromMc, arrival.since(dram_done));
             arrival
         }
     }
 
     /// Executes a store under MESI/MMemL1. Stores retire into the
     /// non-blocking write buffer, so the core is charged only one busy cycle.
-    fn mesi_store(&mut self, core: usize, addr: Addr, region: RegionId, now: Cycle) -> Cycle {
+    fn mesi_store(&mut self, core: usize, addr: Addr, region: RegionId, now: Stamp) -> Stamp {
         let lb = self.line_bytes();
         let line = LineAddr::containing(addr, lb);
         let w = addr.word_in_line(lb);
@@ -417,7 +417,7 @@ impl Engine<'_> {
         home: TileId,
         line: LineAddr,
         sharers: &[CoreId],
-        at: Cycle,
+        at: Stamp,
     ) {
         for s in sharers {
             self.net
@@ -442,7 +442,7 @@ impl Engine<'_> {
         state: MesiState,
         class: MessageClass,
         per_word_hops: f64,
-        at: Cycle,
+        at: Stamp,
     ) {
         let lb = self.line_bytes();
         let already = self.tiles[core]
@@ -469,7 +469,7 @@ impl Engine<'_> {
 
     /// Handles the eviction of an L1 line: dirty lines write back data, clean
     /// lines notify the directory with a control message.
-    fn mesi_evict_l1(&mut self, core: usize, victim: LineEntry<L1Meta>, at: Cycle) {
+    fn mesi_evict_l1(&mut self, core: usize, victim: LineEntry<L1Meta>, at: Stamp) {
         let L1Meta::Mesi { state, .. } = victim.meta else {
             return;
         };
@@ -509,7 +509,7 @@ impl Engine<'_> {
         line: LineAddr,
         dir: DirectoryEntry,
         valid: WordMask,
-        at: Cycle,
+        at: Stamp,
     ) {
         if !self.tiles[home.0].l2.contains(line) {
             let victim = self.tiles[home.0].l2.insert(line, L2Meta::Mesi(dir)).1;
@@ -525,7 +525,7 @@ impl Engine<'_> {
 
     /// Evicts an L2 line: recalls every L1 copy (inclusive hierarchy) and
     /// writes dirty data back to memory.
-    fn mesi_evict_l2(&mut self, home: TileId, victim: LineEntry<L2Meta>, at: Cycle) {
+    fn mesi_evict_l2(&mut self, home: TileId, victim: LineEntry<L2Meta>, at: Stamp) {
         let L2Meta::Mesi(dir) = victim.meta else {
             return;
         };

@@ -1,21 +1,29 @@
-//! On-chip mesh network model.
+//! On-chip mesh network models.
 //!
 //! The study reports all traffic in *flit-hops*: each 16-byte flit counts
 //! once per link it traverses. This crate models the 4×4 mesh of the paper
 //! with XY dimension-order routing, computes packet sizes in flits (one
-//! control flit plus up to four data flits), accounts flit-hops, and provides
-//! a wormhole-style latency model with per-link contention.
+//! control flit plus up to four data flits), accounts flit-hops, and
+//! provides two timing models behind the [`NetworkModel`] trait
+//! (`DESIGN.md` §11):
 //!
-//! Per the substitution note in `DESIGN.md`, the NoC is analytic rather than
-//! a per-flit wormhole simulator: flit-hops are exact under XY routing, and
-//! latency is per-hop pipeline delay plus serialization plus a per-link
-//! queueing term derived from link occupancy.
+//! * [`Mesh`] — the **analytic** model: per-hop pipeline delay plus
+//!   serialization plus a per-link queueing term derived from whole-packet
+//!   link reservations. Fast; the default.
+//! * [`WormholeMesh`] — the **flit-level** model: an event-driven wormhole
+//!   simulation ([`EventQueue`] with a deterministic total event order)
+//!   through routers with per-port virtual channels, round-robin
+//!   arbitration and credit backpressure ([`OutPort`]).
+//!
+//! Flit-hops are exact under XY routing and identical across models (both
+//! route through [`mesh::xy_route`]); only latency differs, and both models
+//! collapse to the same unloaded latency on an idle mesh.
 //!
 //! # Example
 //!
 //! ```
-//! use tw_noc::{Mesh, PacketSize};
-//! use tw_types::{NocConfig, TileId};
+//! use tw_noc::{model_for, Mesh, PacketSize};
+//! use tw_types::{NetworkModelKind, NocConfig, TileId};
 //!
 //! let mesh = Mesh::new(NocConfig::default());
 //! let size = PacketSize::with_data_words(&NocConfig::default(), 6);
@@ -23,15 +31,30 @@
 //! let hops = mesh.hops(TileId(0), TileId(15));
 //! assert_eq!(hops, 6);
 //! assert_eq!(mesh.flit_hops(TileId(0), TileId(15), size), 6 * 3);
+//!
+//! // Both timing models agree on an idle mesh.
+//! let mut flit = model_for(NetworkModelKind::FlitLevel, NocConfig::default());
+//! assert_eq!(
+//!     flit.send(TileId(0), TileId(15), size, 0),
+//!     mesh.unloaded_latency(TileId(0), TileId(15), size),
+//! );
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod link;
 pub mod mesh;
+pub mod model;
 pub mod packet;
+pub mod router;
+pub mod wormhole;
 
+pub use events::EventQueue;
 pub use link::{LinkId, LinkState};
-pub use mesh::Mesh;
+pub use mesh::{xy_route, Mesh};
+pub use model::{model_for, NetworkModel};
 pub use packet::PacketSize;
+pub use router::OutPort;
+pub use wormhole::WormholeMesh;

@@ -33,13 +33,16 @@ impl LinkState {
     /// Reserves the link for `flits` flits arriving at `arrival`.
     ///
     /// Returns `(start, queueing_delay)`: the cycle the head flit actually
-    /// starts crossing and how long it waited for the link.
+    /// starts crossing and how long it waited for the link. All accumulators
+    /// saturate, so a link driven to the end of the cycle space (or a run
+    /// long enough to exhaust the u64 counters) pins at the maximum instead
+    /// of wrapping into bogus small values.
     pub fn reserve(&mut self, arrival: Cycle, flits: usize) -> (Cycle, Cycle) {
         let start = arrival.max(self.busy_until);
         let wait = start - arrival;
-        self.busy_until = start + flits as Cycle;
-        self.flits += flits as u64;
-        self.queueing_cycles += wait;
+        self.busy_until = start.saturating_add(flits as Cycle);
+        self.flits = self.flits.saturating_add(flits as u64);
+        self.queueing_cycles = self.queueing_cycles.saturating_add(wait);
         (start, wait)
     }
 

@@ -1,14 +1,63 @@
 //! Property-based tests of mesh routing and flit-hop accounting.
 
 use proptest::prelude::*;
-use tw_noc::{Mesh, PacketSize};
-use tw_types::{NocConfig, TileId};
+use tw_noc::{model_for, Mesh, PacketSize};
+use tw_types::{Cycle, NetworkModelKind, NocConfig, TileId};
 
 fn mesh() -> Mesh {
     Mesh::new(NocConfig::default())
 }
 
 proptest! {
+    /// On an idle mesh, `send` arrival equals `unloaded_latency` for every
+    /// (src, dst, packet size) over the full tile grid — under BOTH network
+    /// models. This is the floor every loaded latency is bounded below by.
+    #[test]
+    fn idle_send_arrival_equals_unloaded_latency(
+        src in 0usize..16,
+        dst in 0usize..16,
+        words in 0usize..17,
+        inject in 0u64..1_000_000,
+    ) {
+        let cfg = NocConfig::default();
+        let size = if words == 0 {
+            PacketSize::control_only()
+        } else {
+            PacketSize::with_data_words(&cfg, words)
+        };
+        for kind in NetworkModelKind::ALL {
+            let mut model = model_for(kind, cfg.clone());
+            let unloaded = model.unloaded_latency(TileId(src), TileId(dst), size);
+            prop_assert_eq!(
+                model.send(TileId(src), TileId(dst), size, inject),
+                inject + unloaded,
+                "{} model, {}->{} x{} words", kind.name(), src, dst, words
+            );
+        }
+    }
+
+    /// `LinkState` accumulators saturate instead of wrapping when a link is
+    /// driven to the end of the cycle space — a wrapped `busy_until` would
+    /// silently un-queue every later packet.
+    #[test]
+    fn saturated_link_state_never_wraps(
+        arrivals in prop::collection::vec(0u64..100, 1..20),
+        flits in 1usize..6,
+    ) {
+        let mut l = tw_noc::LinkState::default();
+        // Pin the link at the end of the cycle space (3 cycles of headroom,
+        // 5 flits of occupancy saturates busy_until to the max).
+        l.reserve(Cycle::MAX - 3, 5);
+        prop_assert_eq!(l.busy_until, Cycle::MAX, "priming saturates busy_until");
+        let mut last_start = 0;
+        for a in arrivals {
+            let (start, wait) = l.reserve(a, flits);
+            prop_assert!(start >= last_start, "starts stay monotone at saturation");
+            prop_assert_eq!(start, a + wait, "wait accounting stays consistent");
+            last_start = start;
+        }
+        prop_assert_eq!(l.busy_until, Cycle::MAX, "busy_until stays pinned");
+    }
     /// XY routes are loop-free, have exactly Manhattan-distance links, and
     /// every consecutive pair of links shares a router.
     #[test]

@@ -13,7 +13,12 @@
 //!    `[0, 1]` and total traffic is finite and positive;
 //! 5. **Bypass dominance** — on a fully-bypass-annotated streaming workload
 //!    (the scenario L2 bypass exists for), `DBypFull` moves no more traffic
-//!    than MESI.
+//!    than MESI;
+//! 6. **Network-model identity** — re-running the cell under the *other*
+//!    network model must reproduce every per-bucket flit-hop number, every
+//!    waste classification and the DRAM behavior bit for bit, and the
+//!    flit-level execution time must be at or above the analytic lower
+//!    bound (DESIGN.md §11: the model may only move time, never traffic).
 
 use crate::mutate::{detect, Detection};
 use crate::oracle::{golden_execute, OracleReport};
@@ -24,7 +29,7 @@ use denovo_waste::{
 };
 use rayon::prelude::*;
 use std::fmt;
-use tw_types::ProtocolKind;
+use tw_types::{NetworkModelKind, ProtocolKind};
 use tw_workloads::Workload;
 
 /// One invariant violation found by the runner.
@@ -69,6 +74,23 @@ pub enum Violation {
         /// MESI's total flit-hops.
         mesi: f64,
     },
+    /// Re-running under the other network model changed something a network
+    /// model is never allowed to touch.
+    CrossModelDivergence {
+        /// The offending protocol.
+        protocol: ProtocolKind,
+        /// Which model-invariant quantity moved.
+        field: &'static str,
+    },
+    /// The flit-level run finished before its analytic lower bound.
+    LatencyBelowAnalyticBound {
+        /// The offending protocol.
+        protocol: ProtocolKind,
+        /// Flit-level total cycles.
+        flit_cycles: u64,
+        /// Analytic total cycles (the lower bound).
+        analytic_cycles: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -97,6 +119,18 @@ impl fmt::Display for Violation {
             Violation::BypassRegression { dbypfull, mesi } => write!(
                 f,
                 "DBypFull moved more traffic ({dbypfull:.0}) than MESI ({mesi:.0}) on a fully-bypass streaming workload"
+            ),
+            Violation::CrossModelDivergence { protocol, field } => write!(
+                f,
+                "{protocol}: {field} diverged across network models (the model may only move time)"
+            ),
+            Violation::LatencyBelowAnalyticBound {
+                protocol,
+                flit_cycles,
+                analytic_cycles,
+            } => write!(
+                f,
+                "{protocol}: flit-level run ({flit_cycles} cycles) undercut the analytic lower bound ({analytic_cycles})"
             ),
         }
     }
@@ -138,17 +172,28 @@ impl DiffOutcome {
 pub struct DifferentialRunner {
     /// System scale simulated (geometry + cache sizes).
     pub scale: ScaleProfile,
+    /// Network model the primary sweep (capture, oracle, replay) runs
+    /// under; the cross-model invariant always compares against the other
+    /// model.
+    pub network: NetworkModelKind,
     /// Protocols swept, in summary order.
     pub protocols: Vec<ProtocolKind>,
 }
 
 impl DifferentialRunner {
-    /// The full nine-protocol registry at the given scale.
+    /// The full nine-protocol registry at the given scale, analytic network.
     pub fn new(scale: ScaleProfile) -> Self {
         DifferentialRunner {
             scale,
+            network: NetworkModelKind::default(),
             protocols: ProtocolKind::ALL.to_vec(),
         }
+    }
+
+    /// The same runner with the primary sweep under `network`.
+    pub fn with_network(mut self, network: NetworkModelKind) -> Self {
+        self.network = network;
+        self
     }
 
     /// Runs every protocol over the workload and returns the verdict.
@@ -166,7 +211,8 @@ impl DifferentialRunner {
         if let Err(msg) = wl.try_well_formed() {
             return empty(Violation::Malformed(msg));
         }
-        let system = self.scale.system();
+        let mut system = self.scale.system();
+        system.network = self.network;
         if wl.cores() != system.tiles() {
             return empty(Violation::Malformed(format!(
                 "workload has {} cores but the {:?} system has {} tiles",
@@ -220,6 +266,54 @@ impl DifferentialRunner {
                         protocol,
                         waste_fraction: waste,
                         traffic,
+                    });
+                }
+
+                // Invariant 6: the other network model must move the exact
+                // same flits and classify the exact same words; only time
+                // may differ, and flit-level time only upward.
+                let other = match self.network {
+                    NetworkModelKind::Analytic => NetworkModelKind::FlitLevel,
+                    NetworkModelKind::FlitLevel => NetworkModelKind::Analytic,
+                };
+                let mut other_sys = system.clone();
+                other_sys.network = other;
+                let alt = Simulator::new(SimConfig::new(protocol).with_system(other_sys), wl).run();
+                let diverged: [(&'static str, bool); 7] = [
+                    ("per-bucket traffic", alt.traffic != report.traffic),
+                    (
+                        "mesh flit-hops",
+                        alt.mesh_flit_hops != report.mesh_flit_hops,
+                    ),
+                    (
+                        "waste fraction",
+                        alt.waste_traffic_fraction().to_bits()
+                            != report.waste_traffic_fraction().to_bits(),
+                    ),
+                    ("L1 waste", alt.l1_waste != report.l1_waste),
+                    ("L2 waste", alt.l2_waste != report.l2_waste),
+                    ("memory waste", alt.mem_waste != report.mem_waste),
+                    (
+                        "DRAM behavior",
+                        alt.dram_accesses != report.dram_accesses
+                            || alt.dram_row_hit_rate.to_bits()
+                                != report.dram_row_hit_rate.to_bits(),
+                    ),
+                ];
+                for (field, moved) in diverged {
+                    if moved {
+                        violations.push(Violation::CrossModelDivergence { protocol, field });
+                    }
+                }
+                let (flit_cycles, analytic_cycles) = match self.network {
+                    NetworkModelKind::FlitLevel => (report.total_cycles, alt.total_cycles),
+                    NetworkModelKind::Analytic => (alt.total_cycles, report.total_cycles),
+                };
+                if flit_cycles < analytic_cycles {
+                    violations.push(Violation::LatencyBelowAnalyticBound {
+                        protocol,
+                        flit_cycles,
+                        analytic_cycles,
                     });
                 }
 
@@ -281,6 +375,7 @@ impl DifferentialRunner {
         let mut spec = ExperimentSpec::subset(self.protocols.clone(), Vec::new(), self.scale);
         spec.name = format!("differential-{name}");
         spec.workloads = vec![WorkloadSpec::provided(name.clone())];
+        spec.networks = vec![self.network];
         let mut set = WorkloadSet::new();
         set.insert(name, wl);
         RunOutcome::from_plan(Session::new().run(&spec, &set)?)
@@ -309,6 +404,25 @@ mod tests {
             assert_eq!(out.summaries.len(), 9);
             assert!(out.oracle.mem_ops() > 0);
         }
+    }
+
+    #[test]
+    fn flit_level_primary_sweep_passes_every_invariant() {
+        // The same seeds, primary sweep under the wormhole model: capture,
+        // oracle, replay determinism and the cross-model identity must all
+        // hold with the roles of the two models swapped.
+        let runner =
+            DifferentialRunner::new(ScaleProfile::Tiny).with_network(NetworkModelKind::FlitLevel);
+        let out = runner.check(&synthesize(7));
+        assert!(
+            out.ok(),
+            "{:?}",
+            out.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(out.summaries.len(), 9);
     }
 
     #[test]
@@ -342,6 +456,7 @@ mod tests {
     fn synthesized_workloads_flow_through_the_matrix() {
         let runner = DifferentialRunner {
             scale: ScaleProfile::Tiny,
+            network: NetworkModelKind::default(),
             protocols: vec![ProtocolKind::Mesi, ProtocolKind::DBypFull],
         };
         let out = runner.matrix_outcome(synthesize(4)).unwrap();

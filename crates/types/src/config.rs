@@ -55,6 +55,57 @@ impl CacheConfig {
     }
 }
 
+/// How the on-chip network's timing is modeled (see `DESIGN.md` §11).
+///
+/// Flit-hop *traffic* is identical under every model — routes are XY
+/// dimension-order either way and the canonical mesh ledger is always
+/// maintained — so the choice only moves latency and execution time.
+/// `Analytic` is the fast default; `FlitLevel` simulates every flit through
+/// wormhole routers with per-port virtual channels and deterministic
+/// round-robin arbitration (`tw-noc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum NetworkModelKind {
+    /// Per-link analytic reservation: hop pipeline + serialization + a
+    /// per-link queueing estimate (the original mesh model).
+    #[default]
+    Analytic,
+    /// Event-driven flit-level wormhole simulation with virtual channels
+    /// and credit backpressure.
+    FlitLevel,
+}
+
+impl NetworkModelKind {
+    /// Every model, in sweep order.
+    pub const ALL: [NetworkModelKind; 2] =
+        [NetworkModelKind::Analytic, NetworkModelKind::FlitLevel];
+
+    /// The spec-grammar / CLI name of this model (lowercase).
+    pub const fn name(self) -> &'static str {
+        match self {
+            NetworkModelKind::Analytic => "analytic",
+            NetworkModelKind::FlitLevel => "flit",
+        }
+    }
+
+    /// Resolves a model from its name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Names the rejected name and lists the accepted ones.
+    pub fn by_name(name: &str) -> Result<NetworkModelKind, String> {
+        Self::ALL
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown network model `{name}`; expected analytic | flit"))
+    }
+}
+
+impl std::fmt::Display for NetworkModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// On-chip network parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NocConfig {
@@ -70,6 +121,11 @@ pub struct NocConfig {
     pub router_latency: u64,
     /// Maximum number of data flits per packet (4 ⇒ at most 64 B of data).
     pub max_data_flits: usize,
+    /// Virtual channels per router output port (flit-level model only).
+    pub vcs_per_port: usize,
+    /// Per-VC downstream buffer depth in flits (flit-level model only;
+    /// bounds how far a packet can run ahead before credit backpressure).
+    pub vc_buffer_flits: usize,
 }
 
 impl Default for NocConfig {
@@ -81,6 +137,8 @@ impl Default for NocConfig {
             link_latency: 3,
             router_latency: 1,
             max_data_flits: 4,
+            vcs_per_port: 4,
+            vc_buffer_flits: 4,
         }
     }
 }
@@ -177,6 +235,9 @@ pub struct SystemConfig {
     pub dram: DramConfig,
     /// Core/cache timing parameters.
     pub timing: TimingConfig,
+    /// How network timing is modeled (analytic by default; traffic is
+    /// identical under every model).
+    pub network: NetworkModelKind,
 }
 
 impl SystemConfig {
@@ -255,6 +316,11 @@ impl SystemConfig {
                 "packets must allow at least one data flit",
             ));
         }
+        if self.noc.vcs_per_port == 0 || self.noc.vc_buffer_flits == 0 {
+            return Err(ConfigError::new(
+                "routers need at least one virtual channel and one buffer flit",
+            ));
+        }
         if self.dram.controllers == 0 || self.dram.banks == 0 {
             return Err(ConfigError::new("DRAM must have controllers and banks"));
         }
@@ -290,6 +356,8 @@ impl SystemConfig {
             n.link_latency,
             n.router_latency,
             n.max_data_flits as u64,
+            n.vcs_per_port as u64,
+            n.vc_buffer_flits as u64,
         ] {
             d.write_u64(v);
         }
@@ -315,6 +383,10 @@ impl SystemConfig {
         ] {
             d.write_u64(v);
         }
+        // The network model is a result-affecting axis (it moves execution
+        // time), so a cached analytic cell can never be served for a
+        // flit-level run or vice versa.
+        d.write_str(self.network.name());
     }
 
     /// Renders the configuration as the rows of paper Table 4.1.
@@ -346,8 +418,17 @@ impl SystemConfig {
             (
                 "Network".into(),
                 format!(
-                    "{}x{} mesh, {} byte links, {} cycle link latency",
-                    self.noc.cols, self.noc.rows, self.noc.link_bytes, self.noc.link_latency
+                    "{}x{} mesh, {} byte links, {} cycle link latency{}",
+                    self.noc.cols,
+                    self.noc.rows,
+                    self.noc.link_bytes,
+                    self.noc.link_latency,
+                    // The analytic spelling is unchanged so default-model
+                    // artifacts stay byte-identical across this axis' intro.
+                    match self.network {
+                        NetworkModelKind::Analytic => "",
+                        NetworkModelKind::FlitLevel => ", flit-level wormhole model",
+                    }
                 ),
             ),
             (
@@ -423,6 +504,31 @@ mod tests {
     }
 
     #[test]
+    fn network_model_names_round_trip() {
+        for kind in NetworkModelKind::ALL {
+            assert_eq!(NetworkModelKind::by_name(kind.name()), Ok(kind));
+            assert_eq!(
+                NetworkModelKind::by_name(&kind.name().to_uppercase()),
+                Ok(kind)
+            );
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        let err = NetworkModelKind::by_name("garnet").unwrap_err();
+        assert!(err.contains("`garnet`"), "{err}");
+        assert!(err.contains("analytic"), "{err}");
+        assert_eq!(NetworkModelKind::default(), NetworkModelKind::Analytic);
+    }
+
+    #[test]
+    fn flit_level_model_is_named_in_table_4_1() {
+        let mut cfg = SystemConfig::default();
+        let analytic_row = cfg.table_rows()[3].1.clone();
+        assert!(!analytic_row.contains("wormhole"));
+        cfg.network = NetworkModelKind::FlitLevel;
+        assert!(cfg.table_rows()[3].1.contains("flit-level wormhole"));
+    }
+
+    #[test]
     fn validation_rejects_bad_configs() {
         let mut cfg = SystemConfig::default();
         cfg.cache.line_bytes = 48;
@@ -438,6 +544,14 @@ mod tests {
 
         let mut cfg = SystemConfig::default();
         cfg.dram.row_bytes = 32;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::default();
+        cfg.noc.vcs_per_port = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::default();
+        cfg.noc.vc_buffer_flits = 0;
         assert!(cfg.validate().is_err());
     }
 
@@ -456,11 +570,14 @@ mod tests {
             d.finish()
         };
         assert_eq!(base, digest_of(&|_| {}), "digest must be deterministic");
-        let mutations: [&dyn Fn(&mut SystemConfig); 4] = [
+        let mutations: [&dyn Fn(&mut SystemConfig); 7] = [
             &|c| c.cache.l2_slice_bytes = 128 * 1024,
             &|c| c.noc.cols = 2,
+            &|c| c.noc.vcs_per_port = 2,
+            &|c| c.noc.vc_buffer_flits = 8,
             &|c| c.dram.banks = 4,
             &|c| c.timing.l2_hit_cycles = 11,
+            &|c| c.network = NetworkModelKind::FlitLevel,
         ];
         for (i, m) in mutations.iter().enumerate() {
             assert_ne!(base, digest_of(m), "mutation {i} did not change the digest");

@@ -35,7 +35,9 @@ pub mod stats;
 pub mod trace;
 
 pub use addr::{Addr, LineAddr, WordIdx, WORDS_PER_LINE, WORD_BYTES};
-pub use config::{CacheConfig, DramConfig, NocConfig, SystemConfig, TimingConfig};
+pub use config::{
+    CacheConfig, DramConfig, NetworkModelKind, NocConfig, SystemConfig, TimingConfig,
+};
 pub use digest::{Digest, DigestWriter, Digester};
 pub use error::ConfigError;
 pub use geometry::{CoreId, MeshCoord, TileId};
@@ -43,5 +45,5 @@ pub use mask::WordMask;
 pub use message::{MessageClass, MessageKind, TrafficBucket};
 pub use protocol::ProtocolKind;
 pub use region::{BypassKind, CommRegion, RegionId, RegionInfo, RegionTable};
-pub use stats::Cycle;
+pub use stats::{Cycle, Stamp};
 pub use trace::{MemKind, TraceOp, TraceStats};

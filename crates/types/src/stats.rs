@@ -1,4 +1,100 @@
 //! Time base shared by all components.
 
+use std::ops::{Add, AddAssign};
+
 /// A simulation cycle count (core clock domain).
 pub type Cycle = u64;
+
+/// A simulation timestamp carried on two lanes.
+///
+/// The **canonical** lane is always advanced by the analytic network model
+/// and is the only lane the engine consults for anything that influences
+/// *what happens*: core scheduling order, cache and directory state, the
+/// write-combining timeout, DRAM row-buffer evolution — and therefore every
+/// flit-hop and every waste classification. The **timed** lane is advanced
+/// by whichever network model the run configured and is what the reported
+/// execution time is built from.
+///
+/// Under the analytic model the two lanes are identical at every point, so
+/// the default configuration reproduces the single-clock engine bit for
+/// bit. Under the flit-level model the timed lane runs at or behind the
+/// canonical lane (per-send latencies are clamped to the analytic lower
+/// bound, see `DESIGN.md` §11), which is exactly what makes traffic
+/// bit-identical across network models while latency is free to grow under
+/// congestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stamp {
+    /// Canonical-lane cycle (analytic network timing; orders all state
+    /// mutation).
+    pub canon: Cycle,
+    /// Timed-lane cycle (configured network-model timing; reported time).
+    pub timed: Cycle,
+}
+
+impl Stamp {
+    /// A timestamp with both lanes at `cycle` (the lanes only diverge
+    /// through network sends, never at creation).
+    pub const fn at(cycle: Cycle) -> Self {
+        Stamp {
+            canon: cycle,
+            timed: cycle,
+        }
+    }
+
+    /// Lane-wise maximum — the join of two arrival times.
+    pub fn max(self, other: Stamp) -> Stamp {
+        Stamp {
+            canon: self.canon.max(other.canon),
+            timed: self.timed.max(other.timed),
+        }
+    }
+
+    /// Timed-lane duration since `earlier` (saturating) — what execution
+    /// time breakdowns are charged with.
+    pub fn since(self, earlier: Stamp) -> Cycle {
+        self.timed.saturating_sub(earlier.timed)
+    }
+
+    /// Whether both lanes are at or past `other` (time never runs
+    /// backwards on either lane).
+    pub fn not_before(self, other: Stamp) -> bool {
+        self.canon >= other.canon && self.timed >= other.timed
+    }
+}
+
+impl Add<Cycle> for Stamp {
+    type Output = Stamp;
+
+    fn add(self, rhs: Cycle) -> Stamp {
+        Stamp {
+            canon: self.canon + rhs,
+            timed: self.timed + rhs,
+        }
+    }
+}
+
+impl AddAssign<Cycle> for Stamp {
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.canon += rhs;
+        self.timed += rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_start_together_and_join_lane_wise() {
+        let s = Stamp::at(10);
+        assert_eq!(s.canon, s.timed);
+        let a = Stamp { canon: 5, timed: 9 };
+        let b = Stamp { canon: 7, timed: 8 };
+        assert_eq!(a.max(b), Stamp { canon: 7, timed: 9 });
+        assert_eq!((a + 3).timed, 12);
+        assert_eq!(b.since(a), 0, "since saturates instead of underflowing");
+        assert_eq!(a.since(b), 1);
+        assert!(!a.not_before(b));
+        assert!(a.max(b).not_before(a));
+    }
+}
