@@ -23,7 +23,7 @@ mod exec_mesi;
 use crate::machine::build_tiles;
 use crate::report::SimReport;
 use crate::timing::{ExecutionBreakdown, TimeClass};
-use engine::{executor_for, Engine, Net, ProtocolExecutor, TraceCapture};
+use engine::{executor_for, Engine, GeomCache, Net, ProtocolExecutor, TraceCapture};
 use tw_profiler::{CacheLevel, CacheWasteProfiler, MemoryWasteProfiler};
 use tw_types::{
     Cycle, MemKind, MessageClass, ProtocolKind, Stamp, SystemConfig, TraceOp, TrafficBucket,
@@ -89,6 +89,12 @@ pub struct Simulator<'wl> {
     clocks: Vec<Stamp>,
     pc: Vec<usize>,
     state: Vec<CoreState>,
+    /// Scheduler shadow of `clocks`/`state`: the canonical clock of each
+    /// `Running` core, `u64::MAX` otherwise. The per-op "next core" argmin
+    /// scans this flat array instead of filtering on `state` each time;
+    /// ties resolve to the lowest core index, exactly like the
+    /// `min_by_key` it replaces.
+    ready: Vec<u64>,
 }
 
 impl<'wl> Simulator<'wl> {
@@ -110,6 +116,7 @@ impl<'wl> Simulator<'wl> {
         let engine = Engine {
             tiles: build_tiles(&cfg.system, cfg.protocol),
             net: Net::new(cfg.system.noc.clone(), cfg.system.network),
+            geo: GeomCache::new(&cfg.system, &workload.regions),
             l1_prof: (0..cores)
                 .map(|_| CacheWasteProfiler::new(CacheLevel::L1))
                 .collect(),
@@ -126,6 +133,7 @@ impl<'wl> Simulator<'wl> {
             clocks: vec![Stamp::at(0); cores],
             pc: vec![0; cores],
             state: vec![CoreState::Running; cores],
+            ready: vec![0; cores],
         }
     }
 
@@ -163,19 +171,25 @@ impl<'wl> Simulator<'wl> {
     fn run_loop(&mut self) {
         loop {
             // Canonical-lane ordering: which core runs next must not depend
-            // on the configured network model (see `clocks`).
-            let next = (0..self.clocks.len())
-                .filter(|&c| self.state[c] == CoreState::Running)
-                .min_by_key(|&c| self.clocks[c].canon);
-            match next {
-                Some(core) => self.step_core(core),
-                None => {
-                    // Everyone is either done or waiting at a barrier.
-                    if self.state.iter().all(|s| *s == CoreState::Done) {
-                        break;
-                    }
-                    self.release_barrier();
+            // on the configured network model (see `clocks`). Non-running
+            // cores sit at `u64::MAX` in `ready` (clocks can never reach it),
+            // so a flat first-minimum scan is the old filtered `min_by_key`.
+            let mut core = usize::MAX;
+            let mut best = u64::MAX;
+            for (c, &at) in self.ready.iter().enumerate() {
+                if at < best {
+                    best = at;
+                    core = c;
                 }
+            }
+            if core != usize::MAX {
+                self.step_core(core);
+            } else {
+                // Everyone is either done or waiting at a barrier.
+                if self.state.iter().all(|s| *s == CoreState::Done) {
+                    break;
+                }
+                self.release_barrier();
             }
         }
     }
@@ -187,17 +201,20 @@ impl<'wl> Simulator<'wl> {
             .copied()
         else {
             self.state[core] = CoreState::Done;
+            self.ready[core] = u64::MAX;
             return;
         };
         match op {
             TraceOp::Compute { cycles } => {
                 self.clocks[core] += cycles as Cycle;
+                self.ready[core] = self.clocks[core].canon;
                 self.engine.time[core].add(TimeClass::Compute, cycles as Cycle);
                 self.pc[core] += 1;
                 self.engine.record_serviced(core, op);
             }
             TraceOp::Barrier { id } => {
                 self.state[core] = CoreState::AtBarrier(id);
+                self.ready[core] = u64::MAX;
                 // pc advances when the barrier releases; this arm runs once
                 // per barrier record, so the capture sees it exactly once.
                 self.engine.record_serviced(core, op);
@@ -210,6 +227,7 @@ impl<'wl> Simulator<'wl> {
                 };
                 debug_assert!(done.not_before(now));
                 self.clocks[core] = done;
+                self.ready[core] = done.canon;
                 self.pc[core] += 1;
                 self.engine.record_serviced(core, op);
             }
@@ -249,6 +267,7 @@ impl<'wl> Simulator<'wl> {
             let wait = release.since(self.clocks[c]);
             self.engine.time[c].add(TimeClass::Sync, wait);
             self.clocks[c] = release;
+            self.ready[c] = release.canon;
             self.pc[c] += 1;
             self.state[c] = CoreState::Running;
         }

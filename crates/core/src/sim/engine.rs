@@ -19,7 +19,7 @@ use tw_noc::{model_for, Mesh, NetworkModel, PacketSize};
 use tw_profiler::{CacheWasteProfiler, MemoryWasteProfiler, TrafficBreakdown};
 use tw_types::{
     Addr, LineAddr, MessageClass, MessageKind, NetworkModelKind, NocConfig, ProtocolKind, RegionId,
-    Stamp, SystemConfig, TileId, TraceOp, TrafficBucket,
+    RegionTable, Stamp, SystemConfig, TileId, TraceOp, TrafficBucket, WordMask,
 };
 use tw_workloads::Workload;
 
@@ -67,6 +67,8 @@ pub(crate) struct Net {
     timed: Option<Box<dyn NetworkModel>>,
     pub(crate) traffic: TrafficBreakdown,
     noc: NocConfig,
+    /// `noc.words_per_flit()` as an `f64`, cached off the per-message path.
+    words_per_flit: f64,
 }
 
 /// Outcome of sending one message.
@@ -90,6 +92,7 @@ impl Net {
             mesh: Mesh::new(noc.clone()),
             timed,
             traffic: TrafficBreakdown::new(),
+            words_per_flit: noc.words_per_flit() as f64,
             noc,
         }
     }
@@ -115,8 +118,8 @@ impl Net {
         } else {
             PacketSize::with_data_words(&self.noc, data_words)
         };
-        let hops = self.mesh.hops(from, to) as f64;
-        let canon = self.mesh.send(from, to, size, now.canon);
+        let (canon, hops) = self.mesh.send_counted(from, to, size, now.canon);
+        let hops = hops as f64;
         let timed = match &mut self.timed {
             None => now.timed + (canon - now.canon),
             Some(model) => {
@@ -146,7 +149,7 @@ impl Net {
         let per_word_hops = if data_words == 0 {
             0.0
         } else {
-            hops / self.noc.words_per_flit() as f64
+            hops / self.words_per_flit
         };
         // Data carried by overhead messages (Bloom-filter copies) is charged
         // directly; nobody profiles those words.
@@ -169,6 +172,121 @@ impl Net {
     }
 }
 
+/// Geometry and region facts resolved once at construction so the per-op
+/// hot path never divides by runtime configuration values, allocates the
+/// memory-controller list, or linearly scans the region table.
+///
+/// Every accessor computes exactly the value its `SystemConfig` /
+/// `RegionTable` counterpart would — power-of-two strength reductions only,
+/// verified by the `geom_cache_matches_config` test — so caching here cannot
+/// move a single message or waste classification.
+#[derive(Debug)]
+pub(crate) struct GeomCache {
+    tiles: usize,
+    tiles_pow2: bool,
+    tiles_mask: usize,
+    /// `log2(line_bytes)`; line size is validated to be a power of two.
+    line_shift: u32,
+    row_bytes: u64,
+    row_pow2: bool,
+    row_shift: u32,
+    /// The four corner memory controllers, in `memory_controller_tiles`
+    /// order (row index modulo 4 picks the controller, exactly as
+    /// `SystemConfig::mc_tile` does).
+    mcs: [TileId; 4],
+    /// `cache.words_per_line()`.
+    pub(crate) words_per_line: usize,
+    /// Per-region `written_in_parallel_phases`, indexed by `RegionId`
+    /// (`true` for ids absent from the table, matching `RegionTable::get`'s
+    /// `unwrap_or(true)` call sites).
+    region_parallel: Vec<bool>,
+    /// Per-region L2-bypass annotation, indexed by `RegionId` (`false` for
+    /// absent ids, matching `RegionTable::bypasses_l2`).
+    region_bypass: Vec<bool>,
+}
+
+impl GeomCache {
+    pub(crate) fn new(system: &SystemConfig, regions: &RegionTable) -> Self {
+        let tiles = system.tiles();
+        let row_bytes = system.dram.row_bytes;
+        let mcs_v = system.memory_controller_tiles();
+        debug_assert_eq!(mcs_v.len(), 4, "controllers sit on the four corners");
+
+        let slots = regions
+            .iter()
+            .map(|r| r.id.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut region_parallel = vec![true; slots];
+        let mut region_bypass = vec![false; slots];
+        let mut seen = vec![false; slots];
+        for r in regions.iter() {
+            let i = r.id.0 as usize;
+            if seen[i] {
+                continue; // `RegionTable::get` returns the first match
+            }
+            seen[i] = true;
+            region_parallel[i] = r.written_in_parallel_phases;
+            region_bypass[i] = r.bypass.bypasses_l2();
+        }
+
+        GeomCache {
+            tiles,
+            tiles_pow2: tiles.is_power_of_two(),
+            tiles_mask: tiles.wrapping_sub(1),
+            line_shift: system.cache.line_bytes.trailing_zeros(),
+            row_bytes,
+            row_pow2: row_bytes.is_power_of_two(),
+            row_shift: row_bytes.trailing_zeros(),
+            mcs: [mcs_v[0], mcs_v[1], mcs_v[2], mcs_v[3]],
+            words_per_line: system.cache.words_per_line(),
+            region_parallel,
+            region_bypass,
+        }
+    }
+
+    /// Same mapping as [`SystemConfig::home_tile`].
+    #[inline(always)]
+    fn home_of(&self, line: LineAddr) -> TileId {
+        let line_no = (line.byte() >> self.line_shift) as usize;
+        TileId(if self.tiles_pow2 {
+            line_no & self.tiles_mask
+        } else {
+            line_no % self.tiles
+        })
+    }
+
+    /// Same mapping as [`SystemConfig::mc_tile`].
+    #[inline(always)]
+    fn mc_of(&self, line: LineAddr) -> TileId {
+        let row = if self.row_pow2 {
+            line.byte() >> self.row_shift
+        } else {
+            line.byte() / self.row_bytes
+        };
+        self.mcs[(row as usize) & 3]
+    }
+
+    /// Whether `region` may be written during parallel phases (`true` for
+    /// ids the table does not describe).
+    #[inline(always)]
+    pub(crate) fn region_parallel(&self, region: RegionId) -> bool {
+        self.region_parallel
+            .get(region.0 as usize)
+            .copied()
+            .unwrap_or(true)
+    }
+
+    /// Same answer as [`RegionTable::bypasses_l2`].
+    #[inline(always)]
+    pub(crate) fn region_bypasses_l2(&self, region: RegionId) -> bool {
+        self.region_bypass
+            .get(region.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
 /// All protocol-agnostic machine state one simulation run mutates.
 ///
 /// The scheduler in `sim.rs` owns the per-core clocks and program counters;
@@ -185,6 +303,8 @@ pub(crate) struct Engine<'wl> {
     pub(crate) l2_prof: CacheWasteProfiler,
     pub(crate) mem_prof: MemoryWasteProfiler,
     pub(crate) time: Vec<ExecutionBreakdown>,
+    /// Geometry and region facts resolved once at construction.
+    pub(crate) geo: GeomCache,
     /// Armed by `Simulator::run_captured`; `None` costs nothing on the
     /// normal path.
     pub(crate) capture: Option<TraceCapture>,
@@ -214,14 +334,30 @@ impl<'wl> Engine<'wl> {
         self.cfg.system.cache.line_bytes
     }
 
-    /// Home L2 slice of a line.
-    pub(crate) fn home_of(&self, line: LineAddr) -> TileId {
-        self.cfg.system.home_tile(line.byte())
+    /// Words per cache line.
+    #[inline(always)]
+    pub(crate) fn wpl(&self) -> usize {
+        self.geo.words_per_line
     }
 
-    /// Memory controller responsible for a line.
+    /// Mask of every word in a line (`first_n(wpl)`), for the batched
+    /// profiler entry points.
+    #[inline(always)]
+    pub(crate) fn line_words_mask(&self) -> WordMask {
+        WordMask::first_n(self.geo.words_per_line)
+    }
+
+    /// Home L2 slice of a line (cached [`SystemConfig::home_tile`]).
+    #[inline(always)]
+    pub(crate) fn home_of(&self, line: LineAddr) -> TileId {
+        self.geo.home_of(line)
+    }
+
+    /// Memory controller responsible for a line (cached
+    /// [`SystemConfig::mc_tile`]).
+    #[inline(always)]
     pub(crate) fn mc_of(&self, line: LineAddr) -> TileId {
-        self.cfg.system.mc_tile(line.byte())
+        self.geo.mc_of(line)
     }
 
     /// Performs a DRAM access at controller `mc` and returns its completion
@@ -248,17 +384,20 @@ impl<'wl> Engine<'wl> {
         }
     }
 
-    /// Whether the L1 of `core` currently holds readable data for `addr`.
-    pub(crate) fn l1_word_present(&self, core: usize, addr: Addr) -> bool {
-        let line = LineAddr::containing(addr, self.cfg.system.cache.line_bytes);
-        let w = addr.word_in_line(self.cfg.system.cache.line_bytes);
-        match self.tiles[core].l1.peek(line) {
-            Some(entry) => match &entry.meta {
+    /// Whether the L1 of `core` holds readable data for `addr`, refreshing
+    /// the line's LRU position on a hit (single tag scan: equivalent to the
+    /// old presence `peek` followed by a `get` on the hit path).
+    pub(crate) fn l1_load_hit(&mut self, core: usize, addr: Addr) -> bool {
+        let lb = self.cfg.system.cache.line_bytes;
+        let line = LineAddr::containing(addr, lb);
+        let w = addr.word_in_line(lb);
+        self.tiles[core]
+            .l1
+            .get_where(line, |entry| match &entry.meta {
                 L1Meta::Mesi { state, .. } => state.can_read() && entry.valid.contains(w),
                 L1Meta::Denovo(l) => l.word(w).can_read(),
-            },
-            None => false,
-        }
+            })
+            .is_some()
     }
 
     /// Charges the data flit-hops of a writeback message: `used` words of the
@@ -445,6 +584,55 @@ mod tests {
             assert_eq!(kind_by_name(&kind.name().to_lowercase()), Some(kind));
         }
         assert_eq!(kind_by_name("NotAProtocol"), None);
+    }
+
+    #[test]
+    fn geom_cache_matches_config() {
+        let system = SystemConfig::default();
+        let regions = RegionTable::new();
+        let geo = GeomCache::new(&system, &regions);
+        let lb = system.cache.line_bytes;
+        for n in (0..4096u64).chain([1 << 20, (1 << 20) + 7 * 64]) {
+            let line = LineAddr::from_aligned(n * lb);
+            assert_eq!(geo.home_of(line), system.home_tile(line.byte()), "{line}");
+            assert_eq!(geo.mc_of(line), system.mc_tile(line.byte()), "{line}");
+        }
+        assert_eq!(geo.words_per_line, system.cache.words_per_line());
+        // Region defaults for ids the table does not describe.
+        assert!(geo.region_parallel(RegionId(3)));
+        assert!(!geo.region_bypasses_l2(RegionId(3)));
+    }
+
+    #[test]
+    fn geom_cache_mirrors_region_annotations() {
+        use tw_types::{BypassKind, RegionInfo};
+        let mut regions = RegionTable::new();
+        let mut streamed = RegionInfo::plain(RegionId(2), "edges", Addr::new(0), 4096);
+        streamed.bypass = BypassKind::StreamingOncePerPhase;
+        streamed.written_in_parallel_phases = false;
+        regions.insert(streamed);
+        regions.insert(RegionInfo::plain(
+            RegionId(5),
+            "nodes",
+            Addr::new(8192),
+            4096,
+        ));
+        let geo = GeomCache::new(&SystemConfig::default(), &regions);
+        for id in [RegionId(0), RegionId(2), RegionId(5), RegionId(9)] {
+            assert_eq!(
+                geo.region_bypasses_l2(id),
+                regions.bypasses_l2(id),
+                "bypass {id:?}"
+            );
+            assert_eq!(
+                geo.region_parallel(id),
+                regions
+                    .get(id)
+                    .map(|r| r.written_in_parallel_phases)
+                    .unwrap_or(true),
+                "parallel {id:?}"
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::timing::TimeClass;
 use tw_mem::LineEntry;
 use tw_protocols::{flex_fetch_plan, DenovoL1Line, DenovoL2Line, DenovoWordState, FlexPlan};
 use tw_types::{
-    Addr, CoreId, LineAddr, MessageClass, MessageKind, RegionId, Stamp, TileId, WordMask,
+    Addr, CoreId, LineAddr, MessageClass, MessageKind, RegionId, Stamp, TileId, WordIdx, WordMask,
 };
 
 /// Executor for the DeNovo protocol family (`DeNovo` through `DBypFull`).
@@ -82,8 +82,7 @@ impl Engine<'_> {
         let line = LineAddr::containing(addr, lb);
         let l1_hit_cycles = self.system().timing.l1_hit_cycles;
 
-        if self.l1_word_present(core, addr) {
-            self.tiles[core].l1.get(line);
+        if self.l1_load_hit(core, addr) {
             self.l1_prof[core].loaded(addr);
             self.mem_prof.loaded(addr);
             self.time[core].add(TimeClass::Compute, l1_hit_cycles);
@@ -96,8 +95,7 @@ impl Engine<'_> {
         } else {
             FlexPlan::whole_line(addr, lb)
         };
-        let bypass =
-            self.protocol().l2_response_bypass() && self.workload.regions.bypasses_l2(region);
+        let bypass = self.protocol().l2_response_bypass() && self.geo.region_bypasses_l2(region);
 
         // L2 request bypass: consult the Bloom shadow and, when it says the
         // line cannot be dirty on chip, go straight to the memory controller.
@@ -109,7 +107,7 @@ impl Engine<'_> {
                 let rq = self
                     .net
                     .send(TileId(core), home, MessageKind::BloomCopyReq, 0, now);
-                let words = self.system().cache.words_per_line();
+                let words = self.wpl();
                 let rs = self.net.send(
                     home,
                     TileId(core),
@@ -254,9 +252,7 @@ impl Engine<'_> {
                 at_l2.count(),
                 t_home + l2_hit,
             );
-            for w in at_l2.iter() {
-                self.l2_prof.loaded(line.word_addr(w));
-            }
+            self.l2_prof.loaded_words(line.word_addr(WordIdx(0)), at_l2);
             self.denovo_fill_l1(
                 core,
                 line,
@@ -331,10 +327,12 @@ impl Engine<'_> {
                 let d = self
                     .net
                     .send(mc, me, MessageKind::MemDataToL1, sent.count(), done);
-                for w in sent.iter() {
-                    self.mem_prof
-                        .fetched(line.word_addr(w), l2_present, d.per_word_hops);
-                }
+                self.mem_prof.fetched_words(
+                    line.word_addr(WordIdx(0)),
+                    sent,
+                    l2_present,
+                    d.per_word_hops,
+                );
                 self.denovo_fill_l1(
                     core,
                     line,
@@ -362,10 +360,12 @@ impl Engine<'_> {
                 let d2 = self
                     .net
                     .send(mc, home, MessageKind::DataToL2, sent.count(), done);
-                for w in sent.iter() {
-                    self.mem_prof
-                        .fetched(line.word_addr(w), l2_present, d2.per_word_hops);
-                }
+                self.mem_prof.fetched_words(
+                    line.word_addr(WordIdx(0)),
+                    sent,
+                    l2_present,
+                    d2.per_word_hops,
+                );
                 if fill_l2 {
                     self.denovo_fill_l2(
                         home,
@@ -422,16 +422,15 @@ impl Engine<'_> {
             }
         }
 
-        let was_registered = self
-            .denovo_l1_line(core, line)
-            .map(|l| l.word(w).is_registered())
-            .unwrap_or(false);
-
         self.l1_prof[core].stored(addr);
         self.mem_prof.stored(addr);
 
+        // Single lookup: read the prior registration state out of the same
+        // `get` that applies the write (one tick bump, as before).
+        let mut was_registered = false;
         if let Some(e) = self.tiles[core].l1.get(line) {
             if let L1Meta::Denovo(l) = &mut e.meta {
+                was_registered = l.word(w).is_registered();
                 l.set_word(w, DenovoWordState::Registered);
             }
             e.valid.insert(w);
@@ -528,9 +527,13 @@ impl Engine<'_> {
             .denovo_l1_line(core, line)
             .map(|l| l.readable_mask())
             .unwrap_or(WordMask::EMPTY);
-        for w in words.iter() {
-            self.l1_prof[core].arrive(line.word_addr(w), present.contains(w), per_word_hops, class);
-        }
+        self.l1_prof[core].arrive_words(
+            line.word_addr(WordIdx(0)),
+            words,
+            present,
+            per_word_hops,
+            class,
+        );
         if let Some(e) = self.tiles[core].l1.get(line) {
             if let L1Meta::Denovo(l) = &mut e.meta {
                 for w in words.iter() {
@@ -561,10 +564,13 @@ impl Engine<'_> {
             .denovo_l2_meta(home, line)
             .map(|m| m.valid_at_l2())
             .unwrap_or(WordMask::EMPTY);
-        for w in words.iter() {
-            self.l2_prof
-                .arrive(line.word_addr(w), present.contains(w), per_word_hops, class);
-        }
+        self.l2_prof.arrive_words(
+            line.word_addr(WordIdx(0)),
+            words,
+            present,
+            per_word_hops,
+            class,
+        );
         if let Some(e) = self.tiles[home.0].l2.get(line) {
             if let L2Meta::Denovo(d) = &mut e.meta {
                 for w in words.iter() {
@@ -595,16 +601,21 @@ impl Engine<'_> {
         if store_ctx && !self.protocol().l2_write_validate() {
             // Fetch-on-write at the L2: bring the whole line from memory.
             let lb = self.line_bytes();
-            let wpl = self.system().cache.words_per_line();
+            let wpl = self.wpl();
             let mc = self.mc_of(line);
             let rq = self.net.send(home, mc, MessageKind::MemReadReq, 0, at);
             let done = self.dram_access(mc, line, false, rq.arrival);
             let d = self.net.send(mc, home, MessageKind::DataToL2, wpl, done);
-            for a in line.words(lb) {
-                self.mem_prof.fetched(a, false, d.per_word_hops);
-                self.l2_prof
-                    .arrive(a, false, d.per_word_hops, MessageClass::Store);
-            }
+            let lw = WordMask::first_n((lb / tw_types::WORD_BYTES) as usize);
+            self.mem_prof
+                .fetched_words(line.word_addr(WordIdx(0)), lw, false, d.per_word_hops);
+            self.l2_prof.arrive_words(
+                line.word_addr(WordIdx(0)),
+                lw,
+                WordMask::EMPTY,
+                d.per_word_hops,
+                MessageClass::Store,
+            );
             if let Some(e) = self.tiles[home.0].l2.get(line) {
                 if let L2Meta::Denovo(dl) = &mut e.meta {
                     for w in WordMask::FULL.iter() {
@@ -654,12 +665,10 @@ impl Engine<'_> {
         }
 
         let line_in_l2 = self.tiles[home.0].l2.contains(victim.line);
-        for w in valid.iter() {
-            let a = victim.line.word_addr(w);
-            self.l1_prof[core].evicted(a);
-            if !line_in_l2 {
-                self.mem_prof.evicted(a);
-            }
+        self.l1_prof[core].evicted_words(victim.line.word_addr(WordIdx(0)), valid);
+        if !line_in_l2 {
+            self.mem_prof
+                .evicted_words(victim.line.word_addr(WordIdx(0)), valid);
         }
     }
 
@@ -670,7 +679,7 @@ impl Engine<'_> {
         let L2Meta::Denovo(dl) = &victim.meta else {
             return;
         };
-        let wpl = self.system().cache.words_per_line();
+        let wpl = self.wpl();
         let mut dirty = victim.dirty;
         let mut valid = victim.valid;
 
@@ -717,11 +726,10 @@ impl Engine<'_> {
             self.dram_access(mc, victim.line, true, wb.arrival);
         }
 
-        for w in valid.iter() {
-            let a = victim.line.word_addr(w);
-            self.l2_prof.evicted(a);
-            self.mem_prof.evicted(a);
-        }
+        self.l2_prof
+            .evicted_words(victim.line.word_addr(WordIdx(0)), valid);
+        self.mem_prof
+            .evicted_words(victim.line.word_addr(WordIdx(0)), valid);
         self.tiles[home.0].l2_bloom.remove(victim.line);
     }
 
@@ -738,26 +746,24 @@ impl Engine<'_> {
 
         for core in 0..cores {
             // Collect the self-invalidations first, then report them, to keep
-            // the cache and profiler borrows apart.
-            let mut invalidated: Vec<Addr> = Vec::new();
-            let regions = self.workload.regions.clone();
+            // the cache and profiler borrows apart. The per-region parallel
+            // flag comes from the precomputed table — the old per-core
+            // `RegionTable` clone allocated on every barrier.
+            let mut invalidated: Vec<(LineAddr, WordMask)> = Vec::new();
+            let geo = &self.geo;
             for entry in self.tiles[core].l1.iter_mut() {
                 if let L1Meta::Denovo(l) = &mut entry.meta {
-                    let touched_in_parallel = regions
-                        .get(l.region)
-                        .map(|r| r.written_in_parallel_phases)
-                        .unwrap_or(true);
-                    if touched_in_parallel {
+                    if geo.region_parallel(l.region) {
                         let inv = l.self_invalidate();
                         entry.valid = entry.valid.difference(inv);
-                        for w in inv.iter() {
-                            invalidated.push(entry.line.word_addr(w));
+                        if !inv.is_empty() {
+                            invalidated.push((entry.line, inv));
                         }
                     }
                 }
             }
-            for a in invalidated {
-                self.l1_prof[core].invalidated(a);
+            for (line, inv) in invalidated {
+                self.l1_prof[core].invalidated_words(line.word_addr(WordIdx(0)), inv);
             }
             if self.protocol().l2_request_bypass() {
                 for bank in self.tiles[core].l1_bloom.iter_mut() {

@@ -8,7 +8,7 @@ use crate::timing::TimeClass;
 use tw_mem::LineEntry;
 use tw_protocols::{DirectoryEntry, MesiState};
 use tw_types::{
-    Addr, CoreId, LineAddr, MessageClass, MessageKind, RegionId, Stamp, TileId, WordMask,
+    Addr, CoreId, LineAddr, MessageClass, MessageKind, RegionId, Stamp, TileId, WordIdx, WordMask,
 };
 
 /// Executor for the MESI protocol family (`Mesi`, `MMemL1`).
@@ -73,8 +73,7 @@ impl Engine<'_> {
         let line = LineAddr::containing(addr, lb);
         let l1_hit_cycles = self.system().timing.l1_hit_cycles;
 
-        if self.l1_word_present(core, addr) {
-            self.tiles[core].l1.get(line); // refresh LRU
+        if self.l1_load_hit(core, addr) {
             self.l1_prof[core].loaded(addr);
             self.mem_prof.loaded(addr);
             self.time[core].add(TimeClass::Compute, l1_hit_cycles);
@@ -120,7 +119,7 @@ impl Engine<'_> {
                     e.dirty = WordMask::EMPTY;
                 }
                 if !dirty.is_empty() {
-                    let wpl = self.system().cache.words_per_line();
+                    let wpl = self.wpl();
                     let wb =
                         self.net
                             .send(owner.tile(), home, MessageKind::L1Writeback, wpl, t_owner);
@@ -130,26 +129,15 @@ impl Engine<'_> {
                         le.valid = WordMask::FULL;
                     }
                 }
-                self.net.send(
-                    owner.tile(),
-                    me,
-                    MessageKind::DataToL1,
-                    self.system().cache.words_per_line(),
-                    t_owner,
-                )
+                self.net
+                    .send(owner.tile(), me, MessageKind::DataToL1, self.wpl(), t_owner)
             } else {
                 // Serve straight from the L2 slice.
-                for a in line.words(lb) {
-                    self.l2_prof.loaded(a);
-                }
+                self.l2_prof
+                    .loaded_words(line.word_addr(WordIdx(0)), self.line_words_mask());
                 self.tiles[home.0].l2.get(line); // refresh LRU
-                self.net.send(
-                    home,
-                    me,
-                    MessageKind::DataToL1,
-                    self.system().cache.words_per_line(),
-                    t_home + l2_hit,
-                )
+                self.net
+                    .send(home, me, MessageKind::DataToL1, self.wpl(), t_home + l2_hit)
             };
 
             self.set_mesi_dir(home, line, dir);
@@ -177,7 +165,7 @@ impl Engine<'_> {
         } else {
             // ---- L2 miss: fetch from memory --------------------------------
             let mc = self.mc_of(line);
-            let wpl = self.system().cache.words_per_line();
+            let wpl = self.wpl();
             let to_mc = self.net.send(home, mc, MessageKind::MemReadReq, 0, t_home);
             let dram_done = self.dram_access(mc, line, false, to_mc.arrival);
 
@@ -187,26 +175,38 @@ impl Engine<'_> {
                 let d = self
                     .net
                     .send(mc, me, MessageKind::MemDataToL1, wpl, dram_done);
-                for a in line.words(lb) {
-                    self.mem_prof.fetched(a, false, d.per_word_hops);
-                }
+                let lw = self.line_words_mask();
+                self.mem_prof
+                    .fetched_words(line.word_addr(WordIdx(0)), lw, false, d.per_word_hops);
                 let ub = self
                     .net
                     .send(me, home, MessageKind::DirUnblockWithData, wpl, d.arrival);
-                for a in line.words(lb) {
-                    self.l2_prof
-                        .arrive(a, false, ub.per_word_hops, MessageClass::Load);
-                }
+                self.l2_prof.arrive_words(
+                    line.word_addr(WordIdx(0)),
+                    self.line_words_mask(),
+                    WordMask::EMPTY,
+                    ub.per_word_hops,
+                    MessageClass::Load,
+                );
                 (d.arrival, d.per_word_hops)
             } else {
                 let d2 = self
                     .net
                     .send(mc, home, MessageKind::DataToL2, wpl, dram_done);
-                for a in line.words(lb) {
-                    self.mem_prof.fetched(a, false, d2.per_word_hops);
-                    self.l2_prof
-                        .arrive(a, false, d2.per_word_hops, MessageClass::Load);
-                }
+                let lw = self.line_words_mask();
+                self.mem_prof.fetched_words(
+                    line.word_addr(WordIdx(0)),
+                    lw,
+                    false,
+                    d2.per_word_hops,
+                );
+                self.l2_prof.arrive_words(
+                    line.word_addr(WordIdx(0)),
+                    self.line_words_mask(),
+                    WordMask::EMPTY,
+                    d2.per_word_hops,
+                    MessageClass::Load,
+                );
                 let d1 = self
                     .net
                     .send(home, me, MessageKind::DataToL1, wpl, d2.arrival + l2_hit);
@@ -253,7 +253,7 @@ impl Engine<'_> {
         let me = TileId(core);
         let home = self.home_of(line);
         let occupancy = self.system().timing.l2_occupancy_cycles;
-        let wpl = self.system().cache.words_per_line();
+        let wpl = self.wpl();
         let busy = now + 1;
         self.time[core].add(TimeClass::Compute, 1);
 
@@ -316,16 +316,14 @@ impl Engine<'_> {
                         let t_owner = fwd.arrival + 1;
                         let removed = self.tiles[owner.0].l1.remove(line);
                         if let Some(victim) = &removed {
-                            for word in victim.valid.iter() {
-                                self.l1_prof[owner.0].invalidated(line.word_addr(word));
-                            }
+                            self.l1_prof[owner.0]
+                                .invalidated_words(line.word_addr(WordIdx(0)), victim.valid);
                         }
                         self.net
                             .send(owner.tile(), me, MessageKind::DataToL1, wpl, t_owner)
                     } else {
-                        for a in line.words(lb) {
-                            self.l2_prof.loaded(a);
-                        }
+                        self.l2_prof
+                            .loaded_words(line.word_addr(WordIdx(0)), self.line_words_mask());
                         self.tiles[home.0].l2.get(line);
                         self.net
                             .send(home, me, MessageKind::DataToL1, wpl, t_home + 1)
@@ -357,9 +355,13 @@ impl Engine<'_> {
                         let d = self
                             .net
                             .send(mc, me, MessageKind::MemDataToL1, wpl, dram_done);
-                        for a in line.words(lb) {
-                            self.mem_prof.fetched(a, false, d.per_word_hops);
-                        }
+                        let lw = self.line_words_mask();
+                        self.mem_prof.fetched_words(
+                            line.word_addr(WordIdx(0)),
+                            lw,
+                            false,
+                            d.per_word_hops,
+                        );
                         self.net
                             .send(me, home, MessageKind::DirUnblock, 0, d.arrival);
                         self.mesi_allocate_l2(home, line, dir, WordMask::EMPTY, now);
@@ -376,11 +378,20 @@ impl Engine<'_> {
                         let d2 = self
                             .net
                             .send(mc, home, MessageKind::DataToL2, wpl, dram_done);
-                        for a in line.words(lb) {
-                            self.mem_prof.fetched(a, false, d2.per_word_hops);
-                            self.l2_prof
-                                .arrive(a, false, d2.per_word_hops, MessageClass::Store);
-                        }
+                        let lw = self.line_words_mask();
+                        self.mem_prof.fetched_words(
+                            line.word_addr(WordIdx(0)),
+                            lw,
+                            false,
+                            d2.per_word_hops,
+                        );
+                        self.l2_prof.arrive_words(
+                            line.word_addr(WordIdx(0)),
+                            self.line_words_mask(),
+                            WordMask::EMPTY,
+                            d2.per_word_hops,
+                            MessageClass::Store,
+                        );
                         let d1 =
                             self.net
                                 .send(home, me, MessageKind::DataToL1, wpl, d2.arrival + 1);
@@ -425,9 +436,7 @@ impl Engine<'_> {
             self.net
                 .send(s.tile(), home, MessageKind::InvAck, 0, at + 1);
             if let Some(victim) = self.tiles[s.0].l1.remove(line) {
-                for w in victim.valid.iter() {
-                    self.l1_prof[s.0].invalidated(line.word_addr(w));
-                }
+                self.l1_prof[s.0].invalidated_words(line.word_addr(WordIdx(0)), victim.valid);
             }
         }
     }
@@ -444,7 +453,7 @@ impl Engine<'_> {
         per_word_hops: f64,
         at: Stamp,
     ) {
-        let lb = self.line_bytes();
+        let line_words = self.line_words_mask();
         let already = self.tiles[core]
             .l1
             .peek(line)
@@ -461,10 +470,13 @@ impl Engine<'_> {
             e.meta = L1Meta::Mesi { state, region };
             e.valid = WordMask::FULL;
         }
-        for a in line.words(lb) {
-            let w = a.word_in_line(lb);
-            self.l1_prof[core].arrive(a, already.contains(w), per_word_hops, class);
-        }
+        self.l1_prof[core].arrive_words(
+            line.word_addr(WordIdx(0)),
+            line_words,
+            already,
+            per_word_hops,
+            class,
+        );
     }
 
     /// Handles the eviction of an L1 line: dirty lines write back data, clean
@@ -475,7 +487,7 @@ impl Engine<'_> {
         };
         let me = TileId(core);
         let home = self.home_of(victim.line);
-        let wpl = self.system().cache.words_per_line();
+        let wpl = self.wpl();
 
         match state {
             MesiState::Modified => {
@@ -496,9 +508,7 @@ impl Engine<'_> {
         dir.record_eviction(CoreId(core));
         self.set_mesi_dir(home, victim.line, dir);
 
-        for w in victim.valid.iter() {
-            self.l1_prof[core].evicted(victim.line.word_addr(w));
-        }
+        self.l1_prof[core].evicted_words(victim.line.word_addr(WordIdx(0)), victim.valid);
     }
 
     /// Ensures an L2 entry exists for `line`, evicting (and recalling) a
@@ -529,7 +539,7 @@ impl Engine<'_> {
         let L2Meta::Mesi(dir) = victim.meta else {
             return;
         };
-        let wpl = self.system().cache.words_per_line();
+        let wpl = self.wpl();
         let mut dirty = victim.dirty;
 
         for holder in dir.holders() {
@@ -538,9 +548,8 @@ impl Engine<'_> {
             self.net
                 .send(holder.tile(), home, MessageKind::InvAck, 0, at + 1);
             if let Some(l1v) = self.tiles[holder.0].l1.remove(victim.line) {
-                for w in l1v.valid.iter() {
-                    self.l1_prof[holder.0].invalidated(victim.line.word_addr(w));
-                }
+                self.l1_prof[holder.0]
+                    .invalidated_words(victim.line.word_addr(WordIdx(0)), l1v.valid);
                 if !l1v.dirty.is_empty() {
                     let wb =
                         self.net
@@ -560,10 +569,9 @@ impl Engine<'_> {
             self.dram_access(mc, victim.line, true, wb.arrival);
         }
 
-        for w in victim.valid.iter() {
-            let a = victim.line.word_addr(w);
-            self.l2_prof.evicted(a);
-            self.mem_prof.evicted(a);
-        }
+        self.l2_prof
+            .evicted_words(victim.line.word_addr(WordIdx(0)), victim.valid);
+        self.mem_prof
+            .evicted_words(victim.line.word_addr(WordIdx(0)), victim.valid);
     }
 }

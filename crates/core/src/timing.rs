@@ -1,6 +1,5 @@
 //! Execution-time attribution (Figure 5.2).
 
-use std::collections::BTreeMap;
 use std::fmt;
 use tw_types::Cycle;
 
@@ -32,6 +31,29 @@ impl TimeClass {
         TimeClass::Sync,
     ];
 
+    /// Dense index in declaration (= `Ord`) order, used by
+    /// [`ExecutionBreakdown`]'s fixed-size storage.
+    const fn idx(self) -> usize {
+        match self {
+            TimeClass::Compute => 0,
+            TimeClass::OnChipHit => 1,
+            TimeClass::ToMc => 2,
+            TimeClass::Mem => 3,
+            TimeClass::FromMc => 4,
+            TimeClass::Sync => 5,
+        }
+    }
+
+    /// The inverse of [`TimeClass::idx`].
+    const ORD: [TimeClass; 6] = [
+        TimeClass::Compute,
+        TimeClass::OnChipHit,
+        TimeClass::ToMc,
+        TimeClass::Mem,
+        TimeClass::FromMc,
+        TimeClass::Sync,
+    ];
+
     /// Figure label.
     pub const fn label(self) -> &'static str {
         match self {
@@ -52,9 +74,16 @@ impl fmt::Display for TimeClass {
 }
 
 /// Cycles attributed to each [`TimeClass`] (per core or aggregated).
+///
+/// Stored as a dense array indexed by [`TimeClass::idx`] — this sits on the
+/// per-op hot path (`add` runs for every simulated memory access), where the
+/// previous `BTreeMap` lookup cost real time. Cycle counts are integers, so
+/// the sums are exact regardless of accumulation order; `iter` emits only
+/// non-zero entries in `Ord` order, exactly as the map-based version did, so
+/// the result-cache codec bytes are unchanged.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecutionBreakdown {
-    cycles: BTreeMap<TimeClass, Cycle>,
+    cycles: [Cycle; 6],
 }
 
 impl ExecutionBreakdown {
@@ -64,41 +93,46 @@ impl ExecutionBreakdown {
     }
 
     /// Adds `cycles` to `class`.
+    #[inline]
     pub fn add(&mut self, class: TimeClass, cycles: Cycle) {
-        if cycles > 0 {
-            *self.cycles.entry(class).or_insert(0) += cycles;
-        }
+        self.cycles[class.idx()] += cycles;
     }
 
     /// Cycles attributed to `class`.
     pub fn get(&self, class: TimeClass) -> Cycle {
-        self.cycles.get(&class).copied().unwrap_or(0)
+        self.cycles[class.idx()]
     }
 
     /// Total attributed cycles.
     pub fn total(&self) -> Cycle {
-        self.cycles.values().sum()
+        self.cycles.iter().sum()
     }
 
     /// Merges another breakdown into this one.
     pub fn merge(&mut self, other: &ExecutionBreakdown) {
-        for (class, c) in &other.cycles {
-            *self.cycles.entry(*class).or_insert(0) += c;
+        for (slot, c) in self.cycles.iter_mut().zip(other.cycles) {
+            *slot += c;
         }
     }
 
-    /// Iterates over the raw `(class, cycles)` entries in a stable order.
+    /// Iterates over the non-zero `(class, cycles)` entries in a stable
+    /// (`Ord`) order.
     pub fn iter(&self) -> impl Iterator<Item = (TimeClass, Cycle)> + '_ {
-        self.cycles.iter().map(|(c, n)| (*c, *n))
+        TimeClass::ORD
+            .into_iter()
+            .zip(self.cycles)
+            .filter(|&(_, n)| n > 0)
     }
 
-    /// Rebuilds a breakdown from raw entries, inserted verbatim — the
-    /// inverse of [`ExecutionBreakdown::iter`], used by the experiment
-    /// result cache's report codec.
+    /// Rebuilds a breakdown from raw entries — the inverse of
+    /// [`ExecutionBreakdown::iter`], used by the experiment result cache's
+    /// report codec.
     pub fn from_entries(entries: impl IntoIterator<Item = (TimeClass, Cycle)>) -> Self {
-        ExecutionBreakdown {
-            cycles: entries.into_iter().collect(),
+        let mut b = ExecutionBreakdown::new();
+        for (class, c) in entries {
+            b.cycles[class.idx()] += c;
         }
+        b
     }
 }
 

@@ -1,6 +1,5 @@
 //! Set-associative cache arrays with per-word valid/dirty state.
 
-use std::collections::HashMap;
 use tw_types::{LineAddr, WordMask};
 
 /// Geometry of a cache array.
@@ -76,11 +75,33 @@ impl<M> LineEntry<M> {
 /// The array tracks only line residency and per-word state; protocol
 /// behaviour lives in the protocol crates, which store their state in the
 /// metadata parameter `M`.
+///
+/// Storage is struct-of-arrays over a single flat allocation: set `s`
+/// occupies slots `[s*ways, s*ways + set_len[s])`, with the line tags
+/// mirrored into a dense `u64` array so the per-access tag scan touches one
+/// cache line instead of chasing `Vec<Vec<_>>` pointers or hashing. Within a
+/// set, slot positions mirror the push/`swap_remove` discipline of the
+/// original `Vec`-of-`Vec`s representation exactly — `iter` and
+/// `drain_matching` order feeds protocol message order, so residency order
+/// is part of the determinism contract, not an implementation detail.
 #[derive(Debug, Clone)]
 pub struct CacheArray<M> {
     geom: CacheGeometry,
-    sets: Vec<Vec<LineEntry<M>>>,
-    index: HashMap<LineAddr, usize>,
+    /// `log2(line_bytes)`, valid when `line_pow2`.
+    line_shift: u32,
+    line_pow2: bool,
+    /// `sets - 1`, valid when `sets_pow2`.
+    set_mask: usize,
+    sets_pow2: bool,
+    nsets: usize,
+    ways: usize,
+    /// Line tags (byte addresses), dense per set; meaningful only below the
+    /// set's length.
+    tags: Vec<u64>,
+    /// Occupied slots per set.
+    set_len: Vec<u32>,
+    entries: Vec<Option<LineEntry<M>>>,
+    len: usize,
     tick: u64,
     insertions: u64,
     evictions: u64,
@@ -89,16 +110,53 @@ pub struct CacheArray<M> {
 impl<M> CacheArray<M> {
     /// Creates an empty array with the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
+        let nsets = geom.sets();
+        let ways = geom.ways;
         CacheArray {
-            sets: (0..geom.sets())
-                .map(|_| Vec::with_capacity(geom.ways))
-                .collect(),
-            index: HashMap::new(),
+            line_shift: geom.line_bytes.trailing_zeros(),
+            line_pow2: geom.line_bytes.is_power_of_two(),
+            set_mask: nsets.wrapping_sub(1),
+            sets_pow2: nsets.is_power_of_two(),
+            nsets,
+            ways,
+            tags: vec![0; nsets * ways],
+            set_len: vec![0; nsets],
+            entries: (0..nsets * ways).map(|_| None).collect(),
             geom,
+            len: 0,
             tick: 0,
             insertions: 0,
             evictions: 0,
         }
+    }
+
+    /// Set index of `line` — same mapping as [`CacheGeometry::set_of`], with
+    /// the divisions strength-reduced for power-of-two geometries.
+    #[inline(always)]
+    fn set_of(&self, line: LineAddr) -> usize {
+        let line_no = if self.line_pow2 {
+            (line.byte() >> self.line_shift) as usize
+        } else {
+            (line.byte() / self.geom.line_bytes) as usize
+        };
+        if self.sets_pow2 {
+            line_no & self.set_mask
+        } else {
+            line_no % self.nsets
+        }
+    }
+
+    /// Slot index of `line` within the flat arrays, if resident.
+    #[inline(always)]
+    fn slot_of(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let len = self.set_len[set] as usize;
+        let tag = line.byte();
+        self.tags[base..base + len]
+            .iter()
+            .position(|t| *t == tag)
+            .map(|i| base + i)
     }
 
     /// The array geometry.
@@ -108,12 +166,12 @@ impl<M> CacheArray<M> {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.len
     }
 
     /// Whether the array holds no lines.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len == 0
     }
 
     /// Total lines inserted over the array's lifetime.
@@ -126,30 +184,50 @@ impl<M> CacheArray<M> {
         self.evictions
     }
 
-    fn bump(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
-    }
-
     /// Looks up a line without affecting LRU order.
+    #[inline]
     pub fn peek(&self, line: LineAddr) -> Option<&LineEntry<M>> {
-        let set = self.geom.set_of(line);
-        self.sets[set].iter().find(|e| e.line == line)
+        let i = self.slot_of(line)?;
+        self.entries[i].as_ref()
     }
 
     /// Looks up a line and refreshes its LRU position.
+    #[inline]
     pub fn get(&mut self, line: LineAddr) -> Option<&mut LineEntry<M>> {
-        self.peek(line)?;
-        let tick = self.bump();
-        let set = self.geom.set_of(line);
-        let entry = self.sets[set].iter_mut().find(|e| e.line == line)?;
-        entry.lru = tick;
+        let i = self.slot_of(line)?;
+        // The tick advances only on hits, exactly as before.
+        self.tick += 1;
+        let entry = self.entries[i].as_mut().expect("tagged slot occupied");
+        entry.lru = self.tick;
+        Some(entry)
+    }
+
+    /// Looks up a line and refreshes its LRU position only when `pred`
+    /// accepts the entry; a rejected (or absent) line is left untouched.
+    ///
+    /// Equivalent to `peek` followed by a conditional `get` — same tick and
+    /// LRU effects — with a single tag scan, for the hit-check-then-touch
+    /// pattern on the simulator's hot path.
+    #[inline]
+    pub fn get_where<F>(&mut self, line: LineAddr, pred: F) -> Option<&mut LineEntry<M>>
+    where
+        F: FnOnce(&LineEntry<M>) -> bool,
+    {
+        let i = self.slot_of(line)?;
+        if !pred(self.entries[i].as_ref().expect("tagged slot occupied")) {
+            return None;
+        }
+        // The tick advances only on accepted hits, exactly as a plain `get`.
+        self.tick += 1;
+        let entry = self.entries[i].as_mut().expect("tagged slot occupied");
+        entry.lru = self.tick;
         Some(entry)
     }
 
     /// Whether the line is resident.
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.index.contains_key(&line)
+        self.slot_of(line).is_some()
     }
 
     /// Inserts a line, evicting the LRU line of the set if it is full.
@@ -158,49 +236,81 @@ impl<M> CacheArray<M> {
     /// already resident the existing entry is returned (metadata untouched)
     /// and no eviction happens.
     pub fn insert(&mut self, line: LineAddr, meta: M) -> (&mut LineEntry<M>, Option<LineEntry<M>>) {
-        let tick = self.bump();
-        let set = self.geom.set_of(line);
-        let ways = self.geom.ways;
+        // The tick advances on every insert (hit or miss), exactly as before.
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let mut slen = self.set_len[set] as usize;
 
-        if let Some(pos) = self.sets[set].iter().position(|e| e.line == line) {
-            self.sets[set][pos].lru = tick;
-            return (&mut self.sets[set][pos], None);
+        if let Some(pos) = self.tags[base..base + slen]
+            .iter()
+            .position(|t| *t == line.byte())
+        {
+            let entry = self.entries[base + pos].as_mut().expect("resident");
+            entry.lru = tick;
+            return (entry, None);
         }
 
-        let victim = if self.sets[set].len() >= ways {
-            let (vpos, _) = self.sets[set]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .expect("full set has at least one entry");
-            let victim = self.sets[set].swap_remove(vpos);
-            self.index.remove(&victim.line);
+        let victim = if slen >= self.ways {
+            let mut vpos = 0;
+            for i in 1..slen {
+                if self.entries[base + i].as_ref().expect("occupied").lru
+                    < self.entries[base + vpos].as_ref().expect("occupied").lru
+                {
+                    vpos = i;
+                }
+            }
+            // Mirror `Vec::swap_remove(vpos)`: the last slot moves into the
+            // hole, preserving the original in-set residency order.
+            let victim = self.entries[base + vpos].take().expect("occupied");
+            slen -= 1;
+            if vpos != slen {
+                self.entries[base + vpos] = self.entries[base + slen].take();
+                self.tags[base + vpos] = self.tags[base + slen];
+            }
+            self.len -= 1;
             self.evictions += 1;
             Some(victim)
         } else {
             None
         };
 
-        self.sets[set].push(LineEntry {
+        self.tags[base + slen] = line.byte();
+        self.entries[base + slen] = Some(LineEntry {
             line,
             valid: WordMask::EMPTY,
             dirty: WordMask::EMPTY,
             meta,
             lru: tick,
         });
-        self.index.insert(line, set);
+        self.set_len[set] = (slen + 1) as u32;
+        self.len += 1;
         self.insertions += 1;
-        let pos = self.sets[set].len() - 1;
-        (&mut self.sets[set][pos], victim)
+        (
+            self.entries[base + slen].as_mut().expect("just inserted"),
+            victim,
+        )
     }
 
     /// Removes a line (protocol invalidation or explicit eviction), returning
     /// it if it was resident. Does not count as a capacity eviction.
     pub fn remove(&mut self, line: LineAddr) -> Option<LineEntry<M>> {
-        let set = *self.index.get(&line)?;
-        let pos = self.sets[set].iter().position(|e| e.line == line)?;
-        self.index.remove(&line);
-        Some(self.sets[set].swap_remove(pos))
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let slen = self.set_len[set] as usize;
+        let pos = self.tags[base..base + slen]
+            .iter()
+            .position(|t| *t == line.byte())?;
+        let removed = self.entries[base + pos].take().expect("occupied");
+        let last = slen - 1;
+        if pos != last {
+            self.entries[base + pos] = self.entries[base + last].take();
+            self.tags[base + pos] = self.tags[base + last];
+        }
+        self.set_len[set] = last as u32;
+        self.len -= 1;
+        Some(removed)
     }
 
     /// The line that would be evicted if `line` were inserted now, if any.
@@ -208,41 +318,71 @@ impl<M> CacheArray<M> {
         if self.contains(line) {
             return None;
         }
-        let set = self.geom.set_of(line);
-        if self.sets[set].len() < self.geom.ways {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let slen = self.set_len[set] as usize;
+        if slen < self.ways {
             return None;
         }
-        self.sets[set].iter().min_by_key(|e| e.lru)
+        self.entries[base..base + slen]
+            .iter()
+            .map(|e| e.as_ref().expect("occupied"))
+            .min_by_key(|e| e.lru)
     }
 
-    /// Iterator over all resident lines (unspecified order).
+    /// Iterator over all resident lines (set-major, in-set residency order).
     pub fn iter(&self) -> impl Iterator<Item = &LineEntry<M>> {
-        self.sets.iter().flatten()
+        self.entries
+            .chunks(self.ways)
+            .zip(self.set_len.iter())
+            .flat_map(|(chunk, len)| {
+                chunk[..*len as usize]
+                    .iter()
+                    .map(|e| e.as_ref().expect("occupied"))
+            })
     }
 
-    /// Mutable iterator over all resident lines (unspecified order).
+    /// Mutable iterator over all resident lines (set-major, in-set residency
+    /// order).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut LineEntry<M>> {
-        self.sets.iter_mut().flatten()
+        self.entries
+            .chunks_mut(self.ways)
+            .zip(self.set_len.iter())
+            .flat_map(|(chunk, len)| {
+                chunk[..*len as usize]
+                    .iter_mut()
+                    .map(|e| e.as_mut().expect("occupied"))
+            })
     }
 
     /// Removes every line for which `pred` returns true, returning them.
-    /// Used for DeNovo self-invalidation sweeps at barriers.
+    /// Used for DeNovo self-invalidation sweeps at barriers. Output order
+    /// (set-major, `swap_remove` backfill within a set) is deterministic and
+    /// feeds message order.
     pub fn drain_matching<F>(&mut self, mut pred: F) -> Vec<LineEntry<M>>
     where
         F: FnMut(&LineEntry<M>) -> bool,
     {
         let mut out = Vec::new();
-        for set in &mut self.sets {
+        for set in 0..self.nsets {
+            let base = set * self.ways;
+            let mut slen = self.set_len[set] as usize;
             let mut i = 0;
-            while i < set.len() {
-                if pred(&set[i]) {
-                    let e = set.swap_remove(i);
-                    self.index.remove(&e.line);
+            while i < slen {
+                if pred(self.entries[base + i].as_ref().expect("occupied")) {
+                    let e = self.entries[base + i].take().expect("occupied");
+                    slen -= 1;
+                    if i != slen {
+                        self.entries[base + i] = self.entries[base + slen].take();
+                        self.tags[base + i] = self.tags[base + slen];
+                    }
+                    self.len -= 1;
                     out.push(e);
                 } else {
                     i += 1;
                 }
             }
+            self.set_len[set] = slen as u32;
         }
         out
     }
@@ -307,6 +447,21 @@ mod tests {
         assert!(c.contains(line(0)));
         assert!(c.contains(line(4)));
         assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn get_where_touches_lru_only_on_accepted_hits() {
+        let mut c = small();
+        c.insert(line(0), 1);
+        c.insert(line(2), 2);
+        // A rejected predicate must leave LRU order untouched: line 0 stays
+        // the victim candidate.
+        assert!(c.get_where(line(0), |e| e.meta == 99).is_none());
+        assert_eq!(c.victim_for(line(4)).unwrap().line, line(0));
+        // An accepted predicate refreshes LRU exactly like `get`.
+        assert!(c.get_where(line(0), |e| e.meta == 1).is_some());
+        assert_eq!(c.victim_for(line(4)).unwrap().line, line(2));
+        assert!(c.get_where(line(4), |_| true).is_none(), "absent line");
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! has 32 entries; MESI's non-blocking write table is modelled with the same
 //! structure (one pending GetM per line).
 
-use std::collections::BTreeMap;
 use tw_types::{Cycle, LineAddr, WordIdx, WordMask};
 
 /// A pending set of unregistered written words for one line.
@@ -39,16 +38,33 @@ pub enum WriteFlush {
 
 /// Fixed-capacity write-combining table.
 ///
-/// Entries are kept in a `BTreeMap` rather than a hash map: flush order
-/// (capacity-victim tie-breaks, timeout expiry) feeds directly into message
-/// order on the mesh, and hash iteration order would make whole-run results
-/// vary between processes — the determinism CI gate caught exactly that.
+/// Entries live in a small flat vector kept sorted by line address. Flush
+/// order (capacity-victim tie-breaks, timeout expiry, release order) feeds
+/// directly into message order on the mesh, so every path that emits more
+/// than one entry does so in ascending line order with `first_write` ties
+/// broken toward the lowest line — exactly the order the original
+/// `BTreeMap`-backed table produced (the determinism CI gate caught hash
+/// iteration order varying between processes once already). The
+/// [`reference`] module keeps that original implementation alive as the
+/// oracle for the differential property test in `tests/prop_write_combine.rs`.
+///
+/// Because the table holds at most a few dozen entries (32 in the paper's
+/// configuration), sorted-vector scans beat any tree or hash structure; the
+/// cached `oldest` lower bound additionally lets the per-store
+/// [`WriteCombineTable::expire`] call return without touching the entries at
+/// all while nothing can be due.
 #[derive(Debug, Clone)]
 pub struct WriteCombineTable {
     capacity: usize,
     timeout: u64,
     words_per_line: usize,
-    entries: BTreeMap<LineAddr, WriteCombineEntry>,
+    /// Sorted by `line` ascending.
+    entries: Vec<WriteCombineEntry>,
+    /// Lower bound on the minimum `first_write` over `entries` (stale — i.e.
+    /// strictly below the true minimum — only after the oldest entry leaves;
+    /// refreshed by the next full `expire` scan). Only ever used to skip
+    /// scans that cannot find anything due, never to skip a due flush.
+    oldest: Cycle,
     flushes: u64,
 }
 
@@ -65,7 +81,8 @@ impl WriteCombineTable {
             capacity,
             timeout,
             words_per_line,
-            entries: BTreeMap::new(),
+            entries: Vec::with_capacity(capacity),
+            oldest: Cycle::MAX,
             flushes: 0,
         }
     }
@@ -85,9 +102,14 @@ impl WriteCombineTable {
         self.flushes
     }
 
+    #[inline]
+    fn position(&self, line: LineAddr) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&line, |e| e.line)
+    }
+
     /// Pending words for `line`, if an entry exists.
     pub fn pending(&self, line: LineAddr) -> Option<WordMask> {
-        self.entries.get(&line).map(|e| e.pending)
+        self.position(line).ok().map(|i| self.entries[i].pending)
     }
 
     /// Records a write to `word` of `line` at cycle `now`.
@@ -103,32 +125,57 @@ impl WriteCombineTable {
     ) -> Vec<(WriteCombineEntry, WriteFlush)> {
         let mut out = Vec::new();
 
-        if !self.entries.contains_key(&line) && self.entries.len() >= self.capacity {
-            // Displace the oldest entry; `first_write` ties break toward the
-            // lowest line address (BTreeMap order), deterministically.
-            if let Some(&victim) = self
-                .entries
-                .values()
-                .min_by_key(|e| e.first_write)
-                .map(|e| &e.line)
-            {
-                let e = self.entries.remove(&victim).expect("victim present");
-                self.flushes += 1;
-                out.push((e, WriteFlush::CapacityReplacement));
+        match self.position(line) {
+            Ok(i) => {
+                self.entries[i].pending.insert(word);
+                if self.entries[i].pending.count() >= self.words_per_line {
+                    let e = self.entries.remove(i);
+                    self.flushes += 1;
+                    out.push((e, WriteFlush::LineFull));
+                }
             }
-        }
-
-        let entry = self.entries.entry(line).or_insert(WriteCombineEntry {
-            line,
-            pending: WordMask::EMPTY,
-            first_write: now,
-        });
-        entry.pending.insert(word);
-
-        if entry.pending.count() >= self.words_per_line {
-            let e = self.entries.remove(&line).expect("just inserted");
-            self.flushes += 1;
-            out.push((e, WriteFlush::LineFull));
+            Err(mut i) => {
+                if self.entries.len() >= self.capacity {
+                    // Displace the oldest entry; `first_write` ties break
+                    // toward the lowest line address, deterministically
+                    // (ascending scan keeps the first minimum).
+                    let mut victim = 0;
+                    for (j, e) in self.entries.iter().enumerate().skip(1) {
+                        if e.first_write < self.entries[victim].first_write {
+                            victim = j;
+                        }
+                    }
+                    let e = self.entries.remove(victim);
+                    self.flushes += 1;
+                    if victim < i {
+                        i -= 1;
+                    }
+                    out.push((e, WriteFlush::CapacityReplacement));
+                }
+                let mut pending = WordMask::EMPTY;
+                pending.insert(word);
+                if self.words_per_line <= 1 {
+                    self.flushes += 1;
+                    out.push((
+                        WriteCombineEntry {
+                            line,
+                            pending,
+                            first_write: now,
+                        },
+                        WriteFlush::LineFull,
+                    ));
+                } else {
+                    self.entries.insert(
+                        i,
+                        WriteCombineEntry {
+                            line,
+                            pending,
+                            first_write: now,
+                        },
+                    );
+                    self.oldest = self.oldest.min(now);
+                }
+            }
         }
         out
     }
@@ -136,40 +183,175 @@ impl WriteCombineTable {
     /// Flushes all entries whose first pending write is older than the
     /// timeout at cycle `now`.
     pub fn expire(&mut self, now: Cycle) -> Vec<(WriteCombineEntry, WriteFlush)> {
-        let expired: Vec<LineAddr> = self
-            .entries
-            .values()
-            .filter(|e| now.saturating_sub(e.first_write) >= self.timeout)
-            .map(|e| e.line)
-            .collect();
-        expired
-            .into_iter()
-            .map(|l| {
-                self.flushes += 1;
-                (
-                    self.entries.remove(&l).expect("listed"),
-                    WriteFlush::Timeout,
-                )
-            })
-            .collect()
+        // Fast path for the per-store call: nothing can be due while even a
+        // lower bound on the oldest first_write is inside the timeout.
+        if self.entries.is_empty() || now.saturating_sub(self.oldest) < self.timeout {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut oldest = Cycle::MAX;
+        // Ascending line order, matching BTreeMap iteration.
+        self.entries.retain(|e| {
+            if now.saturating_sub(e.first_write) >= self.timeout {
+                out.push((e.clone(), WriteFlush::Timeout));
+                false
+            } else {
+                oldest = oldest.min(e.first_write);
+                true
+            }
+        });
+        self.flushes += out.len() as u64;
+        self.oldest = oldest;
+        out
     }
 
     /// Flushes every entry (release / barrier semantics), in line order.
     pub fn release_all(&mut self) -> Vec<(WriteCombineEntry, WriteFlush)> {
         let out: Vec<_> = std::mem::take(&mut self.entries)
-            .into_values()
+            .into_iter()
             .map(|e| (e, WriteFlush::Release))
             .collect();
         self.flushes += out.len() as u64;
+        self.oldest = Cycle::MAX;
         out
     }
 
     /// Flushes the entry for an evicted line, if one exists.
     pub fn evict_line(&mut self, line: LineAddr) -> Option<(WriteCombineEntry, WriteFlush)> {
-        self.entries.remove(&line).map(|e| {
+        self.position(line).ok().map(|i| {
+            let e = self.entries.remove(i);
             self.flushes += 1;
             (e, WriteFlush::Eviction)
         })
+    }
+}
+
+/// The original `BTreeMap`-backed implementation, kept verbatim as the
+/// oracle for the differential property test (`tests/prop_write_combine.rs`):
+/// the flat table above must produce the same flushes, in the same order,
+/// for any op stream.
+pub mod reference {
+    use super::{WriteCombineEntry, WriteFlush};
+    use std::collections::BTreeMap;
+    use tw_types::{Cycle, LineAddr, WordIdx, WordMask};
+
+    /// Reference write-combining table (ordered-map storage).
+    #[derive(Debug, Clone)]
+    pub struct WriteCombineTable {
+        capacity: usize,
+        timeout: u64,
+        words_per_line: usize,
+        entries: BTreeMap<LineAddr, WriteCombineEntry>,
+        flushes: u64,
+    }
+
+    impl WriteCombineTable {
+        /// See [`super::WriteCombineTable::new`].
+        pub fn new(capacity: usize, timeout: u64, words_per_line: usize) -> Self {
+            assert!(capacity > 0 && words_per_line > 0);
+            WriteCombineTable {
+                capacity,
+                timeout,
+                words_per_line,
+                entries: BTreeMap::new(),
+                flushes: 0,
+            }
+        }
+
+        /// See [`super::WriteCombineTable::len`].
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// See [`super::WriteCombineTable::is_empty`].
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        /// See [`super::WriteCombineTable::flushes`].
+        pub fn flushes(&self) -> u64 {
+            self.flushes
+        }
+
+        /// See [`super::WriteCombineTable::pending`].
+        pub fn pending(&self, line: LineAddr) -> Option<WordMask> {
+            self.entries.get(&line).map(|e| e.pending)
+        }
+
+        /// See [`super::WriteCombineTable::record_write`].
+        pub fn record_write(
+            &mut self,
+            line: LineAddr,
+            word: WordIdx,
+            now: Cycle,
+        ) -> Vec<(WriteCombineEntry, WriteFlush)> {
+            let mut out = Vec::new();
+
+            if !self.entries.contains_key(&line) && self.entries.len() >= self.capacity {
+                if let Some(&victim) = self
+                    .entries
+                    .values()
+                    .min_by_key(|e| e.first_write)
+                    .map(|e| &e.line)
+                {
+                    let e = self.entries.remove(&victim).expect("victim present");
+                    self.flushes += 1;
+                    out.push((e, WriteFlush::CapacityReplacement));
+                }
+            }
+
+            let entry = self.entries.entry(line).or_insert(WriteCombineEntry {
+                line,
+                pending: WordMask::EMPTY,
+                first_write: now,
+            });
+            entry.pending.insert(word);
+
+            if entry.pending.count() >= self.words_per_line {
+                let e = self.entries.remove(&line).expect("just inserted");
+                self.flushes += 1;
+                out.push((e, WriteFlush::LineFull));
+            }
+            out
+        }
+
+        /// See [`super::WriteCombineTable::expire`].
+        pub fn expire(&mut self, now: Cycle) -> Vec<(WriteCombineEntry, WriteFlush)> {
+            let expired: Vec<LineAddr> = self
+                .entries
+                .values()
+                .filter(|e| now.saturating_sub(e.first_write) >= self.timeout)
+                .map(|e| e.line)
+                .collect();
+            expired
+                .into_iter()
+                .map(|l| {
+                    self.flushes += 1;
+                    (
+                        self.entries.remove(&l).expect("listed"),
+                        WriteFlush::Timeout,
+                    )
+                })
+                .collect()
+        }
+
+        /// See [`super::WriteCombineTable::release_all`].
+        pub fn release_all(&mut self) -> Vec<(WriteCombineEntry, WriteFlush)> {
+            let out: Vec<_> = std::mem::take(&mut self.entries)
+                .into_values()
+                .map(|e| (e, WriteFlush::Release))
+                .collect();
+            self.flushes += out.len() as u64;
+            out
+        }
+
+        /// See [`super::WriteCombineTable::evict_line`].
+        pub fn evict_line(&mut self, line: LineAddr) -> Option<(WriteCombineEntry, WriteFlush)> {
+            self.entries.remove(&line).map(|e| {
+                self.flushes += 1;
+                (e, WriteFlush::Eviction)
+            })
+        }
     }
 }
 
@@ -209,6 +391,19 @@ mod tests {
         assert_eq!(expired[0].0.line, line(1));
         assert_eq!(expired[0].1, WriteFlush::Timeout);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn expire_early_out_does_not_miss_later_expiries() {
+        let mut t = table();
+        t.record_write(line(1), WordIdx(0), 0);
+        assert!(t.expire(9_999).is_empty());
+        // Entry inserted after an older one left keeps the bound conservative.
+        t.record_write(line(2), WordIdx(0), 5_000);
+        assert_eq!(t.expire(10_000).len(), 1);
+        assert!(t.expire(14_999).is_empty());
+        assert_eq!(t.expire(15_000).len(), 1);
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Differential property test: the flat sorted-vector write-combine table
+//! must produce exactly the same flushes — same entries, same reasons, same
+//! order — as the original `BTreeMap`-backed implementation (kept as
+//! `write_combine::reference`) on arbitrary op streams.
+//!
+//! Flush order matters beyond the API surface: every flushed entry becomes a
+//! registration message on the mesh, so a reordering here would silently
+//! change flit-hop totals and break the bit-identity contract on
+//! `BENCH_results.json`.
+
+use proptest::prelude::*;
+use tw_mem::write_combine::{reference, WriteCombineEntry, WriteCombineTable, WriteFlush};
+use tw_types::{LineAddr, WordIdx};
+
+/// One raw sampled op: `(selector, line, word, dt)`, decoded in the test
+/// body (the offline proptest shim has no `prop_oneof`/`prop_map`).
+type RawOp = (u8, u64, u8, u64);
+
+fn flushes_eq(
+    a: &[(WriteCombineEntry, WriteFlush)],
+    b: &[(WriteCombineEntry, WriteFlush)],
+) -> bool {
+    a == b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn flat_table_matches_btreemap_reference(
+        ops in prop::collection::vec((0u8..10, 0u64..12, 0u8..16, 0u64..2_000), 1..200),
+        capacity in 1usize..8,
+        wpl_sel in 0u8..3,
+    ) {
+        let words_per_line = [1usize, 4, 16][wpl_sel as usize];
+        let timeout = 10_000;
+        let mut flat = WriteCombineTable::new(capacity, timeout, words_per_line);
+        let mut oracle = reference::WriteCombineTable::new(capacity, timeout, words_per_line);
+        let mut now = 0u64;
+
+        for &(sel, line_no, word, dt) in &ops as &Vec<RawOp> {
+            let line = LineAddr::from_aligned(line_no * 64);
+            match sel {
+                // Writes dominate, over a small line pool so capacity
+                // pressure, line-fill, and repeated hits all occur.
+                0..=5 => {
+                    now += dt;
+                    let w = WordIdx(word % words_per_line as u8);
+                    let a = flat.record_write(line, w, now);
+                    let b = oracle.record_write(line, w, now);
+                    prop_assert!(flushes_eq(&a, &b), "record_write diverged: {a:?} vs {b:?}");
+                }
+                // Occasionally jump far enough for the timeout to fire
+                // (dt stretched ~8x so expiries actually happen).
+                6 | 7 => {
+                    now += dt * 8;
+                    let a = flat.expire(now);
+                    let b = oracle.expire(now);
+                    prop_assert!(flushes_eq(&a, &b), "expire diverged: {a:?} vs {b:?}");
+                }
+                8 => {
+                    let a = flat.release_all();
+                    let b = oracle.release_all();
+                    prop_assert!(flushes_eq(&a, &b), "release_all diverged: {a:?} vs {b:?}");
+                }
+                _ => {
+                    let a = flat.evict_line(line);
+                    let b = oracle.evict_line(line);
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(flat.len(), oracle.len());
+            prop_assert_eq!(flat.flushes(), oracle.flushes());
+            prop_assert_eq!(flat.pending(line), oracle.pending(line));
+        }
+
+        // Drain both and compare the final residue in release order.
+        prop_assert!(flushes_eq(&flat.release_all(), &oracle.release_all()));
+    }
+}

@@ -1,8 +1,21 @@
 //! The L1 and L2 waste-profiling state machines (Figures 4.1 and 4.2).
 
 use crate::category::{WasteCategory, WasteReport};
-use std::collections::HashMap;
-use tw_types::{Addr, MessageClass};
+use tw_types::{Addr, FastMap, MessageClass, WordMask, WORD_BYTES};
+
+/// Pending state is grouped by 64-byte chunk — the maximum line size a
+/// [`WordMask`] can describe — so one hash probe covers up to sixteen words.
+const CHUNK_SHIFT: u32 = 6;
+const CHUNK_WORDS: usize = 16;
+
+/// Chunk key and word-within-chunk index of a word-aligned byte address.
+#[inline(always)]
+fn chunk_of(byte: u64) -> (u64, usize) {
+    (
+        byte >> CHUNK_SHIFT,
+        (byte / WORD_BYTES) as usize & (CHUNK_WORDS - 1),
+    )
+}
 
 /// Which cache level a [`CacheWasteProfiler`] instruments.
 ///
@@ -17,10 +30,115 @@ pub enum CacheLevel {
     L2,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Pending {
+/// One arrival group: a set of words of the chunk that arrived in the same
+/// response and therefore share one `(flit_hops, class)` record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Group {
+    words: u16,
     flit_hops: f64,
     class: MessageClass,
+}
+
+/// How many groups a chunk holds inline before spilling to the heap. Full
+/// line fills produce exactly one group; partial DeNovo word fetches rarely
+/// leave more than two unclassified groups per line.
+const INLINE_GROUPS: usize = 2;
+
+/// Pending words of one 64-byte chunk, as a union mask plus arrival groups.
+///
+/// Invariant: every set bit of `mask` belongs to exactly one group, and
+/// every group's `words` is non-empty and a subset of `mask`. Sharing the
+/// per-response record across words keeps the chunk ~4x smaller than
+/// per-word slots would — small enough that probe misses stay cheap.
+#[derive(Debug, Clone)]
+struct Chunk {
+    mask: u16,
+    inline: [Group; INLINE_GROUPS],
+    n_inline: u8,
+    spill: Vec<Group>,
+}
+
+impl Chunk {
+    fn empty() -> Self {
+        const NO_GROUP: Group = Group {
+            words: 0,
+            flit_hops: 0.0,
+            class: MessageClass::Load,
+        };
+        Chunk {
+            mask: 0,
+            inline: [NO_GROUP; INLINE_GROUPS],
+            n_inline: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Adds `words` with the shared record, merging into an existing group
+    /// when the record is identical (merging cannot change any word's
+    /// record, so classification output is unaffected).
+    fn add(&mut self, words: u16, flit_hops: f64, class: MessageClass) {
+        debug_assert!(words != 0 && self.mask & words == 0);
+        self.mask |= words;
+        for g in self.groups_mut() {
+            if g.flit_hops.to_bits() == flit_hops.to_bits() && g.class == class {
+                g.words |= words;
+                return;
+            }
+        }
+        let group = Group {
+            words,
+            flit_hops,
+            class,
+        };
+        if (self.n_inline as usize) < INLINE_GROUPS {
+            self.inline[self.n_inline as usize] = group;
+            self.n_inline += 1;
+        } else {
+            self.spill.push(group);
+        }
+    }
+
+    /// Removes word `w` (which must be pending) and returns its record.
+    fn take(&mut self, w: usize) -> (f64, MessageClass) {
+        let bit = 1u16 << w;
+        debug_assert!(self.mask & bit != 0);
+        self.mask &= !bit;
+        for g in self.groups_mut() {
+            if g.words & bit != 0 {
+                g.words &= !bit;
+                return (g.flit_hops, g.class);
+            }
+        }
+        unreachable!("pending word belongs to a group");
+    }
+
+    fn groups_mut(&mut self) -> impl Iterator<Item = &mut Group> {
+        self.inline[..self.n_inline as usize]
+            .iter_mut()
+            .chain(self.spill.iter_mut())
+    }
+
+    /// Drops emptied groups so the scan in [`Chunk::take`] stays short.
+    fn compact(&mut self) {
+        self.spill.retain(|g| g.words != 0);
+        let mut i = 0;
+        let mut n = self.n_inline as usize;
+        while i < n {
+            if self.inline[i].words == 0 {
+                if let Some(g) = self.spill.pop() {
+                    self.inline[i] = g;
+                    i += 1;
+                } else {
+                    // Backfill from the end and re-examine the moved group.
+                    n -= 1;
+                    self.inline[i] = self.inline[n];
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.n_inline = n as u8;
+    }
 }
 
 /// Per-cache waste profiler implementing the decision diagrams of §4.1.
@@ -32,7 +150,13 @@ struct Pending {
 #[derive(Debug, Clone)]
 pub struct CacheWasteProfiler {
     level: CacheLevel,
-    pending: HashMap<Addr, Pending>,
+    // Keyed by 64-byte chunk; FastMap because this table is hit several
+    // times per simulated memory operation, and chunk keying lets the
+    // `*_words` batch entry points resolve a whole line fill or eviction
+    // with one probe. Drained chunks are removed eagerly: the table then
+    // stays sized to the words actually in flight (cache-resident,
+    // unclassified), which keeps it hot in the host cache.
+    pending: FastMap<Chunk>,
     report: WasteReport,
 }
 
@@ -41,7 +165,7 @@ impl CacheWasteProfiler {
     pub fn new(level: CacheLevel) -> Self {
         CacheWasteProfiler {
             level,
-            pending: HashMap::new(),
+            pending: FastMap::new(),
             report: WasteReport::new(),
         }
     }
@@ -53,7 +177,10 @@ impl CacheWasteProfiler {
 
     /// Number of words whose classification is still pending.
     pub fn pending_words(&self) -> usize {
-        self.pending.len()
+        self.pending
+            .iter()
+            .map(|(_, c)| c.mask.count_ones() as usize)
+            .sum()
     }
 
     /// A word arrived at the cache in a response of class `class`, having
@@ -70,21 +197,104 @@ impl CacheWasteProfiler {
         flit_hops: f64,
         class: MessageClass,
     ) {
-        let addr = addr.word_aligned();
-        if already_present || self.pending.contains_key(&addr) {
+        if already_present {
             self.report.record(WasteCategory::Fetch, class, flit_hops);
             return;
         }
-        self.pending.insert(addr, Pending { flit_hops, class });
+        let (key, w) = chunk_of(addr.word_aligned().byte());
+        let chunk = self.pending.get_or_insert_with(key, Chunk::empty);
+        let bit = 1u16 << w;
+        if chunk.mask & bit != 0 {
+            self.report.record(WasteCategory::Fetch, class, flit_hops);
+        } else {
+            chunk.add(bit, flit_hops, class);
+        }
+    }
+
+    /// Batched [`CacheWasteProfiler::arrive`]: words `words` of the line whose
+    /// first word is at `line0` arrive together (one response), with `already`
+    /// naming the words the cache held beforehand. Equivalent to calling
+    /// `arrive` per word in ascending word order, but with one table probe.
+    pub fn arrive_words(
+        &mut self,
+        line0: Addr,
+        words: WordMask,
+        already: WordMask,
+        flit_hops: f64,
+        class: MessageClass,
+    ) {
+        if words.is_empty() {
+            return;
+        }
+        let (key, w0) = chunk_of(line0.word_aligned().byte());
+        debug_assert!(
+            (words.bits() as u32) << w0 <= u16::MAX as u32,
+            "line spans a 64-byte chunk"
+        );
+        let chunk = self.pending.get_or_insert_with(key, Chunk::empty);
+        let requested = (words.bits() as u32) << w0;
+        let already_bits = ((already.bits() & words.bits()) as u32) << w0;
+        let fetch_bits = already_bits | (chunk.mask as u32 & requested);
+        let fresh = (requested & !fetch_bits) as u16;
+        if fresh != 0 {
+            chunk.add(fresh, flit_hops, class);
+        }
+        // All Fetch records of this call share (class, flit_hops) and land in
+        // one report bucket, so recording them after the pending update sums
+        // the same addends the interleaved per-word loop would.
+        for _ in 0..fetch_bits.count_ones() {
+            self.report.record(WasteCategory::Fetch, class, flit_hops);
+        }
     }
 
     fn finalize(&mut self, addr: Addr, category: WasteCategory) -> bool {
-        let addr = addr.word_aligned();
-        if let Some(p) = self.pending.remove(&addr) {
-            self.report.record(category, p.class, p.flit_hops);
-            true
+        let (key, w) = chunk_of(addr.word_aligned().byte());
+        let Some(chunk) = self.pending.get_mut(key) else {
+            return false;
+        };
+        if chunk.mask & (1u16 << w) == 0 {
+            return false;
+        }
+        let (flit_hops, class) = chunk.take(w);
+        if chunk.mask == 0 {
+            self.pending.remove(key);
         } else {
-            false
+            chunk.compact();
+        }
+        self.report.record(category, class, flit_hops);
+        true
+    }
+
+    /// Batched `finalize`: classifies whichever of `words` are pending, in
+    /// ascending word order, with one table probe. Words with no pending
+    /// record are skipped, exactly as their per-word calls would be.
+    fn finalize_words(&mut self, line0: Addr, words: WordMask, category: WasteCategory) {
+        if words.is_empty() {
+            return;
+        }
+        let (key, w0) = chunk_of(line0.word_aligned().byte());
+        let Some(chunk) = self.pending.get_mut(key) else {
+            return;
+        };
+        let line_bits = (words.bits() as u32) << w0;
+        debug_assert!(line_bits <= u16::MAX as u32, "line spans a 64-byte chunk");
+        let mut hit = chunk.mask as u32 & line_bits;
+        if hit == 0 {
+            return;
+        }
+        // Ascending word order, as the per-word loop recorded: a chunk can
+        // hold groups of differing flit-hops in the same report bucket, and
+        // the f64 sums must accumulate in the identical order.
+        while hit != 0 {
+            let w = hit.trailing_zeros() as usize;
+            hit &= hit - 1;
+            let (flit_hops, class) = chunk.take(w);
+            self.report.record(category, class, flit_hops);
+        }
+        if chunk.mask == 0 {
+            self.pending.remove(key);
+        } else {
+            chunk.compact();
         }
     }
 
@@ -92,6 +302,29 @@ impl CacheWasteProfiler {
     /// response to an L1 (L2): the pending instance becomes `Used`.
     pub fn loaded(&mut self, addr: Addr) {
         self.finalize(addr, WasteCategory::Used);
+    }
+
+    /// Batched [`CacheWasteProfiler::loaded`] over `words` of the line whose
+    /// first word is at `line0`.
+    pub fn loaded_words(&mut self, line0: Addr, words: WordMask) {
+        self.finalize_words(line0, words, WasteCategory::Used);
+    }
+
+    /// Batched [`CacheWasteProfiler::evicted`] over `words` of the line whose
+    /// first word is at `line0`.
+    pub fn evicted_words(&mut self, line0: Addr, words: WordMask) {
+        self.finalize_words(line0, words, WasteCategory::Evict);
+    }
+
+    /// Batched [`CacheWasteProfiler::invalidated`] over `words` of the line
+    /// whose first word is at `line0`.
+    pub fn invalidated_words(&mut self, line0: Addr, words: WordMask) {
+        debug_assert_eq!(
+            self.level,
+            CacheLevel::L1,
+            "L2 words are not invalidated in this study"
+        );
+        self.finalize_words(line0, words, WasteCategory::Invalidate);
     }
 
     /// The word was overwritten before use: a program store at the L1, or an
@@ -119,13 +352,22 @@ impl CacheWasteProfiler {
     /// Ends the simulation: all still-pending words become `Unevicted` and the
     /// final report is returned.
     pub fn finish(mut self) -> WasteReport {
-        let mut leftovers: Vec<Addr> = self.pending.keys().copied().collect();
-        // Finalize in address order: the per-bucket flit-hop totals are f64
-        // sums, and accumulating them in hash-iteration order would leak
-        // run-to-run jitter into otherwise bit-identical reports.
+        let mut leftovers: Vec<u64> = self.pending.keys().collect();
+        // Finalize in address order (chunk-ascending, then word-ascending
+        // within the chunk): the per-bucket flit-hop totals are f64 sums, and
+        // accumulating them in hash-iteration order would leak run-to-run
+        // jitter into otherwise bit-identical reports.
         leftovers.sort_unstable();
-        for addr in leftovers {
-            self.finalize(addr, WasteCategory::Unevicted);
+        for key in leftovers {
+            let chunk = self.pending.get_mut(key).expect("key just listed");
+            let mut rem = chunk.mask;
+            while rem != 0 {
+                let w = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
+                let (flit_hops, class) = chunk.take(w);
+                self.report
+                    .record(WasteCategory::Unevicted, class, flit_hops);
+            }
         }
         self.report
     }
@@ -245,6 +487,71 @@ mod tests {
         let r = p.finish();
         assert_eq!(r.words(WasteCategory::Used), 1);
         assert_eq!(r.words(WasteCategory::Write), 1);
+    }
+
+    #[test]
+    fn batched_words_match_per_word_calls() {
+        use tw_types::{LineAddr, WordIdx};
+        // Drive the same deterministic event stream through the per-word and
+        // batched entry points; the resulting reports must be identical.
+        let mut a = l1();
+        let mut b = l1();
+        let line = LineAddr::from_aligned(0x2440);
+        let words = WordMask::from_bits(0b1010_1101_0011_0110);
+        let already = WordMask::from_bits(0b0000_1000_0000_0100);
+        for w in words.iter() {
+            a.arrive(
+                line.word_addr(w),
+                already.contains(w),
+                1.5,
+                MessageClass::Load,
+            );
+        }
+        b.arrive_words(
+            line.word_addr(WordIdx(0)),
+            words,
+            already,
+            1.5,
+            MessageClass::Load,
+        );
+        // Double arrival of a subset: Fetch waste either way.
+        let again = WordMask::from_bits(0b0000_0001_0011_0000);
+        for w in again.iter() {
+            a.arrive(line.word_addr(w), false, 0.5, MessageClass::Store);
+        }
+        b.arrive_words(
+            line.word_addr(WordIdx(0)),
+            again,
+            WordMask::EMPTY,
+            0.5,
+            MessageClass::Store,
+        );
+        // Mixed finalization, including words never pending.
+        let used = WordMask::from_bits(0b0000_0000_0000_0111);
+        let evicted = WordMask::from_bits(0b1111_0000_0000_0000);
+        let invalidated = WordMask::from_bits(0b0000_1111_0000_0000);
+        for w in used.iter() {
+            a.loaded(line.word_addr(w));
+        }
+        for w in evicted.iter() {
+            a.evicted(line.word_addr(w));
+        }
+        for w in invalidated.iter() {
+            a.invalidated(line.word_addr(w));
+        }
+        b.loaded_words(line.word_addr(WordIdx(0)), used);
+        b.evicted_words(line.word_addr(WordIdx(0)), evicted);
+        b.invalidated_words(line.word_addr(WordIdx(0)), invalidated);
+        assert_eq!(a.pending_words(), b.pending_words());
+        let (ra, rb) = (a.finish(), b.finish());
+        for cat in WasteCategory::ALL {
+            assert_eq!(ra.words(cat), rb.words(cat), "{cat}");
+        }
+        for class in [MessageClass::Load, MessageClass::Store] {
+            for cat in WasteCategory::ALL {
+                assert_eq!(ra.flit_hops(class, cat), rb.flit_hops(class, cat));
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Waste categories and aggregated reports.
 
-use std::collections::BTreeMap;
 use std::fmt;
 use tw_types::MessageClass;
 
@@ -62,13 +61,56 @@ impl fmt::Display for WasteCategory {
     }
 }
 
+/// Categories in discriminant (`Ord`) order — the iteration order the old
+/// `BTreeMap` storage exposed through `words_iter`/`flit_hops_iter`. Note
+/// this differs from [`WasteCategory::ALL`], which is figure stacking order
+/// (`Fetch` and `Write` are swapped there).
+const CAT_ORD: [WasteCategory; CATS] = [
+    WasteCategory::Used,
+    WasteCategory::Write,
+    WasteCategory::Fetch,
+    WasteCategory::Invalidate,
+    WasteCategory::Evict,
+    WasteCategory::Unevicted,
+    WasteCategory::Excess,
+];
+
+const CATS: usize = 7;
+const CLASSES: usize = 4;
+
+#[inline(always)]
+fn hop_idx(class: MessageClass, category: WasteCategory) -> usize {
+    // Class-major, category-minor — ascending flat index reproduces the
+    // `(MessageClass, WasteCategory)` tuple-Ord iteration order.
+    class as usize * CATS + category as usize
+}
+
 /// Aggregated outcome of one profiler: word counts and the flit-hops the
 /// classified words were responsible for, split by category and, for
 /// flit-hops, by the message class (load vs. store response) that moved them.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Stored as dense arrays indexed by discriminant (this is the single
+/// hottest accumulator in the simulator — every profiled word lands here);
+/// the presence masks distinguish "never recorded" from "recorded as zero"
+/// so the raw-entry round trip through the result cache stays exact.
+/// Invariant: a slot whose presence bit is clear always holds `0`/`0.0`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct WasteReport {
-    words: BTreeMap<WasteCategory, u64>,
-    flit_hops: BTreeMap<(MessageClass, WasteCategory), f64>,
+    words: [u64; CATS],
+    words_present: [bool; CATS],
+    flit_hops: [f64; CLASSES * CATS],
+    hops_present: [bool; CLASSES * CATS],
+}
+
+impl Default for WasteReport {
+    fn default() -> Self {
+        WasteReport {
+            words: [0; CATS],
+            words_present: [false; CATS],
+            flit_hops: [0.0; CLASSES * CATS],
+            hops_present: [false; CLASSES * CATS],
+        }
+    }
 }
 
 impl WasteReport {
@@ -79,19 +121,23 @@ impl WasteReport {
 
     /// Records one classified word that cost `flit_hops` to move as part of a
     /// `class` response.
+    #[inline]
     pub fn record(&mut self, category: WasteCategory, class: MessageClass, flit_hops: f64) {
-        *self.words.entry(category).or_insert(0) += 1;
-        *self.flit_hops.entry((class, category)).or_insert(0.0) += flit_hops;
+        self.words_present[category as usize] = true;
+        self.words[category as usize] += 1;
+        let i = hop_idx(class, category);
+        self.hops_present[i] = true;
+        self.flit_hops[i] += flit_hops;
     }
 
     /// Number of words classified into `category`.
     pub fn words(&self, category: WasteCategory) -> u64 {
-        self.words.get(&category).copied().unwrap_or(0)
+        self.words[category as usize]
     }
 
     /// Total words profiled.
     pub fn total_words(&self) -> u64 {
-        self.words.values().sum()
+        self.words.iter().sum()
     }
 
     /// Total words classified as waste.
@@ -115,10 +161,7 @@ impl WasteReport {
 
     /// Flit-hops spent moving words of `category` in responses of `class`.
     pub fn flit_hops(&self, class: MessageClass, category: WasteCategory) -> f64 {
-        self.flit_hops
-            .get(&(class, category))
-            .copied()
-            .unwrap_or(0.0)
+        self.flit_hops[hop_idx(class, category)]
     }
 
     /// Flit-hops spent on *used* words in responses of `class`.
@@ -137,13 +180,21 @@ impl WasteReport {
 
     /// Iterates over the raw per-category word counts in a stable order.
     pub fn words_iter(&self) -> impl Iterator<Item = (WasteCategory, u64)> + '_ {
-        self.words.iter().map(|(c, n)| (*c, *n))
+        CAT_ORD
+            .iter()
+            .filter(|c| self.words_present[**c as usize])
+            .map(|c| (*c, self.words[*c as usize]))
     }
 
     /// Iterates over the raw per-(class, category) flit-hop entries in a
     /// stable order.
     pub fn flit_hops_iter(&self) -> impl Iterator<Item = (MessageClass, WasteCategory, f64)> + '_ {
-        self.flit_hops.iter().map(|((cl, ca), h)| (*cl, *ca, *h))
+        MessageClass::ALL.iter().flat_map(move |cl| {
+            CAT_ORD.iter().filter_map(move |ca| {
+                let i = hop_idx(*cl, *ca);
+                self.hops_present[i].then(|| (*cl, *ca, self.flit_hops[i]))
+            })
+        })
     }
 
     /// Rebuilds a report from raw entries, inserted verbatim — the inverse
@@ -154,22 +205,32 @@ impl WasteReport {
         words: impl IntoIterator<Item = (WasteCategory, u64)>,
         flit_hops: impl IntoIterator<Item = (MessageClass, WasteCategory, f64)>,
     ) -> Self {
-        WasteReport {
-            words: words.into_iter().collect(),
-            flit_hops: flit_hops
-                .into_iter()
-                .map(|(cl, ca, h)| ((cl, ca), h))
-                .collect(),
+        let mut r = WasteReport::new();
+        for (cat, n) in words {
+            r.words_present[cat as usize] = true;
+            r.words[cat as usize] = n;
         }
+        for (cl, ca, h) in flit_hops {
+            let i = hop_idx(cl, ca);
+            r.hops_present[i] = true;
+            r.flit_hops[i] = h;
+        }
+        r
     }
 
     /// Merges another report into this one.
     pub fn merge(&mut self, other: &WasteReport) {
-        for (cat, n) in &other.words {
-            *self.words.entry(*cat).or_insert(0) += n;
+        for i in 0..CATS {
+            if other.words_present[i] {
+                self.words_present[i] = true;
+                self.words[i] += other.words[i];
+            }
         }
-        for (key, h) in &other.flit_hops {
-            *self.flit_hops.entry(*key).or_insert(0.0) += h;
+        for i in 0..CLASSES * CATS {
+            if other.hops_present[i] {
+                self.hops_present[i] = true;
+                self.flit_hops[i] += other.flit_hops[i];
+            }
         }
     }
 }

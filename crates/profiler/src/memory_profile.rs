@@ -13,19 +13,96 @@
 //! address become `Write` waste.
 
 use crate::category::{WasteCategory, WasteReport};
-use std::collections::HashMap;
-use tw_types::{Addr, MessageClass};
+use tw_types::{Addr, FastMap, MessageClass, WordMask, WORD_BYTES};
 
-#[derive(Debug, Clone, Copy)]
-struct Instance {
-    flit_hops: f64,
+/// Pending instances are grouped by 64-byte chunk (the maximum line size a
+/// [`WordMask`] can describe) so one hash probe covers a whole line event.
+const CHUNK_SHIFT: u32 = 6;
+const CHUNK_WORDS: usize = 16;
+
+/// Chunk key and word-within-chunk index of a word-aligned byte address.
+#[inline(always)]
+fn chunk_of(byte: u64) -> (u64, usize) {
+    (
+        byte >> CHUNK_SHIFT,
+        (byte / WORD_BYTES) as usize & (CHUNK_WORDS - 1),
+    )
+}
+
+/// Pending instances of one 64-byte chunk.
+///
+/// Per word, the *oldest* pending instance's flit-hops live inline in
+/// `oldest` (with its presence bit in `mask`); younger instances of the same
+/// word spill to `spill` in arrival order. Nearly every word has at most one
+/// pending instance, so the spill vector stays empty and allocation-free.
+#[derive(Debug, Clone)]
+struct Chunk {
+    mask: u16,
+    oldest: [f64; CHUNK_WORDS],
+    spill: Vec<(u8, f64)>,
+}
+
+impl Chunk {
+    fn empty() -> Self {
+        Chunk {
+            mask: 0,
+            oldest: [0.0; CHUNK_WORDS],
+            spill: Vec::new(),
+        }
+    }
+
+    fn instances(&self) -> usize {
+        self.mask.count_ones() as usize + self.spill.len()
+    }
+
+    fn push(&mut self, w: usize, flit_hops: f64) {
+        let bit = 1u16 << w;
+        if self.mask & bit == 0 {
+            self.mask |= bit;
+            self.oldest[w] = flit_hops;
+        } else {
+            self.spill.push((w as u8, flit_hops));
+        }
+    }
+
+    /// Removes and returns the most recent instance of word `w`, if any.
+    fn pop_newest(&mut self, w: usize) -> Option<f64> {
+        if let Some(i) = self.spill.iter().rposition(|&(sw, _)| sw as usize == w) {
+            return Some(self.spill.remove(i).1);
+        }
+        let bit = 1u16 << w;
+        if self.mask & bit != 0 {
+            self.mask &= !bit;
+            return Some(self.oldest[w]);
+        }
+        None
+    }
+
+    /// Removes and returns the oldest instance of word `w`, if any.
+    fn pop_oldest(&mut self, w: usize) -> Option<f64> {
+        let bit = 1u16 << w;
+        if self.mask & bit == 0 {
+            return None;
+        }
+        let hops = self.oldest[w];
+        if let Some(i) = self.spill.iter().position(|&(sw, _)| sw as usize == w) {
+            self.oldest[w] = self.spill.remove(i).1;
+        } else {
+            self.mask &= !bit;
+        }
+        Some(hops)
+    }
 }
 
 /// Profiler for words fetched from memory.
 #[derive(Debug, Clone, Default)]
 pub struct MemoryWasteProfiler {
     next_id: u64,
-    pending: HashMap<Addr, Vec<Instance>>,
+    // Keyed by 64-byte chunk; FastMap because the table is consulted on
+    // every DRAM word fetched and every program access. Drained chunks are
+    // removed eagerly so the table tracks only instances genuinely in
+    // flight, which keeps it hot in the host cache.
+    pending: FastMap<Chunk>,
     report: WasteReport,
 }
 
@@ -37,7 +114,7 @@ impl MemoryWasteProfiler {
 
     /// Number of word instances awaiting classification.
     pub fn pending_instances(&self) -> usize {
-        self.pending.values().map(Vec::len).sum()
+        self.pending.iter().map(|(_, c)| c.instances()).sum()
     }
 
     /// A word was sent from memory onto the chip.
@@ -46,19 +123,50 @@ impl MemoryWasteProfiler {
     /// which case the new instance is immediately `Fetch` waste (Figure 4.3).
     /// Returns the instance identifier.
     pub fn fetched(&mut self, addr: Addr, l2_already_present: bool, flit_hops: f64) -> u64 {
-        let addr = addr.word_aligned();
         let id = self.next_id;
         self.next_id += 1;
         if l2_already_present {
             self.report
                 .record(WasteCategory::Fetch, MessageClass::Load, flit_hops);
         } else {
+            let (key, w) = chunk_of(addr.word_aligned().byte());
             self.pending
-                .entry(addr)
-                .or_default()
-                .push(Instance { flit_hops });
+                .get_or_insert_with(key, Chunk::empty)
+                .push(w, flit_hops);
         }
         id
+    }
+
+    /// Batched [`MemoryWasteProfiler::fetched`] for `words` of the line whose
+    /// first word is at `line0`, all carried by one response. Equivalent to
+    /// calling `fetched` per word in ascending word order, with one probe.
+    pub fn fetched_words(
+        &mut self,
+        line0: Addr,
+        words: WordMask,
+        l2_already_present: bool,
+        flit_hops: f64,
+    ) {
+        if words.is_empty() {
+            return;
+        }
+        self.next_id += words.count() as u64;
+        if l2_already_present {
+            for _ in 0..words.count() {
+                self.report
+                    .record(WasteCategory::Fetch, MessageClass::Load, flit_hops);
+            }
+            return;
+        }
+        let (key, w0) = chunk_of(line0.word_aligned().byte());
+        debug_assert!(
+            (words.bits() as u32) << w0 <= u16::MAX as u32,
+            "line spans a 64-byte chunk"
+        );
+        let chunk = self.pending.get_or_insert_with(key, Chunk::empty);
+        for w in words.iter() {
+            chunk.push(w0 + w.index(), flit_hops);
+        }
     }
 
     /// A word was read by DRAM but dropped at the memory controller because
@@ -73,14 +181,14 @@ impl MemoryWasteProfiler {
     /// The program loaded the word: the most recent pending instance of the
     /// address becomes `Used`.
     pub fn loaded(&mut self, addr: Addr) {
-        let addr = addr.word_aligned();
-        if let Some(list) = self.pending.get_mut(&addr) {
-            if let Some(inst) = list.pop() {
+        let (key, w) = chunk_of(addr.word_aligned().byte());
+        if let Some(chunk) = self.pending.get_mut(key) {
+            if let Some(hops) = chunk.pop_newest(w) {
+                if chunk.mask == 0 {
+                    self.pending.remove(key);
+                }
                 self.report
-                    .record(WasteCategory::Used, MessageClass::Load, inst.flit_hops);
-            }
-            if list.is_empty() {
-                self.pending.remove(&addr);
+                    .record(WasteCategory::Used, MessageClass::Load, hops);
             }
         }
     }
@@ -89,11 +197,16 @@ impl MemoryWasteProfiler {
     /// waste (the coherence protocol will invalidate or overwrite all other
     /// on-chip copies; paper §4.1).
     pub fn stored(&mut self, addr: Addr) {
-        let addr = addr.word_aligned();
-        if let Some(list) = self.pending.remove(&addr) {
-            for inst in list {
+        let (key, w) = chunk_of(addr.word_aligned().byte());
+        if let Some(chunk) = self.pending.get_mut(key) {
+            // Oldest first, matching the insertion-order drain of the old
+            // per-address list.
+            while let Some(hops) = chunk.pop_oldest(w) {
                 self.report
-                    .record(WasteCategory::Write, MessageClass::Store, inst.flit_hops);
+                    .record(WasteCategory::Write, MessageClass::Store, hops);
+            }
+            if chunk.mask == 0 {
+                self.pending.remove(key);
             }
         }
     }
@@ -101,47 +214,68 @@ impl MemoryWasteProfiler {
     /// The last on-chip copy of one instance of the address left the chip:
     /// the oldest pending instance becomes `Evict` waste.
     pub fn evicted(&mut self, addr: Addr) {
-        let addr = addr.word_aligned();
-        if let Some(list) = self.pending.get_mut(&addr) {
-            if !list.is_empty() {
-                let inst = list.remove(0);
+        let (key, w) = chunk_of(addr.word_aligned().byte());
+        if let Some(chunk) = self.pending.get_mut(key) {
+            if let Some(hops) = chunk.pop_oldest(w) {
+                if chunk.mask == 0 {
+                    self.pending.remove(key);
+                }
                 self.report
-                    .record(WasteCategory::Evict, MessageClass::Load, inst.flit_hops);
+                    .record(WasteCategory::Evict, MessageClass::Load, hops);
             }
-            if list.is_empty() {
-                self.pending.remove(&addr);
+        }
+    }
+
+    /// Batched [`MemoryWasteProfiler::evicted`] over `words` of the line
+    /// whose first word is at `line0`, in ascending word order.
+    pub fn evicted_words(&mut self, line0: Addr, words: WordMask) {
+        if words.is_empty() {
+            return;
+        }
+        let (key, w0) = chunk_of(line0.word_aligned().byte());
+        let Some(chunk) = self.pending.get_mut(key) else {
+            return;
+        };
+        for w in words.iter() {
+            if let Some(hops) = chunk.pop_oldest(w0 + w.index()) {
+                self.report
+                    .record(WasteCategory::Evict, MessageClass::Load, hops);
             }
+        }
+        if chunk.mask == 0 {
+            self.pending.remove(key);
         }
     }
 
     /// The coherence protocol invalidated on-chip copies of the address
     /// before use.
     pub fn invalidated(&mut self, addr: Addr) {
-        let addr = addr.word_aligned();
-        if let Some(list) = self.pending.get_mut(&addr) {
-            if let Some(inst) = list.pop() {
-                self.report.record(
-                    WasteCategory::Invalidate,
-                    MessageClass::Load,
-                    inst.flit_hops,
-                );
-            }
-            if list.is_empty() {
-                self.pending.remove(&addr);
+        let (key, w) = chunk_of(addr.word_aligned().byte());
+        if let Some(chunk) = self.pending.get_mut(key) {
+            if let Some(hops) = chunk.pop_newest(w) {
+                if chunk.mask == 0 {
+                    self.pending.remove(key);
+                }
+                self.report
+                    .record(WasteCategory::Invalidate, MessageClass::Load, hops);
             }
         }
     }
 
     /// Ends the simulation; remaining instances become `Unevicted`.
     pub fn finish(mut self) -> WasteReport {
-        let mut addrs: Vec<Addr> = self.pending.keys().copied().collect();
-        // Address order, not hash order: the flit-hop buckets are f64 sums
-        // and must accumulate identically on every run.
-        addrs.sort_unstable();
-        for addr in addrs {
-            for inst in self.pending.remove(&addr).unwrap_or_default() {
-                self.report
-                    .record(WasteCategory::Unevicted, MessageClass::Load, inst.flit_hops);
+        let mut keys: Vec<u64> = self.pending.keys().collect();
+        // Address order (chunk-ascending, word-ascending, oldest instance
+        // first), not hash order: the flit-hop buckets are f64 sums and must
+        // accumulate identically on every run.
+        keys.sort_unstable();
+        for key in keys {
+            let chunk = self.pending.get_mut(key).expect("key just listed");
+            for w in 0..CHUNK_WORDS {
+                while let Some(hops) = chunk.pop_oldest(w) {
+                    self.report
+                        .record(WasteCategory::Unevicted, MessageClass::Load, hops);
+                }
             }
         }
         self.report
@@ -241,5 +375,56 @@ mod tests {
         p.stored(addr(9));
         p.evicted(addr(9));
         assert_eq!(p.finish().total_words(), 0);
+    }
+
+    #[test]
+    fn three_instances_resolve_newest_and_oldest_correctly() {
+        let mut p = MemoryWasteProfiler::new();
+        p.fetched(addr(0), false, 1.0);
+        p.fetched(addr(0), false, 2.0);
+        p.fetched(addr(0), false, 3.0);
+        p.loaded(addr(0)); // newest: 3.0
+        p.evicted(addr(0)); // oldest: 1.0
+        p.loaded(addr(0)); // remaining: 2.0
+        let r = p.finish();
+        assert_eq!(r.used_flit_hops(MessageClass::Load), 5.0);
+        assert_eq!(r.flit_hops(MessageClass::Load, WasteCategory::Evict), 1.0);
+        assert_eq!(r.words(WasteCategory::Unevicted), 0);
+    }
+
+    #[test]
+    fn batched_words_match_per_word_calls() {
+        use tw_types::{LineAddr, WordIdx};
+        let mut a = MemoryWasteProfiler::new();
+        let mut b = MemoryWasteProfiler::new();
+        let line = LineAddr::from_aligned(0x3400);
+        let words = WordMask::from_bits(0b0110_1011_0101_1110);
+        for w in words.iter() {
+            a.fetched(line.word_addr(w), false, 2.5);
+        }
+        b.fetched_words(line.word_addr(WordIdx(0)), words, false, 2.5);
+        // Refetch a subset while still pending, then classify a mix.
+        let again = WordMask::from_bits(0b0000_0011_0000_0110);
+        for w in again.iter() {
+            a.fetched(line.word_addr(w), false, 4.0);
+        }
+        b.fetched_words(line.word_addr(WordIdx(0)), again, false, 4.0);
+        assert_eq!(a.next_id, b.next_id);
+        a.loaded(line.word_addr(WordIdx(1)));
+        b.loaded(line.word_addr(WordIdx(1)));
+        let evict = WordMask::from_bits(0b0110_0000_0000_0110);
+        for w in evict.iter() {
+            a.evicted(line.word_addr(w));
+        }
+        b.evicted_words(line.word_addr(WordIdx(0)), evict);
+        assert_eq!(a.pending_instances(), b.pending_instances());
+        let (ra, rb) = (a.finish(), b.finish());
+        for cat in WasteCategory::ALL {
+            assert_eq!(ra.words(cat), rb.words(cat), "{cat}");
+            assert_eq!(
+                ra.flit_hops(MessageClass::Load, cat),
+                rb.flit_hops(MessageClass::Load, cat)
+            );
+        }
     }
 }

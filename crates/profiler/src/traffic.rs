@@ -1,7 +1,17 @@
 //! Flit-hop accounting by traffic class and figure bucket.
 
-use std::collections::BTreeMap;
 use tw_types::{MessageClass, TrafficBucket};
+
+const CLASSES: usize = 4;
+const BUCKETS: usize = 12;
+
+#[inline(always)]
+fn idx(class: MessageClass, bucket: TrafficBucket) -> usize {
+    // Class-major, bucket-minor — ascending flat index reproduces the
+    // `(MessageClass, TrafficBucket)` tuple-Ord iteration order of the
+    // `BTreeMap` this table used to be.
+    class as usize * BUCKETS + bucket as usize
+}
 
 /// Accumulated flit-hops, organized the way Figures 5.1a–5.1d present them.
 ///
@@ -9,9 +19,25 @@ use tw_types::{MessageClass, TrafficBucket};
 /// writeback control) are recorded directly by the simulator as messages are
 /// sent; response *data* flit-hops are recorded once the carried words have
 /// been classified by the waste profilers.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Stored as a dense `class × bucket` array (this is written on every
+/// message send); the presence mask preserves the old map semantics — `add`
+/// drops zeros, `from_entries` keeps them verbatim — so equality and the
+/// result cache's raw-entry round trip behave exactly as before. Invariant:
+/// a slot whose presence bit is clear always holds `0.0`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficBreakdown {
-    hops: BTreeMap<(MessageClass, TrafficBucket), f64>,
+    hops: [f64; CLASSES * BUCKETS],
+    present: [bool; CLASSES * BUCKETS],
+}
+
+impl Default for TrafficBreakdown {
+    fn default() -> Self {
+        TrafficBreakdown {
+            hops: [0.0; CLASSES * BUCKETS],
+            present: [false; CLASSES * BUCKETS],
+        }
+    }
 }
 
 impl TrafficBreakdown {
@@ -21,38 +47,52 @@ impl TrafficBreakdown {
     }
 
     /// Adds `flit_hops` to `(class, bucket)`.
+    #[inline]
     pub fn add(&mut self, class: MessageClass, bucket: TrafficBucket, flit_hops: f64) {
         if flit_hops == 0.0 {
             return;
         }
-        *self.hops.entry((class, bucket)).or_insert(0.0) += flit_hops;
+        let i = idx(class, bucket);
+        self.present[i] = true;
+        self.hops[i] += flit_hops;
     }
 
     /// Flit-hops recorded for `(class, bucket)`.
     pub fn get(&self, class: MessageClass, bucket: TrafficBucket) -> f64 {
-        self.hops.get(&(class, bucket)).copied().unwrap_or(0.0)
+        self.hops[idx(class, bucket)]
     }
+
+    // The three totals below sum *present* entries only, via `Iterator::sum`
+    // (which folds from -0.0). This bit-exactly reproduces the old BTreeMap
+    // sums — in particular an empty class sums to -0.0, and that sign
+    // survives normalization into the figure JSON ("-0" for a class with no
+    // traffic). Summing the dense array directly would fold the absent +0.0
+    // slots in and flip that sign.
 
     /// Total flit-hops for one message class.
     pub fn class_total(&self, class: MessageClass) -> f64 {
-        self.hops
+        let base = class as usize * BUCKETS;
+        self.hops[base..base + BUCKETS]
             .iter()
-            .filter(|((c, _), _)| *c == class)
-            .map(|(_, h)| h)
+            .zip(&self.present[base..base + BUCKETS])
+            .filter_map(|(h, p)| p.then_some(*h))
             .sum()
     }
 
     /// Total flit-hops across all classes.
     pub fn total(&self) -> f64 {
-        self.hops.values().sum()
+        self.hops
+            .iter()
+            .zip(&self.present)
+            .filter_map(|(h, p)| p.then_some(*h))
+            .sum()
     }
 
     /// Total flit-hops in waste buckets.
     pub fn waste_total(&self) -> f64 {
-        self.hops
-            .iter()
-            .filter(|((_, b), _)| b.is_waste())
-            .map(|(_, h)| h)
+        self.iter()
+            .filter(|(_, b, _)| b.is_waste())
+            .map(|(_, _, h)| h)
             .sum()
     }
 
@@ -68,14 +108,22 @@ impl TrafficBreakdown {
 
     /// Merges another breakdown into this one.
     pub fn merge(&mut self, other: &TrafficBreakdown) {
-        for (key, h) in &other.hops {
-            *self.hops.entry(*key).or_insert(0.0) += h;
+        for i in 0..CLASSES * BUCKETS {
+            if other.present[i] {
+                self.present[i] = true;
+                self.hops[i] += other.hops[i];
+            }
         }
     }
 
     /// Iterates over all `(class, bucket, flit_hops)` entries in a stable order.
     pub fn iter(&self) -> impl Iterator<Item = (MessageClass, TrafficBucket, f64)> + '_ {
-        self.hops.iter().map(|((c, b), h)| (*c, *b, *h))
+        MessageClass::ALL.iter().flat_map(move |c| {
+            TrafficBucket::ALL.iter().filter_map(move |b| {
+                let i = idx(*c, *b);
+                self.present[i].then(|| (*c, *b, self.hops[i]))
+            })
+        })
     }
 
     /// Rebuilds a breakdown from raw `(class, bucket, flit_hops)` entries,
@@ -85,9 +133,13 @@ impl TrafficBreakdown {
     pub fn from_entries(
         entries: impl IntoIterator<Item = (MessageClass, TrafficBucket, f64)>,
     ) -> Self {
-        TrafficBreakdown {
-            hops: entries.into_iter().map(|(c, b, h)| ((c, b), h)).collect(),
+        let mut t = TrafficBreakdown::new();
+        for (c, b, h) in entries {
+            let i = idx(c, b);
+            t.present[i] = true;
+            t.hops[i] = h;
         }
+        t
     }
 }
 
@@ -116,6 +168,7 @@ mod tests {
         t.add(MessageClass::Load, TrafficBucket::ReqCtl, 0.0);
         assert_eq!(t.iter().count(), 0);
         assert_eq!(t.waste_fraction(), 0.0);
+        assert_eq!(t, TrafficBreakdown::new());
     }
 
     #[test]
@@ -139,12 +192,42 @@ mod tests {
     }
 
     #[test]
+    fn verbatim_zero_entries_survive_the_round_trip() {
+        // The cache layer serializes whatever iter() yields and rebuilds with
+        // from_entries; an explicit zero entry must stay distinguishable from
+        // an absent one.
+        let t =
+            TrafficBreakdown::from_entries([(MessageClass::Store, TrafficBucket::RespCtl, 0.0)]);
+        assert_eq!(t.iter().count(), 1);
+        assert_ne!(t, TrafficBreakdown::new());
+        assert_eq!(TrafficBreakdown::from_entries(t.iter()), t);
+    }
+
+    #[test]
+    fn empty_class_total_is_negative_zero() {
+        // `Iterator::sum` for f64 folds from -0.0, so the old BTreeMap
+        // implementation returned -0.0 for a class with no entries — and
+        // that sign reaches BENCH_results.json through normalization
+        // (LU/MESI has zero store traffic and prints "-0"). The dense
+        // rewrite must not flip it by summing absent +0.0 slots.
+        let mut t = TrafficBreakdown::new();
+        assert!(t.total().is_sign_negative());
+        assert!(t.class_total(MessageClass::Store).is_sign_negative());
+        assert!(t.waste_total().is_sign_negative());
+        t.add(MessageClass::Load, TrafficBucket::ReqCtl, 10.0);
+        assert!(t.class_total(MessageClass::Store).is_sign_negative());
+        assert_eq!(t.total(), 10.0);
+    }
+
+    #[test]
     fn iter_is_stable_and_complete() {
         let mut t = TrafficBreakdown::new();
         t.add(MessageClass::Writeback, TrafficBucket::WbMemUsed, 4.0);
         t.add(MessageClass::Load, TrafficBucket::RespCtl, 1.0);
         let entries: Vec<_> = t.iter().collect();
         assert_eq!(entries.len(), 2);
+        // (class, bucket) tuple-Ord order: Load before Writeback.
+        assert_eq!(entries[0].0, MessageClass::Load);
         let sum: f64 = entries.iter().map(|(_, _, h)| h).sum();
         assert_eq!(sum, 5.0);
     }

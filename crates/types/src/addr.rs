@@ -43,8 +43,14 @@ impl Addr {
     /// # Panics
     ///
     /// Panics (in debug builds) if `line_bytes` is not a multiple of the word size.
+    #[inline]
     pub fn word_in_line(self, line_bytes: u64) -> WordIdx {
         debug_assert!(line_bytes.is_multiple_of(WORD_BYTES));
+        if line_bytes.is_power_of_two() {
+            // Strength-reduced path for the (universal in practice) pow2 line
+            // size: identical result, no runtime division.
+            return WordIdx(((self.0 & (line_bytes - 1)) / WORD_BYTES) as u8);
+        }
         WordIdx(((self.0 % line_bytes) / WORD_BYTES) as u8)
     }
 

@@ -26,6 +26,7 @@ pub mod addr;
 pub mod config;
 pub mod digest;
 pub mod error;
+pub mod fastmap;
 pub mod geometry;
 pub mod mask;
 pub mod message;
@@ -40,6 +41,7 @@ pub use config::{
 };
 pub use digest::{Digest, DigestWriter, Digester};
 pub use error::ConfigError;
+pub use fastmap::FastMap;
 pub use geometry::{CoreId, MeshCoord, TileId};
 pub use mask::WordMask;
 pub use message::{MessageClass, MessageKind, TrafficBucket};

@@ -69,9 +69,15 @@ impl WordMask {
 
     /// Iterator over the word indices in the set, in ascending order.
     pub fn iter(self) -> impl Iterator<Item = WordIdx> {
-        (0..WORDS_PER_LINE as u8)
-            .filter(move |i| self.0 & (1 << i) != 0)
-            .map(WordIdx)
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as u8;
+            bits &= bits - 1;
+            Some(WordIdx(i))
+        })
     }
 
     /// Set union.

@@ -42,6 +42,7 @@ impl Stamp {
     }
 
     /// Lane-wise maximum — the join of two arrival times.
+    #[inline(always)]
     pub fn max(self, other: Stamp) -> Stamp {
         Stamp {
             canon: self.canon.max(other.canon),
@@ -51,12 +52,14 @@ impl Stamp {
 
     /// Timed-lane duration since `earlier` (saturating) — what execution
     /// time breakdowns are charged with.
+    #[inline(always)]
     pub fn since(self, earlier: Stamp) -> Cycle {
         self.timed.saturating_sub(earlier.timed)
     }
 
     /// Whether both lanes are at or past `other` (time never runs
     /// backwards on either lane).
+    #[inline(always)]
     pub fn not_before(self, other: Stamp) -> bool {
         self.canon >= other.canon && self.timed >= other.timed
     }
@@ -65,6 +68,7 @@ impl Stamp {
 impl Add<Cycle> for Stamp {
     type Output = Stamp;
 
+    #[inline(always)]
     fn add(self, rhs: Cycle) -> Stamp {
         Stamp {
             canon: self.canon + rhs,
@@ -74,6 +78,7 @@ impl Add<Cycle> for Stamp {
 }
 
 impl AddAssign<Cycle> for Stamp {
+    #[inline(always)]
     fn add_assign(&mut self, rhs: Cycle) {
         self.canon += rhs;
         self.timed += rhs;

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Enforce the ops/sec throughput baseline.
+
+Usage: compare_throughput.py BENCH_OUTPUT BASELINE_JSON [--tolerance 0.20]
+
+BENCH_OUTPUT is the captured stdout of `cargo bench -p tw-bench --bench
+ops_per_sec`, whose report lines carry a `thrpt <N> elem/s` column. Every
+cell present in BASELINE_JSON must appear in the output and run at no less
+than (1 - tolerance) times its baseline ops/sec; otherwise this script exits
+non-zero and lists the offending cells.
+
+Faster-than-baseline results never fail the check — refresh the baseline
+(see its _comment field) when an intentional change moves the numbers.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+LINE = re.compile(r"^(\S+)\s+.*thrpt\s+(\d+(?:\.\d+)?)\s+elem/s")
+
+
+def parse_output(path):
+    cells = {}
+    with open(path) as fh:
+        for line in fh:
+            m = LINE.match(line.strip())
+            if m:
+                cells[m.group(1)] = float(m.group(2))
+    return cells
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_output")
+    ap.add_argument("baseline_json")
+    ap.add_argument("--tolerance", type=float, default=0.20)
+    args = ap.parse_args()
+
+    with open(args.baseline_json) as fh:
+        baseline = json.load(fh)["cells"]
+    measured = parse_output(args.bench_output)
+
+    failures = []
+    for cell, base in sorted(baseline.items()):
+        got = measured.get(cell)
+        if got is None:
+            failures.append(f"{cell}: missing from bench output")
+            continue
+        floor = base * (1.0 - args.tolerance)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        print(f"{cell}: {got:.0f} ops/s vs baseline {base:.0f} (floor {floor:.0f}) {verdict}")
+        if got < floor:
+            failures.append(
+                f"{cell}: {got:.0f} ops/s is {100 * (1 - got / base):.1f}% below baseline {base:.0f}"
+            )
+
+    if failures:
+        print("\nthroughput regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline)} cells within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,13 @@
 //! Minimal offline stand-in for the parts of `criterion 0.5` this workspace
-//! uses: `Criterion::bench_function`, benchmark groups, and the
+//! uses: `Criterion::bench_function`, benchmark groups (including
+//! [`Throughput`] annotations), name filters on the command line, and the
 //! `criterion_group!` / `criterion_main!` macros.
 //!
 //! Measurement model: each benchmark closure is timed over `sample_size`
 //! samples after a short calibration pass that picks an iteration count
 //! targeting a few milliseconds per sample. Only the per-iteration mean and
-//! min are reported — no statistics, no HTML output.
+//! min are reported (plus elements/sec when a throughput is set) — no
+//! statistics, no HTML output.
 
 #![forbid(unsafe_code)]
 
@@ -38,7 +40,43 @@ fn test_mode() -> bool {
     std::env::args().any(|a| a == "--test")
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+/// Name filters: like real criterion, any non-flag command-line argument
+/// selects only the benchmarks whose label contains it as a substring
+/// (`cargo bench -- ops_per_sec`). No filters means run everything.
+fn selected(label: &str) -> bool {
+    let mut any = false;
+    for arg in std::env::args().skip(1) {
+        if arg.starts_with('-') {
+            continue;
+        }
+        any = true;
+        if label.contains(&arg) {
+            return true;
+        }
+    }
+    !any
+}
+
+/// Per-benchmark work declaration, mirroring `criterion::Throughput`. When
+/// set on a group, each report line additionally shows elements (or bytes)
+/// per second computed from the fastest sample.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The closure processes this many logical elements per call.
+    Elements(u64),
+    /// The closure processes this many bytes per call.
+    Bytes(u64),
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    if !selected(label) {
+        return;
+    }
     if test_mode() {
         let mut b = Bencher {
             iters: 1,
@@ -78,8 +116,18 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     let denom = (samples as u32) * (iters as u32).max(1);
     let mean = total / denom;
     let min = best / (iters as u32).max(1);
+    let thrpt = throughput
+        .map(|t| {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let per_sec = n as f64 / min.as_secs_f64().max(f64::MIN_POSITIVE);
+            format!("   thrpt {per_sec:.0} {unit}")
+        })
+        .unwrap_or_default();
     println!(
-        "{label:<40} mean {mean:>12.2?}   min {min:>12.2?}   ({samples} samples x {iters} iters)"
+        "{label:<40} mean {mean:>12.2?}   min {min:>12.2?}{thrpt}   ({samples} samples x {iters} iters)"
     );
 }
 
@@ -103,7 +151,7 @@ impl Criterion {
 
     /// Runs one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        run_one(name, self.sample_size, &mut f);
+        run_one(name, self.sample_size, None, &mut f);
         self
     }
 
@@ -112,6 +160,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             sample_size: self.sample_size,
+            throughput: None,
             _parent: self,
         }
     }
@@ -121,6 +170,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
 
@@ -131,10 +181,17 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares how much work each closure call performs; subsequent
+    /// benchmarks in the group report elements (or bytes) per second.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let label = format!("{}/{}", self.name, name);
-        run_one(&label, self.sample_size, &mut f);
+        run_one(&label, self.sample_size, self.throughput, &mut f);
         self
     }
 
@@ -179,6 +236,17 @@ mod tests {
         let mut c = Criterion::default().sample_size(2);
         let mut runs = 0u64;
         c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn throughput_annotation_runs_the_closure() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2).throughput(Throughput::Elements(7));
+        let mut runs = 0u64;
+        g.bench_function("probe", |b| b.iter(|| runs += 1));
+        g.finish();
         assert!(runs > 0);
     }
 
