@@ -24,6 +24,12 @@
 //!
 //! cargo run -p tw-bench --release --bin experiments -- fuzz --seeds 50
 //! cargo run -p tw-bench --release --bin experiments -- fuzz --self-test
+//!
+//! cargo run -p tw-bench --release --bin experiments -- serve --socket /tmp/exp.sock
+//! cargo run -p tw-bench --release --bin experiments -- submit spec.json --socket /tmp/exp.sock
+//! cargo run -p tw-bench --release --bin experiments -- stats --socket /tmp/exp.sock
+//! cargo run -p tw-bench --release --bin experiments -- loadgen --socket /tmp/exp.sock --requests 32
+//! cargo run -p tw-bench --release --bin experiments -- shutdown --socket /tmp/exp.sock
 //! ```
 //!
 //! With no arguments, `all` at the scaled profile is assumed (the figure
@@ -31,9 +37,20 @@
 //! `Session`). `--json` additionally writes a machine-readable
 //! `BENCH_results.json` (matrix wall time, headline averages, per-figure
 //! values) to the current directory; `--cache DIR` routes the run through
-//! the content-addressed result cache. Experiment-layer errors (bad specs,
-//! missing cells, core-count mismatches) exit with status 2. See
-//! EXPERIMENTS.md for the `plan` and `trace` walkthroughs.
+//! the content-addressed result cache. See EXPERIMENTS.md for the `plan`,
+//! `trace` and daemon walkthroughs, and DESIGN.md §13 for the wire
+//! protocol.
+//!
+//! Exit codes (uniform across every subcommand; `experiments help` prints
+//! the same contract):
+//!
+//! * **0** — success;
+//! * **1** — a *check* failed: `trace diff` divergence, a `trace roundtrip`
+//!   mismatch, fuzz invariant violations, a failed fuzz self-test;
+//! * **2** — the *request* was invalid or could not be carried out: unknown
+//!   flags/figures/subcommands, unreadable or malformed inputs, specs that
+//!   do not compile, runs that fail, output that produces no cells, daemon
+//!   connection errors.
 
 use denovo_waste::{
     protocol_by_name, ExperimentError, ExperimentMatrix, ExperimentSpec, PlanOutcome, RunOutcome,
@@ -131,6 +148,17 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("plan") {
         return plan_main(&args[1..]);
+    }
+    if let Some(cmd @ ("serve" | "submit" | "stats" | "shutdown" | "loadgen")) =
+        args.first().map(String::as_str)
+    {
+        let cmd = cmd.to_string();
+        return daemon_main(&cmd, &args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("help")
+        || args.iter().any(|a| a == "--help" || a == "-h")
+    {
+        return print_help();
     }
     let cache = match take_flag_value(&mut args, "--cache") {
         Ok(c) => c,
@@ -287,11 +315,14 @@ fn emit_figures(
         emitted_cells += outcome.cells();
     }
     if emitted_cells == 0 {
+        // An invalid request (exit 2, like every other malformed input),
+        // not a failed check (exit 1) — see the exit-code contract in the
+        // module docs.
         eprintln!(
             "error: requested output ({}) produced no cells",
             wanted.join(" ")
         );
-        return Ok(ExitCode::FAILURE);
+        return Ok(ExitCode::from(2));
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -492,6 +523,330 @@ fn print_plan_outcome(
 }
 
 // ---------------------------------------------------------------------------
+// The daemon subcommand family: serve / submit / stats / shutdown / loadgen.
+// ---------------------------------------------------------------------------
+
+fn daemon_main(cmd: &str, args: &[String]) -> ExitCode {
+    let result = match cmd {
+        "serve" => daemon_serve(args),
+        "submit" => daemon_submit(args),
+        "stats" => daemon_stats(args),
+        "shutdown" => daemon_shutdown(args),
+        "loadgen" => daemon_loadgen(args),
+        _ => unreachable!("dispatch checked the command"),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The `--socket PATH` flag every daemon subcommand requires.
+fn take_socket(args: &mut Vec<String>) -> Result<std::path::PathBuf, String> {
+    take_flag_value(args, "--socket")?
+        .map(std::path::PathBuf::from)
+        .ok_or_else(|| "--socket PATH is required".to_string())
+}
+
+fn reject_unknown(args: &[String], expected: &str) -> Result<(), String> {
+    match args.first() {
+        None => Ok(()),
+        Some(a) => Err(format!("unknown argument `{a}`; expected {expected}")),
+    }
+}
+
+/// `serve`: run the experiments daemon in the foreground until a client
+/// sends `shutdown`. `--cache DIR` defaults to `.exp-cache` (the CLI
+/// convention); `--no-cache` runs memory-only.
+fn daemon_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let socket = take_socket(&mut args)?;
+    let mut config = tw_bench::daemon::Config::new(socket);
+    config.cache_dir = Some(
+        take_flag_value(&mut args, "--cache")?
+            .unwrap_or_else(|| ".exp-cache".to_string())
+            .into(),
+    );
+    if let Some(at) = args.iter().position(|a| a == "--no-cache") {
+        args.remove(at);
+        config.cache_dir = None;
+    }
+    let num = |v: Option<String>, flag: &str| -> Result<Option<usize>, String> {
+        v.map(|n| n.parse::<usize>().map_err(|e| format!("{flag}: {e}")))
+            .transpose()
+    };
+    if let Some(n) = num(take_flag_value(&mut args, "--workers")?, "--workers")? {
+        config.workers = n;
+    }
+    if let Some(n) = num(take_flag_value(&mut args, "--queue")?, "--queue")? {
+        config.queue_cap = n;
+    }
+    reject_unknown(
+        &args,
+        "--socket PATH | --cache DIR | --no-cache | --workers N | --queue N",
+    )?;
+    eprintln!(
+        "serving experiments on {} ({} workers, queue of {}, cache {})",
+        config.socket.display(),
+        config.workers.max(1),
+        config.queue_cap,
+        config
+            .cache_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "disabled".to_string()),
+    );
+    tw_bench::daemon::serve(&config)?;
+    eprintln!("daemon shut down cleanly");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `submit <spec.json>`: send one experiment spec to a running daemon and
+/// print its per-request accounting; `--json OUT` writes the returned
+/// figures document (byte-identical to `plan run --json` of the same spec).
+fn daemon_submit(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let socket = take_socket(&mut args)?;
+    let json_out = take_flag_value(&mut args, "--json")?;
+    let [path] = args.as_slice() else {
+        return Err("usage: experiments submit <spec.json> --socket PATH [--json OUT]".to_string());
+    };
+    let spec_text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut client = tw_bench::daemon::client::Client::connect(&socket)?;
+    let reply = client.submit(&spec_text)?;
+    println!(
+        "plan `{}`: cells={} hits={} misses={} coalesced={} queue_us={} exec_us={}",
+        reply.plan,
+        reply.cells,
+        reply.hits,
+        reply.misses,
+        reply.coalesced,
+        reply.queue_us,
+        reply.exec_us,
+    );
+    if let Some(out) = json_out {
+        std::fs::write(&out, &reply.figures).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `stats`: print a running daemon's service metrics as pretty JSON.
+fn daemon_stats(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let socket = take_socket(&mut args)?;
+    reject_unknown(&args, "--socket PATH")?;
+    let mut client = tw_bench::daemon::client::Client::connect(&socket)?;
+    print!("{}", client.stats()?.pretty());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `shutdown`: ask a running daemon to drain its queue and exit.
+fn daemon_shutdown(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let socket = take_socket(&mut args)?;
+    reject_unknown(&args, "--socket PATH")?;
+    let mut client = tw_bench::daemon::client::Client::connect(&socket)?;
+    client.shutdown()?;
+    println!("daemon at {} is shutting down", socket.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `loadgen`: drive a running daemon with N concurrent clients submitting
+/// the same plan and report service throughput — the measured-QPS answer to
+/// "how fast does this serve sharing-pattern sweeps". `--json OUT` writes
+/// the `denovo-waste/service-baseline/v1` document committed as
+/// `BENCH_service_baseline.json`.
+fn daemon_loadgen(args: &[String]) -> Result<ExitCode, String> {
+    use denovo_waste::Json;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let mut args = args.to_vec();
+    let socket = take_socket(&mut args)?;
+    let json_out = take_flag_value(&mut args, "--json")?;
+    let spec_file = take_flag_value(&mut args, "--spec")?;
+    let num = |v: Option<String>, flag: &str, default: u64| -> Result<u64, String> {
+        v.map(|n| n.parse::<u64>().map_err(|e| format!("{flag}: {e}")))
+            .transpose()
+            .map(|n| n.unwrap_or(default))
+    };
+    let requests = num(take_flag_value(&mut args, "--requests")?, "--requests", 16)?;
+    let clients = num(take_flag_value(&mut args, "--clients")?, "--clients", 2)?.max(1);
+    let scale = scale_from(&args);
+    args.retain(|a| !matches!(a.as_str(), "--tiny" | "--scaled" | "--paper"));
+    reject_unknown(
+        &args,
+        "--socket PATH | --requests N | --clients N | --spec FILE | --tiny|--scaled|--paper | --json OUT",
+    )?;
+    if requests == 0 {
+        return Err("--requests 0 would measure nothing".to_string());
+    }
+    let spec_text = match &spec_file {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => ExperimentSpec::full_matrix(scale).to_json(),
+    };
+
+    eprintln!(
+        "loadgen: {requests} requests from {clients} clients against {}...",
+        socket.display()
+    );
+    let next = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let socket = socket.clone();
+            let spec_text = spec_text.clone();
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || -> Result<(u64, u64, u64, u64, u64, u64), String> {
+                let mut client = tw_bench::daemon::client::Client::connect(&socket)?;
+                let (mut cells, mut hits, mut misses, mut coalesced) = (0, 0, 0, 0);
+                let (mut lat_sum_us, mut lat_max_us) = (0u64, 0u64);
+                while next.fetch_add(1, Ordering::Relaxed) < requests {
+                    let t = Instant::now();
+                    let reply = client.submit(&spec_text)?;
+                    let us = t.elapsed().as_micros() as u64;
+                    lat_sum_us += us;
+                    lat_max_us = lat_max_us.max(us);
+                    cells += reply.cells;
+                    hits += reply.hits;
+                    misses += reply.misses;
+                    coalesced += reply.coalesced;
+                }
+                Ok((cells, hits, misses, coalesced, lat_sum_us, lat_max_us))
+            })
+        })
+        .collect();
+    let (mut cells, mut hits, mut misses, mut coalesced) = (0u64, 0u64, 0u64, 0u64);
+    let (mut lat_sum_us, mut lat_max_us) = (0u64, 0u64);
+    for handle in handles {
+        let (c, h, m, co, sum, max) = handle.join().map_err(|_| "a client panicked")??;
+        cells += c;
+        hits += h;
+        misses += m;
+        coalesced += co;
+        lat_sum_us += sum;
+        lat_max_us = lat_max_us.max(max);
+    }
+    let wall = started.elapsed();
+
+    // The daemon-side view (queue depth/peak, service-lifetime rates).
+    let mut client = tw_bench::daemon::client::Client::connect(&socket)?;
+    let stats = client.stats()?;
+    let daemon_fields: Vec<(String, Json)> = stats
+        .as_obj()
+        .map_err(|e| format!("stats response: {e}"))?
+        .iter()
+        .filter(|(k, _)| k != "status" && k != "op")
+        .cloned()
+        .collect();
+    let queue_peak = stats.get("queue_peak").and_then(|v| v.as_u64().ok());
+
+    let wall_us = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+    let secs = (wall_us as f64 / 1e6).max(1e-9);
+    let cells_per_sec = cells as f64 / secs;
+    let requests_per_sec = requests as f64 / secs;
+    let hit_rate = if cells == 0 {
+        0.0
+    } else {
+        (hits + coalesced) as f64 / cells as f64
+    };
+    println!(
+        "loadgen: {requests} requests x {} cells in {:.2?} — {:.1} cells/sec, {:.1} req/sec, hit rate {:.3}, queue peak {}",
+        cells / requests.max(1),
+        wall,
+        cells_per_sec,
+        requests_per_sec,
+        hit_rate,
+        queue_peak.map(|q| q.to_string()).unwrap_or_default(),
+    );
+
+    if let Some(out) = json_out {
+        let doc = Json::Obj(vec![
+            (
+                "schema".to_string(),
+                Json::str("denovo-waste/service-baseline/v1"),
+            ),
+            ("requests".to_string(), Json::UInt(requests)),
+            ("clients".to_string(), Json::UInt(clients)),
+            ("wall_us".to_string(), Json::UInt(wall_us)),
+            ("cells".to_string(), Json::UInt(cells)),
+            ("hits".to_string(), Json::UInt(hits)),
+            ("misses".to_string(), Json::UInt(misses)),
+            ("coalesced".to_string(), Json::UInt(coalesced)),
+            ("hit_rate".to_string(), Json::Str(format!("{hit_rate:.4}"))),
+            (
+                "cells_per_sec".to_string(),
+                Json::Str(format!("{cells_per_sec:.2}")),
+            ),
+            (
+                "requests_per_sec".to_string(),
+                Json::Str(format!("{requests_per_sec:.2}")),
+            ),
+            (
+                "latency_avg_us".to_string(),
+                Json::UInt(lat_sum_us / requests),
+            ),
+            ("latency_max_us".to_string(), Json::UInt(lat_max_us)),
+            ("daemon".to_string(), Json::Obj(daemon_fields)),
+        ]);
+        std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_help() -> ExitCode {
+    println!(
+        "\
+experiments — regenerate the paper's tables/figures, run declarative plans,
+record/replay traces, fuzz the protocol registry, and serve plans as traffic.
+
+usage:
+  experiments [FIGURE..] [--tiny|--scaled|--paper] [--json] [--cache DIR] [--network NAME]
+      figures: {figures}
+
+  experiments plan builtin [--tiny|--scaled|--paper] [--network LIST]
+  experiments plan show <spec.json>
+  experiments plan run <spec.json> [--cache DIR] [--json OUT] [--stats OUT]
+
+  experiments trace record <out.trace> [--bench NAME] [--protocol NAME] [--text]
+  experiments trace replay <in.trace> [--protocol NAME]
+  experiments trace info <in.trace>
+  experiments trace diff <a.trace> <b.trace>
+  experiments trace roundtrip [--bench NAME] [--protocol NAME]
+
+  experiments fuzz [--seeds N] [--start N] [--streaming-every N] [--network NAME]
+  experiments fuzz --self-test
+
+  experiments serve --socket PATH [--cache DIR] [--no-cache] [--workers N] [--queue N]
+  experiments submit <spec.json> --socket PATH [--json OUT]
+  experiments stats --socket PATH
+  experiments loadgen --socket PATH [--requests N] [--clients N] [--spec FILE] [--json OUT]
+  experiments shutdown --socket PATH
+
+exit codes (uniform across every subcommand):
+  0  success
+  1  a check failed: trace diff divergence, roundtrip mismatch, fuzz
+     invariant violations, failed fuzz self-test
+  2  invalid or failed request: unknown flags/figures/subcommands,
+     unreadable or malformed inputs, specs that do not compile, runs that
+     fail, output producing no cells, daemon connection errors
+
+See EXPERIMENTS.md for walkthroughs and DESIGN.md §13 for the daemon wire
+protocol.",
+        figures = FIGURES.join(" ")
+    );
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
 // The `trace` subcommand family: record / replay / info / diff / roundtrip.
 // ---------------------------------------------------------------------------
 
@@ -590,8 +945,11 @@ fn trace_main(args: &[String]) -> ExitCode {
     match result {
         Ok(code) => code,
         Err(msg) => {
+            // Unreadable/invalid inputs are bad requests (exit 2); the
+            // checking subcommands return exit 1 through `Ok(FAILURE)`
+            // above when a *comparison* fails.
             eprintln!("{msg}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

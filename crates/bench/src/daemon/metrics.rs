@@ -1,0 +1,207 @@
+//! Service metrics for the experiments daemon.
+//!
+//! Lock-free counters recorded by connection handlers and workers, rendered
+//! into the `stats` response. Counts and microsecond latencies are plain
+//! `u64` fields; derived rates (cells/sec, hit rate) are **fixed-precision
+//! decimal strings**, because the wire JSON subset deliberately has no
+//! floats (see `wire.rs`).
+
+use denovo_waste::{CacheStats, Json};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Cumulative service counters since daemon start.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Submit requests accepted off the socket (before queueing).
+    requests: AtomicU64,
+    /// Submit requests that produced a figures response.
+    completed: AtomicU64,
+    /// Submit requests that produced an error response (bad spec, run
+    /// failure) or were refused by a closed/shutting-down queue.
+    failed: AtomicU64,
+    cells: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    /// Highest queue depth observed at any enqueue.
+    queue_peak: AtomicU64,
+    queue_wait_sum_us: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_max_us: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters; `started` anchors the cells/sec rate.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cells: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            queue_wait_sum_us: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+            latency_max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a submit request arriving; `queue_depth` is the depth it saw
+    /// at enqueue (for the peak gauge).
+    pub fn record_enqueue(&self, queue_depth: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.queue_peak.fetch_max(queue_depth, Ordering::Relaxed);
+    }
+
+    /// Records a completed submit: its cache stats, time spent queued, and
+    /// total request latency (queue + execute), all in microseconds.
+    pub fn record_completed(&self, stats: &CacheStats, queue_us: u64, latency_us: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.cells.fetch_add(stats.total(), Ordering::Relaxed);
+        self.hits.fetch_add(stats.hits, Ordering::Relaxed);
+        self.misses.fetch_add(stats.misses, Ordering::Relaxed);
+        self.coalesced.fetch_add(stats.coalesced, Ordering::Relaxed);
+        self.queue_wait_sum_us
+            .fetch_add(queue_us, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+        self.latency_max_us.fetch_max(latency_us, Ordering::Relaxed);
+    }
+
+    /// Records a submit that ended in an error response.
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the counters as the `stats` response fields. `queue_depth`
+    /// and `queue_cap` describe the work queue right now; `workers` is the
+    /// pool size.
+    pub fn snapshot(&self, queue_depth: u64, queue_cap: u64, workers: u64) -> Vec<(String, Json)> {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let cells = self.cells.load(Ordering::Relaxed);
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let coalesced = self.coalesced.load(Ordering::Relaxed);
+        let latency_sum = self.latency_sum_us.load(Ordering::Relaxed);
+        let queue_wait_sum = self.queue_wait_sum_us.load(Ordering::Relaxed);
+        let uptime_us = (self.started.elapsed().as_micros()).min(u128::from(u64::MAX)) as u64;
+        let cells_per_sec = if uptime_us == 0 {
+            0.0
+        } else {
+            cells as f64 / (uptime_us as f64 / 1e6)
+        };
+        let served = hits + coalesced;
+        let hit_rate = if cells == 0 {
+            0.0
+        } else {
+            served as f64 / cells as f64
+        };
+        let avg = |sum: u64| sum.checked_div(completed).unwrap_or(0);
+        vec![
+            (
+                "requests".into(),
+                Json::UInt(self.requests.load(Ordering::Relaxed)),
+            ),
+            ("completed".into(), Json::UInt(completed)),
+            (
+                "failed".into(),
+                Json::UInt(self.failed.load(Ordering::Relaxed)),
+            ),
+            ("cells".into(), Json::UInt(cells)),
+            ("hits".into(), Json::UInt(hits)),
+            ("misses".into(), Json::UInt(misses)),
+            ("coalesced".into(), Json::UInt(coalesced)),
+            ("queue_depth".into(), Json::UInt(queue_depth)),
+            (
+                "queue_peak".into(),
+                Json::UInt(self.queue_peak.load(Ordering::Relaxed)),
+            ),
+            ("queue_cap".into(), Json::UInt(queue_cap)),
+            ("workers".into(), Json::UInt(workers)),
+            ("uptime_us".into(), Json::UInt(uptime_us)),
+            ("queue_wait_avg_us".into(), Json::UInt(avg(queue_wait_sum))),
+            ("latency_avg_us".into(), Json::UInt(avg(latency_sum))),
+            (
+                "latency_max_us".into(),
+                Json::UInt(self.latency_max_us.load(Ordering::Relaxed)),
+            ),
+            (
+                "cells_per_sec".into(),
+                Json::Str(format!("{cells_per_sec:.2}")),
+            ),
+            ("hit_rate".into(), Json::Str(format!("{hit_rate:.4}"))),
+        ]
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field<'a>(snap: &'a [(String, Json)], key: &str) -> &'a Json {
+        &snap.iter().find(|(k, _)| k == key).expect(key).1
+    }
+
+    #[test]
+    fn snapshot_aggregates_and_rates() {
+        let m = Metrics::new();
+        m.record_enqueue(3);
+        m.record_enqueue(1);
+        m.record_completed(
+            &CacheStats {
+                hits: 4,
+                misses: 1,
+                coalesced: 1,
+            },
+            100,
+            500,
+        );
+        m.record_completed(
+            &CacheStats {
+                hits: 0,
+                misses: 2,
+                coalesced: 0,
+            },
+            300,
+            1500,
+        );
+        m.record_failed();
+        let snap = m.snapshot(2, 64, 4);
+        assert_eq!(field(&snap, "requests").as_u64(), Ok(2));
+        assert_eq!(field(&snap, "completed").as_u64(), Ok(2));
+        assert_eq!(field(&snap, "failed").as_u64(), Ok(1));
+        assert_eq!(field(&snap, "cells").as_u64(), Ok(8));
+        assert_eq!(field(&snap, "hits").as_u64(), Ok(4));
+        assert_eq!(field(&snap, "misses").as_u64(), Ok(3));
+        assert_eq!(field(&snap, "coalesced").as_u64(), Ok(1));
+        assert_eq!(field(&snap, "queue_peak").as_u64(), Ok(3));
+        assert_eq!(field(&snap, "queue_depth").as_u64(), Ok(2));
+        assert_eq!(field(&snap, "queue_cap").as_u64(), Ok(64));
+        assert_eq!(field(&snap, "workers").as_u64(), Ok(4));
+        assert_eq!(field(&snap, "queue_wait_avg_us").as_u64(), Ok(200));
+        assert_eq!(field(&snap, "latency_avg_us").as_u64(), Ok(1000));
+        assert_eq!(field(&snap, "latency_max_us").as_u64(), Ok(1500));
+        // (4 hits + 1 coalesced) / 8 cells = 0.625.
+        assert_eq!(field(&snap, "hit_rate").as_str(), Ok("0.6250"));
+        // The whole snapshot must survive the wire's no-float JSON.
+        let doc = Json::Obj(snap);
+        assert_eq!(Json::parse(&doc.compact()).unwrap(), doc);
+    }
+
+    #[test]
+    fn empty_service_reports_zero_rates() {
+        let snap = Metrics::new().snapshot(0, 8, 1);
+        assert_eq!(field(&snap, "hit_rate").as_str(), Ok("0.0000"));
+        assert_eq!(field(&snap, "latency_avg_us").as_u64(), Ok(0));
+    }
+}

@@ -1,0 +1,156 @@
+//! The daemon's bounded work queue.
+//!
+//! A classic mutex-plus-two-condvars bounded queue (the shape of every
+//! embeddings-service ingest pipeline: accept cheap, queue bounded, workers
+//! drain). `push` **blocks** when the queue is full — that is the service's
+//! backpressure: a connection handler stuck in `push` stops reading its
+//! socket, which pushes back on the client instead of letting memory grow.
+//! `close` wakes everyone; pushers get their item back, poppers drain what
+//! remains and then see `None`, which is the worker-pool exit signal.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with blocking push/pop and
+/// explicit close-and-drain shutdown.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `cap` queued items (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues an item, blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the queue is (or becomes, while waiting)
+    /// closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        while inner.items.len() >= self.cap && !inner.closed {
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty and open.
+    /// Returns `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, poppers drain the backlog and
+    /// then return `None`. Idempotent.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of items currently queued (racy by nature; metrics only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy by nature; metrics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.is_empty());
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_blocks_push_until_a_pop() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(2));
+        // The pusher must be parked on the full queue, not failing.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!pusher.is_finished(), "push into a full queue must block");
+        assert_eq!(q.pop(), Some(1));
+        pusher.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3), "push after close returns the item");
+        assert_eq!(q.pop(), Some(1), "backlog drains after close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "drained + closed means exit");
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_popper() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+}

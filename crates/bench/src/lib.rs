@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod daemon;
+
 use denovo_waste::{
     CacheStats, ExperimentError, ExperimentMatrix, FigureTable, PlanOutcome, RunOutcome,
     ScaleProfile,
@@ -230,11 +232,12 @@ pub fn plan_figures_json(outcome: &PlanOutcome) -> Result<String, ExperimentErro
 /// artifact CI uploads next to `BENCH_results.json`.
 pub fn cache_stats_json(plan: &str, stats: &CacheStats) -> String {
     format!(
-        "{{\n  \"schema\": \"denovo-waste/cache-stats/v1\",\n  \"plan\": \"{}\",\n  \"cells\": {},\n  \"hits\": {},\n  \"misses\": {},\n  \"hit_rate\": {}\n}}\n",
+        "{{\n  \"schema\": \"denovo-waste/cache-stats/v1\",\n  \"plan\": \"{}\",\n  \"cells\": {},\n  \"hits\": {},\n  \"misses\": {},\n  \"coalesced\": {},\n  \"hit_rate\": {}\n}}\n",
         json_escape(plan),
         stats.total(),
         stats.hits,
         stats.misses,
+        stats.coalesced,
         json_num(stats.hit_rate()),
     )
 }

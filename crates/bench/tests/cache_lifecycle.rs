@@ -1,0 +1,317 @@
+//! Cache-lifecycle properties: single-flight deduplication, temp-file
+//! hygiene on the store error path, startup sweeps, and the two-process
+//! shared-cache race.
+//!
+//! These are the concurrency bugs the daemon made real: duplicate-key cells
+//! simulating twice, `*.tmp-*` orphans accumulating under a long-lived
+//! cache directory, and two writers racing on one entry.
+
+use denovo_waste::{
+    sweep_temp_files, ExperimentSpec, ScaleProfile, Session, WorkloadSet, WorkloadSpec,
+};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use tw_scenarios::synthesize;
+use tw_types::ProtocolKind;
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tw-cache-lifecycle-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A spec whose two provided workloads are the *same* synthesized content
+/// under two names — two rows, one content digest, one cache key per
+/// protocol.
+fn duplicate_key_fixture() -> (ExperimentSpec, WorkloadSet) {
+    let mut spec = ExperimentSpec::subset(vec![ProtocolKind::Mesi], vec![], ScaleProfile::Tiny);
+    spec.name = "dup-key".into();
+    spec.workloads = vec![
+        WorkloadSpec::provided("twin-a"),
+        WorkloadSpec::provided("twin-b"),
+    ];
+    let wl = synthesize(7);
+    let mut set = WorkloadSet::new();
+    set.insert("twin-a", wl.clone());
+    set.insert("twin-b", wl);
+    (spec, set)
+}
+
+fn temp_files_in(dir: &Path) -> Vec<String> {
+    match std::fs::read_dir(dir) {
+        Err(_) => Vec::new(),
+        Ok(entries) => entries
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp-"))
+            .collect(),
+    }
+}
+
+#[test]
+fn duplicate_key_cells_simulate_exactly_once() {
+    let (spec, set) = duplicate_key_fixture();
+    let plan = spec.compile(&set).unwrap();
+    assert_eq!(plan.cells.len(), 2);
+    let session = Session::new();
+    assert_eq!(
+        session.key_of(&plan.cells[0]),
+        session.key_of(&plan.cells[1]),
+        "fixture must produce one shared cache key"
+    );
+
+    // Cache-less session: the single-flight table is the only dedup layer.
+    // Exactly one cell simulates; the other coalesces onto it.
+    let out = session.execute(&plan).unwrap();
+    assert_eq!(
+        (out.cache.hits, out.cache.misses, out.cache.coalesced),
+        (0, 1, 1),
+        "one leader simulates, the duplicate coalesces"
+    );
+    let reports: Vec<_> = out.reports.values().collect();
+    assert_eq!(
+        reports[0], reports[1],
+        "both rows share the leader's report"
+    );
+}
+
+#[test]
+fn duplicate_key_cells_through_a_cache_dir_store_once_and_hit_twice_warm() {
+    let dir = fresh_dir("dup-key-cached");
+    let (spec, set) = duplicate_key_fixture();
+    let session = Session::new().with_cache_dir(&dir);
+
+    let cold = session.run(&spec, &set).unwrap();
+    // Exactly one simulation. Whether the duplicate coalesces onto the
+    // in-flight leader or disk-hits the entry the leader already stored is
+    // a scheduling race; both count as served-without-simulating.
+    assert_eq!(cold.cache.misses, 1, "cold: exactly one simulation");
+    assert_eq!(cold.cache.hits + cold.cache.coalesced, 1);
+    // One key -> one entry file, no leftovers.
+    let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().flatten().collect();
+    assert_eq!(entries.len(), 1, "one shared key stores one entry");
+    assert!(temp_files_in(&dir).is_empty());
+
+    // Warm, from a *fresh* session (empty flight table): both cells are
+    // disk hits.
+    let warm = Session::new()
+        .with_cache_dir(&dir)
+        .run(&spec, &set)
+        .unwrap();
+    assert_eq!(
+        (warm.cache.hits, warm.cache.misses, warm.cache.coalesced),
+        (2, 0, 0)
+    );
+    assert_eq!(warm.reports, cold.reports, "bit-identical across the store");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_store_cleans_up_its_temp_file() {
+    let dir = fresh_dir("store-failure");
+    let mut spec = ExperimentSpec::subset(vec![ProtocolKind::Mesi], vec![], ScaleProfile::Tiny);
+    spec.workloads = vec![WorkloadSpec::provided("synth")];
+    let mut set = WorkloadSet::new();
+    set.insert("synth", synthesize(3));
+    let plan = spec.compile(&set).unwrap();
+    let session = Session::new().with_cache_dir(&dir);
+
+    // Sabotage the commit: a *directory* squatting on the entry path makes
+    // the temp-file write succeed and the rename fail.
+    std::fs::create_dir_all(&dir).unwrap();
+    let entry_path = dir.join(format!("{}.json", session.key_of(&plan.cells[0])));
+    std::fs::create_dir(&entry_path).unwrap();
+
+    let err = session.execute(&plan).unwrap_err().to_string();
+    assert!(err.contains("cannot commit"), "{err}");
+    assert_eq!(
+        temp_files_in(&dir),
+        Vec::<String>::new(),
+        "the failed store must remove its temp file"
+    );
+
+    // Unblock the path: the same session recovers on the next execute (the
+    // report is already in the flight table, so this is a coalesced store).
+    std::fs::remove_dir(&entry_path).unwrap();
+    session.execute(&plan).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_removes_only_stale_temp_files() {
+    let dir = fresh_dir("sweep");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("entry.json"), b"{}").unwrap();
+    std::fs::write(dir.join("orphan.tmp-1234-aaaa"), b"partial").unwrap();
+    std::fs::write(dir.join("orphan2.tmp-99-bb"), b"partial").unwrap();
+
+    // Age 0 sweeps unconditionally; real entries are untouched.
+    assert_eq!(sweep_temp_files(&dir, Duration::ZERO).unwrap(), 2);
+    assert!(dir.join("entry.json").exists());
+    assert!(temp_files_in(&dir).is_empty());
+
+    // A fresh temp file survives an aged sweep (it could be a live
+    // concurrent writer's).
+    std::fs::write(dir.join("live.tmp-1-cc"), b"in flight").unwrap();
+    assert_eq!(
+        sweep_temp_files(&dir, Duration::from_secs(15 * 60)).unwrap(),
+        0
+    );
+    assert!(dir.join("live.tmp-1-cc").exists());
+
+    // A missing directory is 0 removed, not an error.
+    assert_eq!(
+        sweep_temp_files(&fresh_dir("sweep-nonexistent"), Duration::ZERO).unwrap(),
+        0
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn session_startup_sweeps_aged_orphans() {
+    let dir = fresh_dir("auto-sweep");
+    std::fs::create_dir_all(&dir).unwrap();
+    let orphan = dir.join("crashed.tmp-42-dead");
+    std::fs::write(&orphan, b"from a crashed writer").unwrap();
+    // Age the orphan past TEMP_SWEEP_AGE (15 min).
+    let old = std::time::SystemTime::now() - Duration::from_secs(16 * 60);
+    std::fs::File::options()
+        .write(true)
+        .open(&orphan)
+        .unwrap()
+        .set_modified(old)
+        .unwrap();
+    let fresh = dir.join("live.tmp-43-beef");
+    std::fs::write(&fresh, b"live writer").unwrap();
+
+    let mut spec = ExperimentSpec::subset(vec![ProtocolKind::Mesi], vec![], ScaleProfile::Tiny);
+    spec.workloads = vec![WorkloadSpec::provided("synth")];
+    let mut set = WorkloadSet::new();
+    set.insert("synth", synthesize(11));
+    Session::new()
+        .with_cache_dir(&dir)
+        .run(&spec, &set)
+        .unwrap();
+
+    assert!(!orphan.exists(), "first execute must sweep aged orphans");
+    assert!(
+        fresh.exists(),
+        "fresh temp files must survive the auto-sweep"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Two processes, one cache directory.
+// ---------------------------------------------------------------------------
+
+/// Extracts `"field": N` from a stats JSON document (the document holds
+/// floats, so the experiment-layer parser deliberately rejects it; the
+/// integer counters are greppable).
+fn stat_u64(text: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\": ");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{field} in {text}"));
+    text[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn two_processes_racing_on_one_cache_dir_agree_bitwise() {
+    let scratch = fresh_dir("two-proc");
+    std::fs::create_dir_all(&scratch).unwrap();
+    let cache = scratch.join("shared-cache");
+    let spec_path = scratch.join("spec.json");
+    // A small-but-real plan: 2 protocols x 2 benches at tiny scale.
+    let spec = ExperimentSpec::subset(
+        vec![ProtocolKind::Mesi, ProtocolKind::DBypFull],
+        vec![
+            tw_workloads::BenchmarkKind::Fft,
+            tw_workloads::BenchmarkKind::Radix,
+        ],
+        ScaleProfile::Tiny,
+    );
+    std::fs::write(&spec_path, spec.to_json()).unwrap();
+
+    let run = |tag: &str| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .current_dir(&scratch)
+            .args([
+                "plan",
+                "run",
+                "spec.json",
+                "--cache",
+                "shared-cache",
+                "--json",
+                &format!("figures-{tag}.json"),
+                "--stats",
+                &format!("stats-{tag}.json"),
+            ])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap()
+    };
+
+    // Both processes start cold on the same directory and race every key.
+    let mut a = run("a");
+    let mut b = run("b");
+    assert!(a.wait().unwrap().success());
+    assert!(b.wait().unwrap().success());
+
+    // Bit-identical figure documents.
+    let fig_a = std::fs::read(scratch.join("figures-a.json")).unwrap();
+    let fig_b = std::fs::read(scratch.join("figures-b.json")).unwrap();
+    assert!(!fig_a.is_empty());
+    assert_eq!(fig_a, fig_b, "racing processes must agree bitwise");
+
+    // No torn or leftover temp entries.
+    assert_eq!(temp_files_in(&cache), Vec::<String>::new());
+
+    // Stats account for the race: each process accounts all 4 of its cells,
+    // and every key was simulated by at least one process (a process that
+    // lost every race would be 4 hits / 0 misses — legal).
+    let stats_a = std::fs::read_to_string(scratch.join("stats-a.json")).unwrap();
+    let stats_b = std::fs::read_to_string(scratch.join("stats-b.json")).unwrap();
+    for stats in [&stats_a, &stats_b] {
+        assert_eq!(stat_u64(stats, "cells"), 4);
+        assert_eq!(
+            stat_u64(stats, "hits") + stat_u64(stats, "misses") + stat_u64(stats, "coalesced"),
+            4
+        );
+    }
+    assert!(
+        stat_u64(&stats_a, "misses") + stat_u64(&stats_b, "misses") >= 4,
+        "every key must have been simulated by at least one process"
+    );
+
+    // The surviving entries are not torn: a third (warm) run is 100% hits.
+    let warm = std::process::Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .current_dir(&scratch)
+        .args([
+            "plan",
+            "run",
+            "spec.json",
+            "--cache",
+            "shared-cache",
+            "--stats",
+            "stats-warm.json",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .unwrap();
+    assert!(warm.success());
+    let stats_warm = std::fs::read_to_string(scratch.join("stats-warm.json")).unwrap();
+    assert_eq!(stat_u64(&stats_warm, "hits"), 4);
+    assert_eq!(stat_u64(&stats_warm, "misses"), 0);
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}

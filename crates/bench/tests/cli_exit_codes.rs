@@ -1,0 +1,102 @@
+//! Pins the `experiments` exit-code contract (see the bin's module docs and
+//! `experiments help`): 0 = success, 1 = a check failed, 2 = invalid or
+//! failed request. Daemon clients and CI scripts branch on these.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tw-exit-codes-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_in(dir: &PathBuf, args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .unwrap();
+    (
+        out.status.code().expect("not signal-killed"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_exits_zero_and_documents_the_contract() {
+    let dir = scratch("help");
+    for args in [&["help"][..], &["--help"][..]] {
+        let (code, stdout, _) = run_in(&dir, args);
+        assert_eq!(code, 0, "{args:?}");
+        assert!(stdout.contains("exit codes"), "{args:?} must document them");
+        assert!(stdout.contains("serve --socket"), "daemon commands listed");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn invalid_requests_exit_two() {
+    let dir = scratch("invalid");
+    let cases: &[&[&str]] = &[
+        // Unknown flag / figure on the figure runner (checked before any
+        // simulation, so these are instant).
+        &["--bogus"],
+        &["fig9_9"],
+        // Plan-layer errors.
+        &["plan", "run", "no-such-spec.json"],
+        &["plan", "frobnicate"],
+        // Trace-layer errors: unreadable input, unknown flag.
+        &["trace", "info", "no-such.trace"],
+        &["trace", "record", "out.trace", "--bogus"],
+        // Fuzz misuse: a vacuous sweep is rejected up front.
+        &["fuzz", "--seeds", "0"],
+        // Daemon client without a daemon.
+        &["stats", "--socket", "no-such.sock"],
+        &["submit", "no-such-spec.json", "--socket", "no-such.sock"],
+        &["shutdown", "--socket", "no-such.sock"],
+        &["serve"], // --socket is required
+    ];
+    for args in cases {
+        let (code, _, stderr) = run_in(&dir, args);
+        assert_eq!(code, 2, "{args:?} must exit 2; stderr:\n{stderr}");
+        assert!(!stderr.trim().is_empty(), "{args:?} must explain itself");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_diff_separates_check_failure_from_bad_request() {
+    let dir = scratch("trace-diff");
+    // Two identical recordings: the recorder is deterministic, so diff
+    // passes (exit 0); a recording of a different benchmark diverges
+    // (exit 1, the check-failed code, distinct from the bad-request 2).
+    let (code, _, stderr) = run_in(
+        &dir,
+        &["trace", "record", "a.trace", "--tiny", "--bench", "FFT"],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let (code, _, stderr) = run_in(
+        &dir,
+        &["trace", "record", "b.trace", "--tiny", "--bench", "FFT"],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let (code, _, stderr) = run_in(
+        &dir,
+        &["trace", "record", "c.trace", "--tiny", "--bench", "LU"],
+    );
+    assert_eq!(code, 0, "{stderr}");
+
+    let (code, stdout, _) = run_in(&dir, &["trace", "diff", "a.trace", "b.trace"]);
+    assert_eq!(code, 0, "identical traces: {stdout}");
+    let (code, stdout, _) = run_in(&dir, &["trace", "diff", "a.trace", "c.trace"]);
+    assert_eq!(code, 1, "diverging traces are a failed check: {stdout}");
+    let (code, _, _) = run_in(&dir, &["trace", "diff", "a.trace", "missing.trace"]);
+    assert_eq!(
+        code, 2,
+        "an unreadable operand is a bad request, not a diff"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

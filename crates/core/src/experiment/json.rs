@@ -1,19 +1,26 @@
-//! A minimal JSON value model shared by the experiment-spec codec and the
-//! result-cache report codec.
+//! A minimal JSON value model shared by the experiment-spec codec, the
+//! result-cache report codec, and the daemon wire protocol.
 //!
 //! The workspace is offline (no serde), so the experiment layer carries its
-//! own parser. It deliberately supports only the subset the two codecs emit:
+//! own parser. It deliberately supports only the subset the codecs emit:
 //! strings, **unsigned integers**, arrays and objects. There are no floats —
 //! `f64` round-tripping through decimal JSON is lossy, and the result cache
 //! must be bit-exact, so floating-point fields are stored as 16-hex-digit
-//! IEEE-754 bit patterns in strings (see `codec.rs`). Booleans/null/negative
-//! numbers are rejected with an error naming the offending construct.
+//! IEEE-754 bit patterns in strings (see `codec.rs`); the daemon's wire
+//! headers render rates as fixed-precision decimal strings for the same
+//! reason. Booleans/null/negative numbers are rejected with an error naming
+//! the offending construct.
+//!
+//! The type is public because the experiments daemon (`tw-bench`) frames its
+//! wire protocol with exactly these documents: one compact header line per
+//! request/response (see [`Json::compact`]), optionally followed by an
+//! opaque byte body.
 
 use std::fmt::Write as _;
 
 /// A parsed JSON value (strings, unsigned ints, arrays, ordered objects).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// A string.
     Str(String),
     /// An unsigned integer (the only number form supported).
@@ -25,32 +32,53 @@ pub(crate) enum Json {
 }
 
 impl Json {
-    pub(crate) fn str(s: impl Into<String>) -> Json {
+    /// Wraps a string value.
+    pub fn str(s: impl Into<String>) -> Json {
         Json::Str(s.into())
     }
 
-    pub(crate) fn as_str(&self) -> Result<&str, String> {
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Names the kind actually found when the value is not a string.
+    pub fn as_str(&self) -> Result<&str, String> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(format!("expected a string, found {}", other.kind())),
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Result<u64, String> {
+    /// The value as an unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// Names the kind actually found when the value is not an integer.
+    pub fn as_u64(&self) -> Result<u64, String> {
         match self {
             Json::UInt(v) => Ok(*v),
             other => Err(format!("expected an integer, found {}", other.kind())),
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Result<&[Json], String> {
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Names the kind actually found when the value is not an array.
+    pub fn as_arr(&self) -> Result<&[Json], String> {
         match self {
             Json::Arr(items) => Ok(items),
             other => Err(format!("expected an array, found {}", other.kind())),
         }
     }
 
-    pub(crate) fn as_obj(&self) -> Result<&[(String, Json)], String> {
+    /// The value as an object's field list.
+    ///
+    /// # Errors
+    ///
+    /// Names the kind actually found when the value is not an object.
+    pub fn as_obj(&self) -> Result<&[(String, Json)], String> {
         match self {
             Json::Obj(fields) => Ok(fields),
             other => Err(format!("expected an object, found {}", other.kind())),
@@ -58,7 +86,7 @@ impl Json {
     }
 
     /// Looks up an object field.
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -66,7 +94,11 @@ impl Json {
     }
 
     /// Looks up a required object field.
-    pub(crate) fn require(&self, key: &str) -> Result<&Json, String> {
+    ///
+    /// # Errors
+    ///
+    /// Names the missing key.
+    pub fn require(&self, key: &str) -> Result<&Json, String> {
         self.get(key)
             .ok_or_else(|| format!("missing field `{key}`"))
     }
@@ -81,7 +113,12 @@ impl Json {
     }
 
     /// Parses a document.
-    pub(crate) fn parse(input: &str) -> Result<Json, String> {
+    ///
+    /// # Errors
+    ///
+    /// Any structural problem, with the offending byte offset or construct
+    /// named.
+    pub fn parse(input: &str) -> Result<Json, String> {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
@@ -97,11 +134,52 @@ impl Json {
 
     /// Renders the value as pretty-printed JSON (2-space indent, stable
     /// field order — the emitted bytes are deterministic).
-    pub(crate) fn pretty(&self) -> String {
+    pub fn pretty(&self) -> String {
         let mut out = String::new();
         self.emit(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Renders the value as a single line with no decorative whitespace —
+    /// the framing used by the daemon wire protocol, where every header is
+    /// exactly one LF-terminated line. The output contains no raw newline
+    /// bytes (string newlines are escaped), so `read_line` framing is safe.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.emit_compact(&mut out);
+        out
+    }
+
+    fn emit_compact(&self, out: &mut String) {
+        match self {
+            Json::Str(s) => emit_str(s, out),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.emit_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    emit_str(k, out);
+                    out.push(':');
+                    v.emit_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn emit(&self, out: &mut String, depth: usize) {
@@ -389,6 +467,26 @@ mod tests {
         assert_eq!(Json::parse(&text).unwrap(), doc);
         // u64::MAX survives exactly (the usual JSON-as-f64 trap).
         assert!(text.contains("18446744073709551615"));
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let doc = Json::Obj(vec![
+            ("op".into(), Json::str("submit")),
+            ("note".into(), Json::str("line\nbreak")),
+            ("body_bytes".into(), Json::UInt(42)),
+            (
+                "tags".into(),
+                Json::Arr(vec![Json::str("a"), Json::UInt(7)]),
+            ),
+        ]);
+        let line = doc.compact();
+        assert!(!line.contains('\n'), "compact form must be newline-free");
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+        assert_eq!(
+            line,
+            r#"{"op":"submit","note":"line\nbreak","body_bytes":42,"tags":["a",7]}"#
+        );
     }
 
     #[test]

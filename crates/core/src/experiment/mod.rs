@@ -17,17 +17,20 @@
 //! built-in spec run through an uncached session.
 
 mod codec;
-mod json;
+pub mod json;
 pub mod outcome;
 pub mod plan;
 pub mod session;
 
+pub use json::Json;
 pub use outcome::{HeadlineSummary, PlanOutcome, RunOutcome};
 pub use plan::{
     Baseline, CompiledPlan, ExperimentError, ExperimentSpec, PlannedCell, RowKey, SystemVariant,
     WorkloadRef, WorkloadSet, WorkloadSource, WorkloadSpec, SPEC_SCHEMA,
 };
-pub use session::{cache_key, CacheStats, Session, ENGINE_VERSION};
+pub use session::{
+    cache_key, sweep_temp_files, CacheStats, Session, ENGINE_VERSION, TEMP_SWEEP_AGE,
+};
 
 use tw_types::SystemConfig;
 use tw_workloads::{build_scaled, build_tiny, BenchmarkKind, Workload};

@@ -69,7 +69,9 @@ pub struct PlanOutcome {
     pub variants: Vec<(String, SystemConfig)>,
     /// One report per cell.
     pub reports: BTreeMap<(RowKey, ProtocolKind), SimReport>,
-    /// Result-cache hit/miss counters for this execution.
+    /// Result-cache counters for this execution: disk hits, simulated
+    /// misses, and duplicate-key cells coalesced by the session's
+    /// single-flight table.
     pub cache: CacheStats,
 }
 

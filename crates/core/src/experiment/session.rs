@@ -26,6 +26,9 @@ use crate::sim::{SimConfig, Simulator};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 use tw_types::{Cycle, Digest, Digester, ProtocolKind, SystemConfig};
 
 /// Version stamp of the simulation engine, folded into every cache key.
@@ -41,25 +44,39 @@ pub const ENGINE_VERSION: &str = "denovo-waste/engine-v3";
 /// Cache hit/miss counters for one executed plan.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Cells served from the cache.
+    /// Cells served from the on-disk cache.
     pub hits: u64,
     /// Cells simulated (and, when a cache directory is configured, stored).
     pub misses: u64,
+    /// Cells served from the in-process single-flight table instead of
+    /// simulating: the cell's key was already being (or had already been)
+    /// computed by this session, so the duplicate shared the leader's report
+    /// rather than paying a second simulation.
+    pub coalesced: u64,
 }
 
 impl CacheStats {
     /// Total cells executed.
     pub fn total(&self) -> u64 {
-        self.hits + self.misses
+        self.hits + self.misses + self.coalesced
     }
 
-    /// Fraction of cells served from the cache (0 when nothing ran).
+    /// Fraction of cells served without running a simulation — from the
+    /// on-disk cache or the single-flight table (0 when nothing ran).
     pub fn hit_rate(&self) -> f64 {
         if self.total() == 0 {
             0.0
         } else {
-            self.hits as f64 / self.total() as f64
+            (self.hits + self.coalesced) as f64 / self.total() as f64
         }
+    }
+
+    /// Folds another stats record into this one (the daemon aggregates
+    /// per-request stats into service totals this way).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.coalesced += other.coalesced;
     }
 }
 
@@ -85,11 +102,44 @@ pub fn cache_key(
     d.finish()
 }
 
+/// How one cell's report was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellSource {
+    /// Loaded from the on-disk cache.
+    DiskHit,
+    /// Simulated by this call (the single-flight leader).
+    Simulated,
+    /// Shared from the single-flight table without simulating.
+    Coalesced,
+}
+
+/// State shared by every clone of a [`Session`]: the in-process
+/// single-flight table and the once-per-session temp-file sweep marker.
+#[derive(Debug, Default)]
+struct SessionState {
+    /// One slot per cache key currently being (or already) computed by this
+    /// session. Duplicate-key cells — two same-content workloads in one
+    /// plan, or two concurrent daemon requests — wait on the leader's slot
+    /// instead of simulating again. Completed slots are retained, so the
+    /// table doubles as an in-memory result cache for cache-less sessions;
+    /// sessions are per-plan in CLI use and deliberately long-lived (and
+    /// memory-resident) in the daemon.
+    inflight: Mutex<BTreeMap<Digest, Arc<OnceLock<SimReport>>>>,
+    /// Whether this session already swept stray temp files from its cache
+    /// directory (done once, on first execute).
+    swept: AtomicBool,
+}
+
 /// Executes experiment plans, optionally through a persistent result cache.
+///
+/// Clones share one single-flight table, so a session handed to several
+/// threads (the daemon's worker pool) never simulates the same cache key
+/// twice concurrently.
 #[derive(Debug, Clone, Default)]
 pub struct Session {
     cache_dir: Option<PathBuf>,
     barrier_overhead: Cycle,
+    state: Arc<SessionState>,
 }
 
 impl Session {
@@ -98,6 +148,7 @@ impl Session {
         Session {
             cache_dir: None,
             barrier_overhead: SimConfig::new(ProtocolKind::Mesi).barrier_overhead,
+            state: Arc::default(),
         }
     }
 
@@ -132,8 +183,15 @@ impl Session {
                     dir.display()
                 ))
             })?;
+            // First execute of this session: sweep temp files orphaned by a
+            // crashed writer. The age threshold keeps a *live* concurrent
+            // writer's temp file safe (no store takes minutes, let alone
+            // this long).
+            if !self.state.swept.swap(true, Ordering::Relaxed) {
+                let _ = sweep_temp_files(dir, TEMP_SWEEP_AGE);
+            }
         }
-        let results: Vec<Result<(SimReport, bool), ExperimentError>> = plan
+        let results: Vec<Result<(SimReport, CellSource), ExperimentError>> = plan
             .cells
             .par_iter()
             .map(|cell| self.run_cell(cell))
@@ -142,11 +200,11 @@ impl Session {
         let mut reports = BTreeMap::new();
         let mut cache = CacheStats::default();
         for (cell, result) in plan.cells.iter().zip(results) {
-            let (report, hit) = result?;
-            if hit {
-                cache.hits += 1;
-            } else {
-                cache.misses += 1;
+            let (report, source) = result?;
+            match source {
+                CellSource::DiskHit => cache.hits += 1,
+                CellSource::Simulated => cache.misses += 1,
+                CellSource::Coalesced => cache.coalesced += 1,
             }
             reports.insert((cell.row.clone(), cell.protocol), report);
         }
@@ -173,18 +231,51 @@ impl Session {
         )
     }
 
-    fn run_cell(&self, cell: &PlannedCell) -> Result<(SimReport, bool), ExperimentError> {
+    fn run_cell(&self, cell: &PlannedCell) -> Result<(SimReport, CellSource), ExperimentError> {
         let key = self.key_of(cell);
-        if let Some(dir) = &self.cache_dir {
-            let path = dir.join(format!("{key}.json"));
-            if let Some(report) = load_entry(&path, key) {
-                return Ok((report, true));
+        let path = self
+            .cache_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key}.json")));
+        if let Some(path) = &path {
+            match probe_entry(path, key) {
+                DiskProbe::Hit(report) => return Ok((*report, CellSource::DiskHit)),
+                DiskProbe::Absent => {}
+                DiskProbe::Corrupt => {
+                    // The entry exists but cannot be trusted (garbled,
+                    // truncated, wrong engine/key). A *retained* completed
+                    // flight would shadow it forever and the bad bytes would
+                    // never be repaired; drop it so this cell re-simulates
+                    // and overwrites the entry. A flight still in progress
+                    // is left alone — its leader overwrites on store anyway.
+                    let mut inflight = self.state.inflight.lock().expect("inflight lock");
+                    if inflight.get(&key).is_some_and(|f| f.get().is_some()) {
+                        inflight.remove(&key);
+                    }
+                }
             }
-            let report = self.simulate(cell);
-            store_entry(&path, key, cell, &report)?;
-            return Ok((report, false));
         }
-        Ok((self.simulate(cell), false))
+        // Single-flight: exactly one caller per key simulates; everyone else
+        // who arrives while (or after) that leader runs shares its report.
+        let flight = {
+            let mut inflight = self.state.inflight.lock().expect("inflight lock");
+            Arc::clone(inflight.entry(key).or_default())
+        };
+        let mut leader = false;
+        let report = flight
+            .get_or_init(|| {
+                leader = true;
+                self.simulate(cell)
+            })
+            .clone();
+        if leader {
+            if let Some(path) = &path {
+                store_entry(path, key, cell, &report)?;
+            }
+            Ok((report, CellSource::Simulated))
+        } else {
+            Ok((report, CellSource::Coalesced))
+        }
     }
 
     fn simulate(&self, cell: &PlannedCell) -> SimReport {
@@ -194,18 +285,43 @@ impl Session {
     }
 }
 
-/// Loads a cache entry, returning `None` (a miss) on any problem: absent
-/// file, unreadable bytes, wrong schema/engine/key, or a decode failure.
-fn load_entry(path: &std::path::Path, key: Digest) -> Option<SimReport> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let doc = Json::parse(&text).ok()?;
-    if doc.get("engine")?.as_str().ok()? != ENGINE_VERSION {
-        return None;
+/// Outcome of probing the on-disk cache for one key.
+enum DiskProbe {
+    /// A valid entry decoded for this key (boxed: a report is large and
+    /// the other variants are unit-sized).
+    Hit(Box<SimReport>),
+    /// No entry file exists — the ordinary cold-cache miss.
+    Absent,
+    /// Something *is* at the entry path but it cannot be trusted:
+    /// unreadable, garbled, truncated, or carrying the wrong engine
+    /// version or key. Both are misses, but corruption additionally
+    /// invalidates any retained single-flight result so the entry gets
+    /// recomputed and overwritten instead of shadowed from memory.
+    Corrupt,
+}
+
+/// Probes a cache entry; never errors — every failure mode maps to
+/// [`DiskProbe::Absent`] or [`DiskProbe::Corrupt`].
+fn probe_entry(path: &std::path::Path, key: Digest) -> DiskProbe {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskProbe::Absent,
+        Err(_) => return DiskProbe::Corrupt,
+    };
+    let valid = || -> Option<SimReport> {
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("engine")?.as_str().ok()? != ENGINE_VERSION {
+            return None;
+        }
+        if doc.get("key")?.as_str().ok()? != key.to_string() {
+            return None;
+        }
+        codec::report_from_json(doc.get("report")?).ok()
+    };
+    match valid() {
+        Some(report) => DiskProbe::Hit(Box::new(report)),
+        None => DiskProbe::Corrupt,
     }
-    if doc.get("key")?.as_str().ok()? != key.to_string() {
-        return None;
-    }
-    codec::report_from_json(doc.get("report")?).ok()
 }
 
 /// Persists one entry atomically (write to a sibling temp file, then
@@ -237,11 +353,75 @@ fn store_entry(
         std::process::id(),
         nonce.finish().short()
     ));
-    std::fs::write(&tmp, doc.pretty())
-        .map_err(|e| ExperimentError::Io(format!("cannot write {}: {e}", tmp.display())))?;
-    std::fs::rename(&tmp, path)
-        .map_err(|e| ExperimentError::Io(format!("cannot commit {}: {e}", path.display())))?;
+    // A failed write or rename must not strand the temp file: a long-running
+    // daemon would slowly fill its cache directory with orphans. The sweep
+    // in `Session::execute` (and at daemon startup) is the second line of
+    // defense, for writers that crash between the two calls.
+    if let Err(e) = std::fs::write(&tmp, doc.pretty()) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(ExperimentError::Io(format!(
+            "cannot write {}: {e}",
+            tmp.display()
+        )));
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(ExperimentError::Io(format!(
+            "cannot commit {}: {e}",
+            path.display()
+        )));
+    }
     Ok(())
+}
+
+/// Minimum age before the automatic sweeps consider a temp file orphaned.
+/// Stores take milliseconds; a concurrent writer's live temp file is never
+/// anywhere near this old.
+pub const TEMP_SWEEP_AGE: Duration = Duration::from_secs(15 * 60);
+
+/// Removes stray `*.tmp-<pid>-<nonce>` files older than `older_than` from a
+/// cache directory, returning how many were removed.
+///
+/// These are the intermediate files of `store_entry`'s write-then-rename
+/// commit; one survives only if a writer crashed between the two syscalls
+/// (the error paths clean up after themselves). Sessions sweep their
+/// directory once on first execute and the daemon sweeps at startup, both
+/// with [`TEMP_SWEEP_AGE`]; tests pass [`Duration::ZERO`] to sweep
+/// unconditionally. A missing directory is not an error (0 removed).
+///
+/// # Errors
+///
+/// Any I/O error listing the directory. Per-file removal failures are
+/// ignored (another sweeper may have won the race).
+pub fn sweep_temp_files(dir: &std::path::Path, older_than: Duration) -> std::io::Result<usize> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let now = std::time::SystemTime::now();
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let is_temp = std::path::Path::new(name)
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e.starts_with("tmp-"));
+        if !is_temp {
+            continue;
+        }
+        let old_enough = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| now.duration_since(mtime).ok())
+            .is_some_and(|age| age >= older_than);
+        if old_enough && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 #[cfg(test)]
@@ -300,9 +480,31 @@ mod tests {
 
     #[test]
     fn cache_stats_arithmetic() {
-        let s = CacheStats { hits: 3, misses: 1 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            coalesced: 0,
+        };
         assert_eq!(s.total(), 4);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        // Coalesced cells count as served-without-simulating.
+        let c = CacheStats {
+            hits: 1,
+            misses: 2,
+            coalesced: 1,
+        };
+        assert_eq!(c.total(), 4);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        let mut sum = s;
+        sum.absorb(&c);
+        assert_eq!(
+            sum,
+            CacheStats {
+                hits: 4,
+                misses: 3,
+                coalesced: 1,
+            }
+        );
     }
 }

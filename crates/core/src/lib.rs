@@ -40,10 +40,10 @@ pub mod sim;
 pub mod timing;
 
 pub use experiment::{
-    cache_key, Baseline, CacheStats, CompiledPlan, ExperimentError, ExperimentMatrix,
-    ExperimentSpec, HeadlineSummary, PlanOutcome, PlannedCell, RowKey, RunOutcome, ScaleProfile,
-    Session, SystemVariant, WorkloadRef, WorkloadSet, WorkloadSource, WorkloadSpec, ENGINE_VERSION,
-    SPEC_SCHEMA,
+    cache_key, sweep_temp_files, Baseline, CacheStats, CompiledPlan, ExperimentError,
+    ExperimentMatrix, ExperimentSpec, HeadlineSummary, Json, PlanOutcome, PlannedCell, RowKey,
+    RunOutcome, ScaleProfile, Session, SystemVariant, WorkloadRef, WorkloadSet, WorkloadSource,
+    WorkloadSpec, ENGINE_VERSION, SPEC_SCHEMA, TEMP_SWEEP_AGE,
 };
 pub use figures::FigureTable;
 pub use report::SimReport;
