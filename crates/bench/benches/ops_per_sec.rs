@@ -9,8 +9,11 @@
 //! The cells are chosen to cover the regimes that dominate matrix wall time:
 //! Radix and KdTree under MESI are the two slowest cells (directory +
 //! whole-line profiling pressure), Radix under DBypFull exercises the
-//! word-granularity DeNovo path, and LU under MESI is a small-footprint
-//! cell that catches regressions in raw per-op dispatch cost.
+//! word-granularity DeNovo path, LU under MESI is a small-footprint cell
+//! that catches regressions in raw per-op dispatch cost, and Radix under
+//! Dragon tracks the write-update design point (same workload as the two
+//! invalidation Radix cells, so the three protocol families stay directly
+//! comparable in the trajectory).
 //!
 //! CI runs `cargo bench -p tw-bench --bench ops_per_sec`, saves the output
 //! next to `BENCH_results.json`, and fails if any cell regresses more than
@@ -24,11 +27,12 @@ use std::hint::black_box;
 use tw_types::ProtocolKind;
 use tw_workloads::{build_scaled, BenchmarkKind};
 
-const CELLS: [(BenchmarkKind, ProtocolKind); 4] = [
+const CELLS: [(BenchmarkKind, ProtocolKind); 5] = [
     (BenchmarkKind::Radix, ProtocolKind::Mesi),
     (BenchmarkKind::KdTree, ProtocolKind::Mesi),
     (BenchmarkKind::Radix, ProtocolKind::DBypFull),
     (BenchmarkKind::Lu, ProtocolKind::Mesi),
+    (BenchmarkKind::Radix, ProtocolKind::Dragon),
 ];
 
 fn bench_cells(c: &mut Criterion) {

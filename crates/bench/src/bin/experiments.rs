@@ -102,9 +102,20 @@ fn print_headline(outcome: &RunOutcome) -> Result<(), ExperimentError> {
     Ok(())
 }
 
-const FIGURES: [&str; 12] = [
-    "all", "table4_1", "table4_2", "fig5_1a", "fig5_1b", "fig5_1c", "fig5_1d", "fig5_2", "fig5_3a",
-    "fig5_3b", "fig5_3c", "headline",
+const FIGURES: [&str; 13] = [
+    "all",
+    "table4_1",
+    "table4_2",
+    "fig5_1a",
+    "fig5_1b",
+    "fig5_1c",
+    "fig5_1d",
+    "fig5_2",
+    "fig5_3a",
+    "fig5_3b",
+    "fig5_3c",
+    "figupdate",
+    "headline",
 ];
 
 fn scale_from(args: &[String]) -> ScaleProfile {
@@ -261,16 +272,21 @@ fn emit_figures(
     wanted: &[String],
     matrix_wall: std::time::Duration,
 ) -> Result<ExitCode, ExperimentError> {
+    let emit_all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| emit_all || wanted.iter().any(|w| w == name);
+
+    // Computed once: both the JSON document and the printed figure use it.
+    let update_fig =
+        (json || want("figupdate")).then(|| tw_bench::update_vs_invalidate_figure(scale));
+
     if json {
         let path = "BENCH_results.json";
-        let doc = tw_bench::results_json(outcome, scale, matrix_wall)?;
+        let update = update_fig.as_ref().expect("computed when json is set");
+        let doc = tw_bench::results_json(outcome, scale, matrix_wall, update)?;
         std::fs::write(path, doc)
             .map_err(|e| ExperimentError::Io(format!("cannot write {path}: {e}")))?;
         println!("wrote {path}");
     }
-
-    let emit_all = wanted.iter().any(|w| w == "all");
-    let want = |name: &str| emit_all || wanted.iter().any(|w| w == name);
 
     // Every requested figure must contribute at least one cell; a run that
     // prints nothing exits nonzero so scripts and CI can rely on it.
@@ -309,6 +325,13 @@ fn emit_figures(
     }
     if want("fig5_3c") {
         emit(outcome.fig_5_3c()?);
+    }
+    if want("figupdate") {
+        emit(
+            update_fig
+                .clone()
+                .expect("computed when figupdate is wanted"),
+        );
     }
     if want("headline") {
         print_headline(outcome)?;
@@ -1162,7 +1185,8 @@ struct FuzzArgs {
     streaming_every: u64,
     scale: ScaleProfile,
     /// Network model the primary sweep runs under (the runner checks the
-    /// cross-model identity against the other model either way).
+    /// cross-model identity against every other registered model either
+    /// way).
     network: NetworkModelKind,
     self_test: bool,
 }

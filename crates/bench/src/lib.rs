@@ -15,10 +15,12 @@ pub mod daemon;
 
 use denovo_waste::{
     CacheStats, ExperimentError, ExperimentMatrix, FigureTable, PlanOutcome, RunOutcome,
-    ScaleProfile,
+    ScaleProfile, SimConfig, Simulator,
 };
 use std::fmt::Write as _;
 use std::time::Duration;
+use tw_profiler::WasteCategory;
+use tw_scenarios::{SharingPattern, SynthConfig};
 use tw_types::ProtocolKind;
 use tw_workloads::BenchmarkKind;
 
@@ -51,6 +53,84 @@ pub fn run_bench_matrix() -> Result<RunOutcome, ExperimentError> {
         ScaleProfile::Tiny,
     )
     .run()
+}
+
+/// Seed for the update-vs-invalidate synthesized primitives. Fixed so the
+/// committed `BENCH_results.json` numbers and `EXPERIMENTS.md` walkthrough
+/// stay reproducible.
+const UPDATE_FIGURE_SEED: u64 = 12;
+
+/// Builds the update-vs-invalidate comparison (the Dragon figure family):
+/// each of the seven synthesized sharing-pattern primitives run once under
+/// MESI (invalidation) and once under Dragon (write-update) on the scale's
+/// system, analytic network. Per primitive the row reports total flit-hops
+/// under each protocol, the Dragon/MESI traffic ratio (`< 1` means the
+/// update protocol moved less), and Dragon's update-waste share — the
+/// fraction of words moved into L1s that were update-pushed to a sharer
+/// that never read them before they died.
+pub fn update_vs_invalidate_figure(scale: ScaleProfile) -> FigureTable {
+    let system = scale.system();
+    let mut fig = FigureTable::new(
+        format!("Update vs invalidate: Dragon against MESI on sharing primitives ({scale:?})"),
+        [
+            "Primitive",
+            "MESI hops",
+            "Dragon hops",
+            "Dragon/MESI",
+            "Update waste",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for pattern in SharingPattern::ALL {
+        let wl = SynthConfig {
+            seed: UPDATE_FIGURE_SEED,
+            cores: system.tiles(),
+            phases: 4,
+            pattern_instances: 2,
+            only: Some(pattern),
+            ops_per_phase: (16, 32),
+            streaming_stripe_words: (512, 1024),
+        }
+        .build();
+        let run = |p: ProtocolKind| {
+            Simulator::new(SimConfig::new(p).with_system(system.clone()), &wl).run()
+        };
+        let mesi = run(ProtocolKind::Mesi);
+        let dragon = run(ProtocolKind::Dragon);
+        let l1_words = dragon.l1_waste.total_words();
+        let update_share = if l1_words == 0 {
+            0.0
+        } else {
+            dragon.l1_waste.words(WasteCategory::Update) as f64 / l1_words as f64
+        };
+        fig.push_row(
+            pattern.name(),
+            vec![
+                mesi.total_flit_hops(),
+                dragon.total_flit_hops(),
+                dragon.traffic_relative_to(&mesi),
+                update_share,
+            ],
+        );
+    }
+    fig
+}
+
+/// Geometric mean of the figure's Dragon/MESI traffic ratios — the single
+/// scalar the benchmark-trajectory artifact tracks for the update design
+/// point.
+fn update_ratio_geomean(fig: &FigureTable) -> f64 {
+    let ratios: Vec<f64> = fig
+        .rows()
+        .iter()
+        .filter_map(|(_, v)| v.get(2))
+        .copied()
+        .collect();
+    if ratios.is_empty() || ratios.iter().any(|r| *r <= 0.0) {
+        return f64::NAN;
+    }
+    (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -110,9 +190,12 @@ fn figure_json(fig: &FigureTable, out: &mut String) {
     out.push_str("]}");
 }
 
-/// Serializes one experiment run — matrix wall time, headline averages and
-/// every figure of the evaluation section — as the `BENCH_results.json`
-/// document consumed by the performance-trajectory tooling.
+/// Serializes one experiment run — matrix wall time, headline averages, the
+/// update-vs-invalidate comparison and every figure of the evaluation
+/// section — as the `BENCH_results.json` document consumed by the
+/// performance-trajectory tooling. `update` is the
+/// [`update_vs_invalidate_figure`] for the same scale, passed in so callers
+/// that also print it compute it once.
 ///
 /// # Errors
 ///
@@ -122,6 +205,7 @@ pub fn results_json(
     outcome: &RunOutcome,
     scale: ScaleProfile,
     matrix_wall: Duration,
+    update: &FigureTable,
 ) -> Result<String, ExperimentError> {
     let h = outcome.headline()?;
     let figures = outcome.all_figures(scale)?;
@@ -171,6 +255,15 @@ pub fn results_json(
         let _ = writeln!(out, "    \"{name}\": {}{comma}", json_num(*value));
     }
     out.push_str("  },\n");
+    out.push_str("  \"update_vs_invalidate\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"dragon_traffic_vs_mesi_geomean\": {},",
+        json_num(update_ratio_geomean(update))
+    );
+    out.push_str("    \"figure\": ");
+    figure_json(update, &mut out);
+    out.push_str("\n  },\n");
     out.push_str("  \"figures\": [\n");
     for (i, fig) in figures.iter().enumerate() {
         out.push_str("    ");
@@ -275,7 +368,14 @@ mod tests {
         )
         .run()
         .unwrap();
-        let json = results_json(&outcome, ScaleProfile::Tiny, Duration::from_millis(1234)).unwrap();
+        let update = update_vs_invalidate_figure(ScaleProfile::Tiny);
+        let json = results_json(
+            &outcome,
+            ScaleProfile::Tiny,
+            Duration::from_millis(1234),
+            &update,
+        )
+        .unwrap();
         // Structural sanity without a JSON parser: balanced delimiters and
         // the expected top-level keys.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -284,6 +384,8 @@ mod tests {
             "\"schema\"",
             "\"matrix_wall_ms\"",
             "\"headline\"",
+            "\"update_vs_invalidate\"",
+            "\"dragon_traffic_vs_mesi_geomean\"",
             "\"figures\"",
             "\"cells\": 10",
         ] {
@@ -302,5 +404,44 @@ mod tests {
         let stats = cache_stats_json(&outcome.plan().name, &outcome.plan().cache);
         assert!(stats.contains("\"hits\": 0"));
         assert!(stats.contains("\"misses\": 10"));
+    }
+
+    #[test]
+    fn update_vs_invalidate_covers_every_primitive_and_flips_winners() {
+        let fig = update_vs_invalidate_figure(ScaleProfile::Tiny);
+        assert_eq!(fig.rows().len(), SharingPattern::ALL.len());
+        let mut dragon_wins = 0usize;
+        let mut dragon_losses = 0usize;
+        for (label, values) in fig.rows() {
+            let (mesi, dragon, ratio, update_share) = (values[0], values[1], values[2], values[3]);
+            assert!(mesi > 0.0 && dragon > 0.0, "{label}: empty cell");
+            assert!(
+                (ratio - dragon / mesi).abs() < 1e-12,
+                "{label}: ratio column must be Dragon/MESI"
+            );
+            assert!(
+                (0.0..=1.0).contains(&update_share),
+                "{label}: update-waste share {update_share} out of range"
+            );
+            if ratio < 1.0 {
+                dragon_wins += 1;
+            } else if ratio > 1.0 {
+                dragon_losses += 1;
+            }
+        }
+        // The headline claim: updates win where invalidations ping-pong
+        // (false sharing, producer-consumer) and lose where pushed words
+        // are never read again — both regimes must be represented.
+        assert!(dragon_wins >= 1, "no primitive where Dragon beats MESI");
+        assert!(
+            dragon_losses >= 1,
+            "no primitive where Dragon loses to MESI"
+        );
+        let geo = update_ratio_geomean(&fig);
+        assert!(geo.is_finite() && geo > 0.0);
+
+        // Determinism: the figure is rebuilt bit-identically (CI diffs the
+        // containing BENCH_results.json byte-for-byte).
+        assert_eq!(fig, update_vs_invalidate_figure(ScaleProfile::Tiny));
     }
 }

@@ -260,6 +260,29 @@ fn corrupt_cache_entries_are_recomputed_not_trusted() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The registry extension names round-trip explicitly: a spec pinning the
+/// Dragon protocol and the snooping-bus network must survive the JSON codec
+/// with both names spelled out in the document (older specs omit the
+/// `protocols` key entirely and decode to the paper's figure set).
+#[test]
+fn dragon_and_bus_specs_round_trip_through_plan_json() {
+    let mut spec = ExperimentSpec::subset(
+        vec![ProtocolKind::Mesi, ProtocolKind::Dragon],
+        vec![tw_workloads::BenchmarkKind::Fft],
+        ScaleProfile::Tiny,
+    );
+    spec.networks = vec![NetworkModelKind::Analytic, NetworkModelKind::SnoopBus];
+    let text = spec.to_json();
+    assert!(text.contains("Dragon"), "protocol name missing:\n{text}");
+    assert!(text.contains("bus"), "network name missing:\n{text}");
+    let back = ExperimentSpec::from_json(&text).unwrap();
+    assert_eq!(back, spec);
+
+    // Decode-side acceptance is case-insensitive like every by_name.
+    let lowered = text.replace("Dragon", "dragon");
+    assert_eq!(ExperimentSpec::from_json(&lowered).unwrap(), spec);
+}
+
 /// Builds a representable spec from proptest-drawn raw parts.
 fn spec_from_raw(
     scale_i: usize,
@@ -313,7 +336,10 @@ fn spec_from_raw(
                     l1_bytes: Some(4096 << k),
                     ..SystemVariant::base()
                 },
-                3 => SystemVariant::network(label, NetworkModelKind::ALL[k as usize % 2]),
+                3 => SystemVariant::network(
+                    label,
+                    NetworkModelKind::ALL[k as usize % NetworkModelKind::ALL.len()],
+                ),
                 _ => SystemVariant {
                     line_bytes: Some(16 << (k % 3)),
                     ..SystemVariant::base()
@@ -326,10 +352,11 @@ fn spec_from_raw(
             v
         })
         .collect();
-    let networks = match network_mask % 4 {
+    let networks = match network_mask % 5 {
         0 => Vec::new(),
         1 => vec![NetworkModelKind::Analytic],
         2 => vec![NetworkModelKind::FlitLevel],
+        3 => vec![NetworkModelKind::SnoopBus],
         _ => NetworkModelKind::ALL.to_vec(),
     };
     let baseline = denovo_waste::Baseline::Protocol(protocols[baseline_i % protocols.len().max(1)]);
@@ -349,11 +376,11 @@ proptest! {
     #[test]
     fn spec_json_round_trips(
         scale_i in 0usize..3,
-        proto_mask in 1u16..512,
+        proto_mask in 1u16..1024,
         workload_raw in prop::collection::vec((0u8..3, 0u8..8), 1..6),
         variant_raw in prop::collection::vec((0u8..5, 0u8..8), 0..5),
-        network_mask in 0u8..4,
-        baseline_i in 0usize..9,
+        network_mask in 0u8..5,
+        baseline_i in 0usize..10,
     ) {
         let spec = spec_from_raw(
             scale_i, proto_mask, &workload_raw, &variant_raw, network_mask, baseline_i,

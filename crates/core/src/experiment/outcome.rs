@@ -302,7 +302,22 @@ impl PlanOutcome {
         title: &str,
         select: F,
     ) -> Result<FigureTable, ExperimentError> {
-        let cats = WasteCategory::ALL;
+        // Update waste is structurally zero under every invalidation protocol,
+        // so the column only appears when some cell in the matrix actually
+        // produced it (i.e. Dragon is present). The paper's 9-protocol matrix
+        // keeps the figure layout the paper uses.
+        let mut update_seen = false;
+        for (row, _) in &self.rows {
+            for &p in &self.protocols {
+                if select(self.report(row, p)?).words(WasteCategory::Update) > 0 {
+                    update_seen = true;
+                }
+            }
+        }
+        let cats: Vec<WasteCategory> = WasteCategory::ALL
+            .into_iter()
+            .filter(|c| update_seen || *c != WasteCategory::Update)
+            .collect();
         let mut t = FigureTable::with_series(
             title,
             "bench/protocol",

@@ -3,7 +3,9 @@
 use tw_bloom::{BloomBank, BloomConfig};
 use tw_dram::MemoryController;
 use tw_mem::{CacheArray, CacheGeometry, WriteCombineTable};
-use tw_protocols::{DenovoL1Line, DenovoL2Line, DirectoryEntry, MesiState};
+use tw_protocols::{
+    DenovoL1Line, DenovoL2Line, DirectoryEntry, DragonDirectory, DragonState, MesiState,
+};
 use tw_types::{ProtocolKind, RegionId, SystemConfig, TileId};
 
 /// Metadata an L1 line carries, depending on the protocol family.
@@ -19,6 +21,14 @@ pub enum L1Meta {
     },
     /// DeNovo: per-word states plus the region (drives self-invalidation).
     Denovo(DenovoL1Line),
+    /// Dragon: write-update line state plus the region (reporting only, as
+    /// under MESI).
+    Dragon {
+        /// Dragon stable state.
+        state: DragonState,
+        /// Software region of the line.
+        region: RegionId,
+    },
 }
 
 impl L1Meta {
@@ -27,6 +37,7 @@ impl L1Meta {
         match self {
             L1Meta::Mesi { region, .. } => *region,
             L1Meta::Denovo(l) => l.region,
+            L1Meta::Dragon { region, .. } => *region,
         }
     }
 }
@@ -43,6 +54,8 @@ pub enum L2Meta {
     Mesi(DirectoryEntry),
     /// DeNovo: per-word ownership (registration) state.
     Denovo(DenovoL2Line),
+    /// Dragon: sharer set and dirty owner for the (inclusive) line.
+    Dragon(DragonDirectory),
 }
 
 /// One tile: private L1, L2 slice, and (on corner tiles) a memory controller.
@@ -130,5 +143,10 @@ mod tests {
         assert_eq!(m.region(), RegionId(7));
         let d = L1Meta::Denovo(DenovoL1Line::new(RegionId(3)));
         assert_eq!(d.region(), RegionId(3));
+        let g = L1Meta::Dragon {
+            state: DragonState::SharedClean,
+            region: RegionId(5),
+        };
+        assert_eq!(g.region(), RegionId(5));
     }
 }

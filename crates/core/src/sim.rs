@@ -13,11 +13,13 @@
 //! This module is protocol-agnostic: every protocol-specific action is
 //! reached through the [`engine::ProtocolExecutor`] trait, resolved once at
 //! construction from the registry in [`engine`]. The executors themselves
-//! live in `exec_mesi.rs` and `exec_denovo.rs`; the shared machine state and
-//! accounting they operate on live in `engine.rs` (see `DESIGN.md` §3).
+//! live in `exec_mesi.rs`, `exec_denovo.rs` and `exec_dragon.rs`; the shared
+//! machine state and accounting they operate on live in `engine.rs` (see
+//! `DESIGN.md` §3).
 
 pub(crate) mod engine;
 mod exec_denovo;
+mod exec_dragon;
 mod exec_mesi;
 
 use crate::machine::build_tiles;
@@ -463,42 +465,53 @@ mod tests {
     }
 
     #[test]
-    fn flit_level_model_moves_identical_traffic_and_never_runs_faster() {
-        // The traffic-identity invariant of DESIGN.md §11: the network
-        // model may only move time. Everything the canonical lane drives —
-        // per-bucket flit-hops, every waste classification, DRAM behavior —
-        // must be bit-identical, and the flit-level execution time must be
-        // at or above the analytic lower bound.
-        let flit_sys = SystemConfig {
-            network: tw_types::NetworkModelKind::FlitLevel,
-            ..SystemConfig::default()
-        };
-        for &p in &[ProtocolKind::Mesi, ProtocolKind::DBypFull] {
-            for &b in &[BenchmarkKind::Fft, BenchmarkKind::Fluidanimate] {
-                let wl = build_tiny(b, 16).unwrap();
-                let analytic = Simulator::new(SimConfig::new(p), &wl).run();
-                let flit =
-                    Simulator::new(SimConfig::new(p).with_system(flit_sys.clone()), &wl).run();
-                assert_eq!(flit.traffic, analytic.traffic, "{p}/{b} traffic");
-                assert_eq!(flit.mesh_flit_hops, analytic.mesh_flit_hops, "{p}/{b}");
-                assert_eq!(flit.l1_waste, analytic.l1_waste, "{p}/{b} L1 waste");
-                assert_eq!(flit.l2_waste, analytic.l2_waste, "{p}/{b} L2 waste");
-                assert_eq!(flit.mem_waste, analytic.mem_waste, "{p}/{b} mem waste");
-                assert_eq!(flit.dram_accesses, analytic.dram_accesses, "{p}/{b}");
-                assert_eq!(
-                    flit.dram_row_hit_rate, analytic.dram_row_hit_rate,
-                    "{p}/{b}: DRAM evolves on the canonical lane"
-                );
-                assert!(
-                    flit.total_cycles >= analytic.total_cycles,
-                    "{p}/{b}: flit-level time {} undercuts analytic {}",
-                    flit.total_cycles,
-                    analytic.total_cycles
-                );
-                // And the flit-level run is itself deterministic.
-                let again =
-                    Simulator::new(SimConfig::new(p).with_system(flit_sys.clone()), &wl).run();
-                assert_eq!(again, flit, "{p}/{b} flit-level rerun");
+    fn timed_models_move_identical_traffic_and_never_run_faster() {
+        // The traffic-identity invariant of DESIGN.md §11, for every
+        // non-default network model (flit-level wormhole and snooping bus):
+        // the network model may only move time. Everything the canonical
+        // lane drives — per-bucket flit-hops, every waste classification,
+        // DRAM behavior — must be bit-identical, and the timed execution
+        // time must be at or above the analytic lower bound.
+        for network in tw_types::NetworkModelKind::ALL {
+            if network == tw_types::NetworkModelKind::Analytic {
+                continue;
+            }
+            let timed_sys = SystemConfig {
+                network,
+                ..SystemConfig::default()
+            };
+            for &p in &[
+                ProtocolKind::Mesi,
+                ProtocolKind::DBypFull,
+                ProtocolKind::Dragon,
+            ] {
+                for &b in &[BenchmarkKind::Fft, BenchmarkKind::Fluidanimate] {
+                    let wl = build_tiny(b, 16).unwrap();
+                    let analytic = Simulator::new(SimConfig::new(p), &wl).run();
+                    let timed =
+                        Simulator::new(SimConfig::new(p).with_system(timed_sys.clone()), &wl).run();
+                    let n = network.name();
+                    assert_eq!(timed.traffic, analytic.traffic, "{n}/{p}/{b} traffic");
+                    assert_eq!(timed.mesh_flit_hops, analytic.mesh_flit_hops, "{n}/{p}/{b}");
+                    assert_eq!(timed.l1_waste, analytic.l1_waste, "{n}/{p}/{b} L1 waste");
+                    assert_eq!(timed.l2_waste, analytic.l2_waste, "{n}/{p}/{b} L2 waste");
+                    assert_eq!(timed.mem_waste, analytic.mem_waste, "{n}/{p}/{b} mem waste");
+                    assert_eq!(timed.dram_accesses, analytic.dram_accesses, "{n}/{p}/{b}");
+                    assert_eq!(
+                        timed.dram_row_hit_rate, analytic.dram_row_hit_rate,
+                        "{n}/{p}/{b}: DRAM evolves on the canonical lane"
+                    );
+                    assert!(
+                        timed.total_cycles >= analytic.total_cycles,
+                        "{n}/{p}/{b}: timed {} undercuts analytic {}",
+                        timed.total_cycles,
+                        analytic.total_cycles
+                    );
+                    // And the timed run is itself deterministic.
+                    let again =
+                        Simulator::new(SimConfig::new(p).with_system(timed_sys.clone()), &wl).run();
+                    assert_eq!(again, timed, "{n}/{p}/{b} rerun");
+                }
             }
         }
     }

@@ -396,6 +396,7 @@ impl<'wl> Engine<'wl> {
             .get_where(line, |entry| match &entry.meta {
                 L1Meta::Mesi { state, .. } => state.can_read() && entry.valid.contains(w),
                 L1Meta::Denovo(l) => l.word(w).can_read(),
+                L1Meta::Dragon { state, .. } => state.can_read() && entry.valid.contains(w),
             })
             .is_some()
     }
@@ -489,11 +490,13 @@ pub(crate) struct RegistryEntry {
 
 static MESI_EXECUTOR: super::exec_mesi::MesiExecutor = super::exec_mesi::MesiExecutor;
 static DENOVO_EXECUTOR: super::exec_denovo::DenovoExecutor = super::exec_denovo::DenovoExecutor;
+static DRAGON_EXECUTOR: super::exec_dragon::DragonExecutor = super::exec_dragon::DragonExecutor;
 
-/// Every protocol variant of the paper mapped to its executor, in figure
-/// order. This is the single place protocol dispatch is decided; `sim.rs`
-/// never branches on the protocol family.
-pub(crate) static REGISTRY: [RegistryEntry; 9] = [
+/// Every registered protocol variant mapped to its executor, in figure
+/// order (the paper's nine plus the Dragon write-update extension). This is
+/// the single place protocol dispatch is decided; `sim.rs` never branches on
+/// the protocol family.
+pub(crate) static REGISTRY: [RegistryEntry; 10] = [
     RegistryEntry {
         kind: ProtocolKind::Mesi,
         executor: &MESI_EXECUTOR,
@@ -529,6 +532,10 @@ pub(crate) static REGISTRY: [RegistryEntry; 9] = [
     RegistryEntry {
         kind: ProtocolKind::DBypFull,
         executor: &DENOVO_EXECUTOR,
+    },
+    RegistryEntry {
+        kind: ProtocolKind::Dragon,
+        executor: &DRAGON_EXECUTOR,
     },
 ];
 
@@ -566,6 +573,8 @@ mod tests {
             let family = exec.family();
             if kind.is_mesi() {
                 assert_eq!(family, "MESI", "{kind} must resolve to the MESI family");
+            } else if kind.is_update_based() {
+                assert_eq!(family, "Dragon", "{kind} must resolve to the Dragon family");
             } else {
                 assert_eq!(family, "DeNovo", "{kind} must resolve to the DeNovo family");
             }

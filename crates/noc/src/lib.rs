@@ -4,7 +4,7 @@
 //! once per link it traverses. This crate models the 4×4 mesh of the paper
 //! with XY dimension-order routing, computes packet sizes in flits (one
 //! control flit plus up to four data flits), accounts flit-hops, and
-//! provides two timing models behind the [`NetworkModel`] trait
+//! provides three timing models behind the [`NetworkModel`] trait
 //! (`DESIGN.md` §11):
 //!
 //! * [`Mesh`] — the **analytic** model: per-hop pipeline delay plus
@@ -14,10 +14,12 @@
 //!   simulation ([`EventQueue`] with a deterministic total event order)
 //!   through routers with per-port virtual channels, round-robin
 //!   arbitration and credit backpressure ([`OutPort`]).
+//! * [`SnoopBus`] — the **snooping-bus** model: one transaction occupies the
+//!   whole medium at a time, arbitrated FCFS in deterministic request order.
 //!
-//! Flit-hops are exact under XY routing and identical across models (both
-//! route through [`mesh::xy_route`]); only latency differs, and both models
-//! collapse to the same unloaded latency on an idle mesh.
+//! Flit-hops are exact under XY routing and identical across models (all
+//! account `hops × flits` over the same geometry); only latency differs, and
+//! every model collapses to the same unloaded latency when idle.
 //!
 //! # Example
 //!
@@ -43,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bus;
 pub mod events;
 pub mod link;
 pub mod mesh;
@@ -51,6 +54,7 @@ pub mod packet;
 pub mod router;
 pub mod wormhole;
 
+pub use bus::SnoopBus;
 pub use events::EventQueue;
 pub use link::{LinkId, LinkState};
 pub use mesh::{xy_route, Mesh};

@@ -1,13 +1,15 @@
 //! The pluggable network-model abstraction.
 //!
-//! Both meshes — the analytic [`Mesh`] and the flit-level [`WormholeMesh`]
-//! — implement [`NetworkModel`], and the engine resolves a
-//! [`NetworkModelKind`] to a boxed model exactly once at construction
-//! through [`model_for`], mirroring the protocol-executor registry
-//! (`DESIGN.md` §3/§11). Flit-hop *traffic* is model-independent (both
-//! route XY), so the trait only abstracts *timing*: `send` returns the
+//! All three fabrics — the analytic [`Mesh`], the flit-level
+//! [`WormholeMesh`], and the snooping [`SnoopBus`] — implement
+//! [`NetworkModel`], and the engine resolves a [`NetworkModelKind`] to a
+//! boxed model exactly once at construction through [`model_for`], mirroring
+//! the protocol-executor registry (`DESIGN.md` §3/§11). Flit-hop *traffic*
+//! is model-independent (all account `hops × flits` over the same XY
+//! geometry), so the trait only abstracts *timing*: `send` returns the
 //! tail-flit arrival cycle under that model's contention behavior.
 
+use crate::bus::SnoopBus;
 use crate::mesh::{unloaded_latency, xy_route, Mesh};
 use crate::packet::PacketSize;
 use crate::wormhole::WormholeMesh;
@@ -78,6 +80,28 @@ impl NetworkModel for WormholeMesh {
     }
 }
 
+impl NetworkModel for SnoopBus {
+    fn kind(&self) -> NetworkModelKind {
+        NetworkModelKind::SnoopBus
+    }
+
+    fn send(&mut self, src: TileId, dst: TileId, size: PacketSize, now: Cycle) -> Cycle {
+        SnoopBus::send(self, src, dst, size, now)
+    }
+
+    fn unloaded_latency(&self, src: TileId, dst: TileId, size: PacketSize) -> Cycle {
+        SnoopBus::unloaded_latency(self, src, dst, size)
+    }
+
+    fn total_queueing_cycles(&self) -> u64 {
+        self.total_stall_cycles()
+    }
+
+    fn packets(&self) -> u64 {
+        SnoopBus::packets(self)
+    }
+}
+
 /// Resolves a network-model kind to a fresh model over `cfg` — the network
 /// counterpart of `executor_for` in the protocol registry. This is the
 /// single place model dispatch is decided.
@@ -85,6 +109,7 @@ pub fn model_for(kind: NetworkModelKind, cfg: NocConfig) -> Box<dyn NetworkModel
     match kind {
         NetworkModelKind::Analytic => Box::new(Mesh::new(cfg)),
         NetworkModelKind::FlitLevel => Box::new(WormholeMesh::new(cfg)),
+        NetworkModelKind::SnoopBus => Box::new(SnoopBus::new(cfg)),
     }
 }
 
@@ -102,7 +127,7 @@ mod tests {
     }
 
     #[test]
-    fn both_models_share_the_unloaded_bound() {
+    fn all_models_share_the_unloaded_bound() {
         let size = PacketSize::with_data_words(&NocConfig::default(), 8);
         let mut models: Vec<_> = NetworkModelKind::ALL
             .into_iter()

@@ -31,12 +31,34 @@ pub enum CacheLevel {
 }
 
 /// One arrival group: a set of words of the chunk that arrived in the same
-/// response and therefore share one `(flit_hops, class)` record.
+/// response and therefore share one `(flit_hops, class, update)` record.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Group {
     words: u16,
     flit_hops: f64,
     class: MessageClass,
+    /// The words were pushed by a write-update broadcast (Dragon) rather
+    /// than fetched: if they die unread (evicted, invalidated or unevicted
+    /// at the end), they classify as `Update` waste instead.
+    update: bool,
+}
+
+/// The category an unread word finalizes into, given how it arrived: words
+/// a write-update broadcast pushed become `Update` waste wherever a fetched
+/// word would have been Evict/Invalidate/Unevicted waste. `Used` (the
+/// update paid off) and `Write` (overwritten either way) pass through.
+#[inline(always)]
+fn classify(category: WasteCategory, update: bool) -> WasteCategory {
+    if update
+        && matches!(
+            category,
+            WasteCategory::Evict | WasteCategory::Invalidate | WasteCategory::Unevicted
+        )
+    {
+        WasteCategory::Update
+    } else {
+        category
+    }
 }
 
 /// How many groups a chunk holds inline before spilling to the heap. Full
@@ -64,6 +86,7 @@ impl Chunk {
             words: 0,
             flit_hops: 0.0,
             class: MessageClass::Load,
+            update: false,
         };
         Chunk {
             mask: 0,
@@ -76,11 +99,14 @@ impl Chunk {
     /// Adds `words` with the shared record, merging into an existing group
     /// when the record is identical (merging cannot change any word's
     /// record, so classification output is unaffected).
-    fn add(&mut self, words: u16, flit_hops: f64, class: MessageClass) {
+    fn add(&mut self, words: u16, flit_hops: f64, class: MessageClass, update: bool) {
         debug_assert!(words != 0 && self.mask & words == 0);
         self.mask |= words;
         for g in self.groups_mut() {
-            if g.flit_hops.to_bits() == flit_hops.to_bits() && g.class == class {
+            if g.flit_hops.to_bits() == flit_hops.to_bits()
+                && g.class == class
+                && g.update == update
+            {
                 g.words |= words;
                 return;
             }
@@ -89,6 +115,7 @@ impl Chunk {
             words,
             flit_hops,
             class,
+            update,
         };
         if (self.n_inline as usize) < INLINE_GROUPS {
             self.inline[self.n_inline as usize] = group;
@@ -99,14 +126,14 @@ impl Chunk {
     }
 
     /// Removes word `w` (which must be pending) and returns its record.
-    fn take(&mut self, w: usize) -> (f64, MessageClass) {
+    fn take(&mut self, w: usize) -> (f64, MessageClass, bool) {
         let bit = 1u16 << w;
         debug_assert!(self.mask & bit != 0);
         self.mask &= !bit;
         for g in self.groups_mut() {
             if g.words & bit != 0 {
                 g.words &= !bit;
-                return (g.flit_hops, g.class);
+                return (g.flit_hops, g.class, g.update);
             }
         }
         unreachable!("pending word belongs to a group");
@@ -207,8 +234,21 @@ impl CacheWasteProfiler {
         if chunk.mask & bit != 0 {
             self.report.record(WasteCategory::Fetch, class, flit_hops);
         } else {
-            chunk.add(bit, flit_hops, class);
+            chunk.add(bit, flit_hops, class, false);
         }
+    }
+
+    /// A write-update broadcast (Dragon `UpdateData`) delivered the word into
+    /// the cache. Any still-pending instance was overwritten before use and
+    /// finalizes as `Write` waste; the pushed word then becomes pending as
+    /// *update-born*, so if the receiving core never reads it, it finalizes
+    /// as `Update` waste instead of Evict/Invalidate/Unevicted.
+    pub fn updated(&mut self, addr: Addr, flit_hops: f64) {
+        self.finalize(addr, WasteCategory::Write);
+        let (key, w) = chunk_of(addr.word_aligned().byte());
+        let chunk = self.pending.get_or_insert_with(key, Chunk::empty);
+        // Updates ride store-class responses (the write that triggered them).
+        chunk.add(1u16 << w, flit_hops, MessageClass::Store, true);
     }
 
     /// Batched [`CacheWasteProfiler::arrive`]: words `words` of the line whose
@@ -237,7 +277,7 @@ impl CacheWasteProfiler {
         let fetch_bits = already_bits | (chunk.mask as u32 & requested);
         let fresh = (requested & !fetch_bits) as u16;
         if fresh != 0 {
-            chunk.add(fresh, flit_hops, class);
+            chunk.add(fresh, flit_hops, class, false);
         }
         // All Fetch records of this call share (class, flit_hops) and land in
         // one report bucket, so recording them after the pending update sums
@@ -255,13 +295,14 @@ impl CacheWasteProfiler {
         if chunk.mask & (1u16 << w) == 0 {
             return false;
         }
-        let (flit_hops, class) = chunk.take(w);
+        let (flit_hops, class, update) = chunk.take(w);
         if chunk.mask == 0 {
             self.pending.remove(key);
         } else {
             chunk.compact();
         }
-        self.report.record(category, class, flit_hops);
+        self.report
+            .record(classify(category, update), class, flit_hops);
         true
     }
 
@@ -288,8 +329,9 @@ impl CacheWasteProfiler {
         while hit != 0 {
             let w = hit.trailing_zeros() as usize;
             hit &= hit - 1;
-            let (flit_hops, class) = chunk.take(w);
-            self.report.record(category, class, flit_hops);
+            let (flit_hops, class, update) = chunk.take(w);
+            self.report
+                .record(classify(category, update), class, flit_hops);
         }
         if chunk.mask == 0 {
             self.pending.remove(key);
@@ -364,9 +406,9 @@ impl CacheWasteProfiler {
             while rem != 0 {
                 let w = rem.trailing_zeros() as usize;
                 rem &= rem - 1;
-                let (flit_hops, class) = chunk.take(w);
+                let (flit_hops, class, update) = chunk.take(w);
                 self.report
-                    .record(WasteCategory::Unevicted, class, flit_hops);
+                    .record(classify(WasteCategory::Unevicted, update), class, flit_hops);
             }
         }
         self.report
@@ -552,6 +594,65 @@ mod tests {
                 assert_eq!(ra.flit_hops(class, cat), rb.flit_hops(class, cat));
             }
         }
+    }
+
+    #[test]
+    fn read_update_is_used_unread_update_is_update_waste() {
+        let mut p = l1();
+        p.updated(addr(1), 2.0);
+        p.updated(addr(2), 2.0);
+        p.loaded(addr(1));
+        p.evicted(addr(2));
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Used), 1);
+        assert_eq!(r.words(WasteCategory::Update), 1);
+        assert_eq!(r.words(WasteCategory::Evict), 0);
+        // Both legs were store-class responses.
+        assert_eq!(r.used_flit_hops(MessageClass::Store), 2.0);
+        assert_eq!(r.flit_hops(MessageClass::Store, WasteCategory::Update), 2.0);
+    }
+
+    #[test]
+    fn update_over_pending_fetch_is_write_waste_then_update_born() {
+        let mut p = l1();
+        p.arrive(addr(1), false, 1.0, MessageClass::Load);
+        p.updated(addr(1), 3.0);
+        let r = p.finish();
+        // The fetched instance was overwritten before use; the pushed word
+        // was never read before the end of simulation.
+        assert_eq!(r.words(WasteCategory::Write), 1);
+        assert_eq!(r.words(WasteCategory::Update), 1);
+        assert_eq!(r.words(WasteCategory::Unevicted), 0);
+    }
+
+    #[test]
+    fn update_born_words_invalidated_or_unevicted_are_update_waste() {
+        let mut p = l1();
+        p.updated(addr(1), 1.0);
+        p.updated(addr(2), 1.0);
+        p.updated(addr(3), 1.0);
+        p.invalidated(addr(1));
+        // addr(2) stays pending to the end; addr(3) is overwritten locally.
+        p.stored(addr(3));
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Update), 2);
+        assert_eq!(r.words(WasteCategory::Write), 1);
+        assert_eq!(r.words(WasteCategory::Invalidate), 0);
+        assert_eq!(r.words(WasteCategory::Unevicted), 0);
+    }
+
+    #[test]
+    fn update_and_fetch_groups_do_not_merge() {
+        // Same (flit_hops, class) but different provenance: the update-born
+        // flag must keep the groups distinct so their fates stay separable.
+        let mut p = l1();
+        p.arrive(addr(1), false, 1.0, MessageClass::Store);
+        p.updated(addr(2), 1.0);
+        p.evicted(addr(1));
+        p.evicted(addr(2));
+        let r = p.finish();
+        assert_eq!(r.words(WasteCategory::Evict), 1);
+        assert_eq!(r.words(WasteCategory::Update), 1);
     }
 
     #[test]

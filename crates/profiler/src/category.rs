@@ -22,11 +22,18 @@ pub enum WasteCategory {
     /// The word was fetched from DRAM but dropped at the memory controller
     /// (L2-Flex without sub-line DRAM support); memory-level only.
     Excess,
+    /// The word was pushed into the cache by a write-update broadcast
+    /// (Dragon) and the receiving core never read it — the waste class
+    /// update protocols trade invalidation re-fetches for. Appended after
+    /// the paper's categories so their discriminants (and every serialized
+    /// invalidation-protocol report) are unchanged.
+    Update,
 }
 
 impl WasteCategory {
-    /// All categories, in the stacking order of Figure 5.3.
-    pub const ALL: [WasteCategory; 7] = [
+    /// All categories, in the stacking order of Figure 5.3 (the update-waste
+    /// extension stacks last).
+    pub const ALL: [WasteCategory; 8] = [
         WasteCategory::Used,
         WasteCategory::Fetch,
         WasteCategory::Write,
@@ -34,6 +41,7 @@ impl WasteCategory {
         WasteCategory::Evict,
         WasteCategory::Unevicted,
         WasteCategory::Excess,
+        WasteCategory::Update,
     ];
 
     /// Whether the category represents wasted movement.
@@ -51,6 +59,7 @@ impl WasteCategory {
             WasteCategory::Evict => "Evict Waste",
             WasteCategory::Unevicted => "Unevicted Waste",
             WasteCategory::Excess => "Excess Waste",
+            WasteCategory::Update => "Update Waste",
         }
     }
 }
@@ -73,9 +82,10 @@ const CAT_ORD: [WasteCategory; CATS] = [
     WasteCategory::Evict,
     WasteCategory::Unevicted,
     WasteCategory::Excess,
+    WasteCategory::Update,
 ];
 
-const CATS: usize = 7;
+const CATS: usize = 8;
 const CLASSES: usize = 4;
 
 #[inline(always)]
@@ -249,9 +259,23 @@ mod tests {
             WasteCategory::Evict,
             WasteCategory::Unevicted,
             WasteCategory::Excess,
+            WasteCategory::Update,
         ] {
             assert!(c.is_waste(), "{c} should be waste");
         }
+    }
+
+    #[test]
+    fn update_is_appended_after_the_paper_categories() {
+        // Serialized invalidation-protocol reports index categories by
+        // label, but the dense in-memory layout indexes by discriminant:
+        // Update must not displace any existing category.
+        assert_eq!(WasteCategory::ALL[CATS - 1], WasteCategory::Update);
+        assert_eq!(CAT_ORD[CATS - 1], WasteCategory::Update);
+        assert_eq!(
+            WasteCategory::Excess as usize + 1,
+            WasteCategory::Update as usize
+        );
     }
 
     #[test]
@@ -302,6 +326,7 @@ mod tests {
     fn labels_match_figures() {
         assert_eq!(WasteCategory::Used.label(), "Used Words");
         assert_eq!(WasteCategory::Excess.to_string(), "Excess Waste");
-        assert_eq!(WasteCategory::ALL.len(), 7);
+        assert_eq!(WasteCategory::Update.to_string(), "Update Waste");
+        assert_eq!(WasteCategory::ALL.len(), 8);
     }
 }

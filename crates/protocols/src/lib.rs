@@ -1,6 +1,7 @@
-//! Coherence-protocol state machines: directory-based MESI and DeNovo.
+//! Coherence-protocol state machines: directory-based MESI, DeNovo, and the
+//! Dragon write-update extension.
 //!
-//! The two protocol families keep very different state:
+//! The protocol families keep very different state:
 //!
 //! * **MESI** tracks a line-granularity state (`I`/`S`/`E`/`M`) in each L1
 //!   and a directory entry (owner + sharer set) alongside the inclusive L2.
@@ -11,6 +12,10 @@
 //!   in the L1s, and the shared L2 doubles as the registry: each word is
 //!   either valid at the L2 or registered to the core that owns it. There are
 //!   no sharer lists; stale data is removed by self-invalidation at barriers.
+//! * **Dragon** tracks a line-granularity state (`I`/`E`/`Sc`/`Sm`/`M`) in
+//!   each L1 and a sharer set plus dirty-owner at the home L2. Stores to
+//!   shared lines broadcast the written words to the sharers as updates —
+//!   the sharer set never shrinks on a write.
 //!
 //! The transaction *choreography* (which messages travel where, with what
 //! latency) lives in the simulator crate (`denovo-waste`); this crate owns the
@@ -22,9 +27,11 @@
 #![warn(missing_docs)]
 
 pub mod denovo;
+pub mod dragon;
 pub mod flex;
 pub mod mesi;
 
 pub use denovo::{DenovoL1Line, DenovoL2Line, DenovoWordState, L2WordOwner};
+pub use dragon::{DragonDirectory, DragonState};
 pub use flex::{flex_fetch_plan, FlexPlan};
 pub use mesi::{DirectoryEntry, MesiState, SharerSet};

@@ -4,7 +4,7 @@
 //! every metamorphic invariant the paper's methodology depends on:
 //!
 //! 1. **Identical service** — every protocol's captured serviced stream is
-//!    exactly the input stream (hence all nine service identical op counts);
+//!    exactly the input stream (hence all ten service identical op counts);
 //! 2. **Functional agreement** — the captured stream re-executed under the
 //!    golden SC-per-phase model reproduces the reference fingerprint;
 //! 3. **Replay determinism** — replaying the captured stream under the same
@@ -13,12 +13,16 @@
 //!    `[0, 1]` and total traffic is finite and positive;
 //! 5. **Bypass dominance** — on a fully-bypass-annotated streaming workload
 //!    (the scenario L2 bypass exists for), `DBypFull` moves no more traffic
-//!    than MESI;
-//! 6. **Network-model identity** — re-running the cell under the *other*
-//!    network model must reproduce every per-bucket flit-hop number, every
-//!    waste classification and the DRAM behavior bit for bit, and the
-//!    flit-level execution time must be at or above the analytic lower
-//!    bound (DESIGN.md §11: the model may only move time, never traffic).
+//!    than MESI. The claim is scoped to [`BYPASS_DOMINANCE_PROTOCOLS`]:
+//!    update-based protocols (Dragon) deliberately trade extra update
+//!    traffic for sharer latency and are exempt from the dominance check
+//!    while still running every other invariant;
+//! 6. **Network-model identity** — re-running the cell under every *other*
+//!    registered network model (wormhole flit-level, snooping bus) must
+//!    reproduce every per-bucket flit-hop number, every waste
+//!    classification and the DRAM behavior bit for bit, and every timed
+//!    model's execution time must be at or above the analytic lower bound
+//!    (DESIGN.md §11: a network model may only move time, never traffic).
 
 use crate::mutate::{detect, Detection};
 use crate::oracle::{golden_execute, OracleReport};
@@ -31,6 +35,16 @@ use rayon::prelude::*;
 use std::fmt;
 use tw_types::{NetworkModelKind, ProtocolKind};
 use tw_workloads::Workload;
+
+/// The protocols invariant 5 (streaming bypass dominance) compares, in
+/// `(baseline, challenger)` order. The `DBypFull ≤ MESI` claim is an
+/// *invalidation-protocol* statement — an update-based protocol like Dragon
+/// pushes written words to sharers by design and may legitimately move more
+/// traffic on a streaming workload, so it stays outside this allowlist while
+/// remaining subject to every other invariant (service identity, oracle
+/// agreement, replay determinism, accounting, cross-model identity).
+pub const BYPASS_DOMINANCE_PROTOCOLS: [ProtocolKind; 2] =
+    [ProtocolKind::Mesi, ProtocolKind::DBypFull];
 
 /// One invariant violation found by the runner.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,11 +96,11 @@ pub enum Violation {
         /// Which model-invariant quantity moved.
         field: &'static str,
     },
-    /// The flit-level run finished before its analytic lower bound.
+    /// A timed-model run finished before its analytic lower bound.
     LatencyBelowAnalyticBound {
         /// The offending protocol.
         protocol: ProtocolKind,
-        /// Flit-level total cycles.
+        /// The timed model's total cycles.
         flit_cycles: u64,
         /// Analytic total cycles (the lower bound).
         analytic_cycles: u64,
@@ -130,7 +144,7 @@ impl fmt::Display for Violation {
                 analytic_cycles,
             } => write!(
                 f,
-                "{protocol}: flit-level run ({flit_cycles} cycles) undercut the analytic lower bound ({analytic_cycles})"
+                "{protocol}: timed run ({flit_cycles} cycles) undercut the analytic lower bound ({analytic_cycles})"
             ),
         }
     }
@@ -173,15 +187,15 @@ pub struct DifferentialRunner {
     /// System scale simulated (geometry + cache sizes).
     pub scale: ScaleProfile,
     /// Network model the primary sweep (capture, oracle, replay) runs
-    /// under; the cross-model invariant always compares against the other
-    /// model.
+    /// under; the cross-model invariant always compares against every other
+    /// registered model.
     pub network: NetworkModelKind,
     /// Protocols swept, in summary order.
     pub protocols: Vec<ProtocolKind>,
 }
 
 impl DifferentialRunner {
-    /// The full nine-protocol registry at the given scale, analytic network.
+    /// The full ten-protocol registry at the given scale, analytic network.
     pub fn new(scale: ScaleProfile) -> Self {
         DifferentialRunner {
             scale,
@@ -269,52 +283,61 @@ impl DifferentialRunner {
                     });
                 }
 
-                // Invariant 6: the other network model must move the exact
-                // same flits and classify the exact same words; only time
-                // may differ, and flit-level time only upward.
-                let other = match self.network {
-                    NetworkModelKind::Analytic => NetworkModelKind::FlitLevel,
-                    NetworkModelKind::FlitLevel => NetworkModelKind::Analytic,
-                };
-                let mut other_sys = system.clone();
-                other_sys.network = other;
-                let alt = Simulator::new(SimConfig::new(protocol).with_system(other_sys), wl).run();
-                let diverged: [(&'static str, bool); 7] = [
-                    ("per-bucket traffic", alt.traffic != report.traffic),
-                    (
-                        "mesh flit-hops",
-                        alt.mesh_flit_hops != report.mesh_flit_hops,
-                    ),
-                    (
-                        "waste fraction",
-                        alt.waste_traffic_fraction().to_bits()
-                            != report.waste_traffic_fraction().to_bits(),
-                    ),
-                    ("L1 waste", alt.l1_waste != report.l1_waste),
-                    ("L2 waste", alt.l2_waste != report.l2_waste),
-                    ("memory waste", alt.mem_waste != report.mem_waste),
-                    (
-                        "DRAM behavior",
-                        alt.dram_accesses != report.dram_accesses
-                            || alt.dram_row_hit_rate.to_bits()
-                                != report.dram_row_hit_rate.to_bits(),
-                    ),
-                ];
-                for (field, moved) in diverged {
-                    if moved {
-                        violations.push(Violation::CrossModelDivergence { protocol, field });
+                // Invariant 6: every other registered network model must
+                // move the exact same flits and classify the exact same
+                // words; only time may differ, and timed-model time only
+                // upward from the analytic bound.
+                let mut cycles_by_model = vec![(self.network, report.total_cycles)];
+                for other in NetworkModelKind::ALL {
+                    if other == self.network {
+                        continue;
                     }
+                    let mut other_sys = system.clone();
+                    other_sys.network = other;
+                    let alt =
+                        Simulator::new(SimConfig::new(protocol).with_system(other_sys), wl).run();
+                    let diverged: [(&'static str, bool); 7] = [
+                        ("per-bucket traffic", alt.traffic != report.traffic),
+                        (
+                            "mesh flit-hops",
+                            alt.mesh_flit_hops != report.mesh_flit_hops,
+                        ),
+                        (
+                            "waste fraction",
+                            alt.waste_traffic_fraction().to_bits()
+                                != report.waste_traffic_fraction().to_bits(),
+                        ),
+                        ("L1 waste", alt.l1_waste != report.l1_waste),
+                        ("L2 waste", alt.l2_waste != report.l2_waste),
+                        ("memory waste", alt.mem_waste != report.mem_waste),
+                        (
+                            "DRAM behavior",
+                            alt.dram_accesses != report.dram_accesses
+                                || alt.dram_row_hit_rate.to_bits()
+                                    != report.dram_row_hit_rate.to_bits(),
+                        ),
+                    ];
+                    for (field, moved) in diverged {
+                        if moved {
+                            violations.push(Violation::CrossModelDivergence { protocol, field });
+                        }
+                    }
+                    cycles_by_model.push((other, alt.total_cycles));
                 }
-                let (flit_cycles, analytic_cycles) = match self.network {
-                    NetworkModelKind::FlitLevel => (report.total_cycles, alt.total_cycles),
-                    NetworkModelKind::Analytic => (alt.total_cycles, report.total_cycles),
-                };
-                if flit_cycles < analytic_cycles {
-                    violations.push(Violation::LatencyBelowAnalyticBound {
-                        protocol,
-                        flit_cycles,
-                        analytic_cycles,
-                    });
+                let analytic_cycles = cycles_by_model
+                    .iter()
+                    .find(|(k, _)| *k == NetworkModelKind::Analytic)
+                    .map(|&(_, c)| c);
+                if let Some(analytic_cycles) = analytic_cycles {
+                    for &(kind, flit_cycles) in &cycles_by_model {
+                        if kind != NetworkModelKind::Analytic && flit_cycles < analytic_cycles {
+                            violations.push(Violation::LatencyBelowAnalyticBound {
+                                protocol,
+                                flit_cycles,
+                                analytic_cycles,
+                            });
+                        }
+                    }
                 }
 
                 (
@@ -343,9 +366,8 @@ impl DifferentialRunner {
                     .find(|s| s.protocol == p)
                     .map(|s| s.flit_hops)
             };
-            if let (Some(mesi), Some(dbyp)) =
-                (hops(ProtocolKind::Mesi), hops(ProtocolKind::DBypFull))
-            {
+            let [mesi, dbyp] = BYPASS_DOMINANCE_PROTOCOLS.map(hops);
+            if let (Some(mesi), Some(dbyp)) = (mesi, dbyp) {
                 if dbyp > mesi {
                     violations.push(Violation::BypassRegression {
                         dbypfull: dbyp,
@@ -401,7 +423,7 @@ mod tests {
                     .map(|v| v.to_string())
                     .collect::<Vec<_>>()
             );
-            assert_eq!(out.summaries.len(), 9);
+            assert_eq!(out.summaries.len(), 10);
             assert!(out.oracle.mem_ops() > 0);
         }
     }
@@ -422,7 +444,56 @@ mod tests {
                 .map(|v| v.to_string())
                 .collect::<Vec<_>>()
         );
-        assert_eq!(out.summaries.len(), 9);
+        assert_eq!(out.summaries.len(), 10);
+    }
+
+    #[test]
+    fn snoop_bus_primary_sweep_passes_every_invariant() {
+        // Primary sweep under the snooping bus: the broadcast medium may
+        // only serialize time; capture, oracle agreement, replay and the
+        // cross-model identity against both point-to-point fabrics must
+        // still hold for all ten protocols.
+        let runner =
+            DifferentialRunner::new(ScaleProfile::Tiny).with_network(NetworkModelKind::SnoopBus);
+        let out = runner.check(&synthesize(7));
+        assert!(
+            out.ok(),
+            "{:?}",
+            out.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(out.summaries.len(), 10);
+    }
+
+    #[test]
+    fn dragon_is_oracle_exercised_but_exempt_from_bypass_dominance() {
+        // Dragon rides the full differential sweep — service identity,
+        // oracle agreement, replay determinism, accounting and cross-model
+        // identity all apply — but sits outside the invariant-5 allowlist:
+        // an update protocol pushes written words to sharers by design, so
+        // the streaming `DBypFull ≤ MESI` dominance claim does not bind it.
+        assert!(!BYPASS_DOMINANCE_PROTOCOLS.contains(&ProtocolKind::Dragon));
+        let runner = DifferentialRunner::new(ScaleProfile::Tiny);
+        assert!(runner.protocols.contains(&ProtocolKind::Dragon));
+        let wl = SynthConfig::streaming(3).build();
+        assert!(is_fully_bypass_streaming(&wl), "invariant 5 must be live");
+        let out = runner.check(&wl);
+        assert!(
+            out.ok(),
+            "{:?}",
+            out.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+        );
+        let dragon = out
+            .summaries
+            .iter()
+            .find(|s| s.protocol == ProtocolKind::Dragon)
+            .expect("Dragon cell must be swept");
+        assert!(dragon.flit_hops > 0.0);
     }
 
     #[test]

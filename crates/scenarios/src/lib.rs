@@ -18,7 +18,8 @@
 //! * [`differ`] — the differential runner sweeping the full protocol
 //!   registry and checking the metamorphic invariants (identical service,
 //!   oracle agreement, bit-identical replay, sane waste accounting, bypass
-//!   dominance on streaming workloads);
+//!   dominance on streaming workloads for the invalidation allowlist, and
+//!   cross-network-model traffic identity over every registered fabric);
 //! * [`mutate`] — known-bad mutation operators proving the oracle actually
 //!   catches injected coherence violations.
 //!
@@ -44,7 +45,9 @@ pub mod mutate;
 pub mod oracle;
 pub mod synth;
 
-pub use differ::{DiffOutcome, DifferentialRunner, ProtocolSummary, Violation};
+pub use differ::{
+    DiffOutcome, DifferentialRunner, ProtocolSummary, Violation, BYPASS_DOMINANCE_PROTOCOLS,
+};
 pub use mutate::{detect, Detection, Mutation};
 pub use oracle::{golden_execute, OracleReport, RaceViolation};
 pub use synth::{is_fully_bypass_streaming, synthesize, SharingPattern, SynthConfig};

@@ -29,15 +29,23 @@ pub enum Mutation {
     /// Demotes the last store of a core to a load of the same word, silently
     /// losing the write.
     LostStore,
+    /// Moves a store whose word is touched again later to the end of its
+    /// core's trace — the trace-level image of a dropped update broadcast
+    /// in an update protocol (Dragon): the write's visibility is deferred
+    /// past every consumer, so sharers keep observing the stale pre-update
+    /// value. Store values are position-derived, so the deferral perturbs
+    /// an observation, the final image, or the phase's race discipline.
+    DroppedUpdate,
 }
 
 impl Mutation {
     /// Every mutation class.
-    pub const ALL: [Mutation; 4] = [
+    pub const ALL: [Mutation; 5] = [
         Mutation::FlippedStore,
         Mutation::DroppedBarrier,
         Mutation::ReorderedStream,
         Mutation::LostStore,
+        Mutation::DroppedUpdate,
     ];
 
     /// Short name used in self-test output.
@@ -47,6 +55,7 @@ impl Mutation {
             Mutation::DroppedBarrier => "dropped-barrier",
             Mutation::ReorderedStream => "reordered-stream",
             Mutation::LostStore => "lost-store",
+            Mutation::DroppedUpdate => "dropped-update",
         }
     }
 
@@ -77,6 +86,11 @@ impl Mutation {
             Mutation::LostStore => {
                 let (core, idx, addr, region) = last_store(wl)?;
                 out.traces[core][idx] = TraceOp::load(addr, region);
+            }
+            Mutation::DroppedUpdate => {
+                let (core, idx) = dropped_update_site(wl)?;
+                let op = out.traces[core].remove(idx);
+                out.traces[core].push(op);
             }
         }
         Some(out)
@@ -116,6 +130,73 @@ fn neighbor_word(wl: &Workload, addr: Addr, region: tw_types::RegionId) -> Optio
     }
     let back = Addr::new(addr.byte().checked_sub(WORD_BYTES)?);
     info.contains(back).then_some(back)
+}
+
+/// The site for [`Mutation::DroppedUpdate`]: a store whose word is touched
+/// again afterwards — by the same core later in its stream, or by another
+/// core in a strictly later phase (the cross-barrier consumer a dropped
+/// update broadcast would starve). When no such store exists, falls back to
+/// any store that is not its core's final record: deferring it to the end of
+/// the stream still shifts its program-order ordinal, which re-derives its
+/// value and perturbs the final-image fold.
+fn dropped_update_site(wl: &Workload) -> Option<(usize, usize)> {
+    for (core, t) in wl.traces.iter().enumerate() {
+        let mut phase = 0usize;
+        for (idx, op) in t.iter().enumerate() {
+            if matches!(op, TraceOp::Barrier { .. }) {
+                phase += 1;
+                continue;
+            }
+            let TraceOp::Mem {
+                kind: MemKind::Store,
+                addr,
+                ..
+            } = op
+            else {
+                continue;
+            };
+            if idx + 1 >= t.len() {
+                continue;
+            }
+            let same_core_later = t[idx + 1..]
+                .iter()
+                .any(|o| matches!(o, TraceOp::Mem { addr: a, .. } if a == addr));
+            let later_phase_elsewhere = wl
+                .traces
+                .iter()
+                .enumerate()
+                .filter(|&(c, _)| c != core)
+                .any(|(_, ot)| {
+                    let mut p = 0usize;
+                    ot.iter().any(|o| {
+                        if matches!(o, TraceOp::Barrier { .. }) {
+                            p += 1;
+                            return false;
+                        }
+                        p > phase && matches!(o, TraceOp::Mem { addr: a, .. } if a == addr)
+                    })
+                });
+            if same_core_later || later_phase_elsewhere {
+                return Some((core, idx));
+            }
+        }
+    }
+    for (core, t) in wl.traces.iter().enumerate() {
+        if let Some(idx) = t.iter().position(|op| {
+            matches!(
+                op,
+                TraceOp::Mem {
+                    kind: MemKind::Store,
+                    ..
+                }
+            )
+        }) {
+            if idx + 1 < t.len() {
+                return Some((core, idx));
+            }
+        }
+    }
+    None
 }
 
 /// First adjacent pair of memory records of one core that differ in address
@@ -230,6 +311,26 @@ mod tests {
             matches!(d, Detection::FingerprintDiff { .. } | Detection::Race(_)),
             "unexpected detection {d:?}"
         );
+    }
+
+    #[test]
+    fn dropped_update_broadcast_is_caught_by_the_fingerprint_oracle() {
+        // The trace-level image of a Dragon update broadcast that never
+        // reached its sharers: the write becomes visible only after every
+        // consumer already read the word. Structure (barriers, regions) is
+        // untouched, so detection must come from the functional layer.
+        for seed in [1u64, 5, 12] {
+            let wl = synthesize(seed);
+            let reference = golden_execute(&wl).unwrap();
+            let mutated = Mutation::DroppedUpdate.apply(&wl).unwrap();
+            assert!(mutated.try_well_formed().is_ok(), "seed {seed}");
+            let d = detect(&reference, &mutated)
+                .unwrap_or_else(|| panic!("seed {seed}: dropped update went undetected"));
+            assert!(
+                matches!(d, Detection::FingerprintDiff { .. } | Detection::Race(_)),
+                "seed {seed}: unexpected detection {d:?}"
+            );
+        }
     }
 
     #[test]

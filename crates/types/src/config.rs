@@ -62,7 +62,9 @@ impl CacheConfig {
 /// maintained — so the choice only moves latency and execution time.
 /// `Analytic` is the fast default; `FlitLevel` simulates every flit through
 /// wormhole routers with per-port virtual channels and deterministic
-/// round-robin arbitration (`tw-noc`).
+/// round-robin arbitration (`tw-noc`); `SnoopBus` serializes every message
+/// through one shared broadcast medium with FCFS arbitration (the substrate
+/// snooping update protocols were designed for).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum NetworkModelKind {
     /// Per-link analytic reservation: hop pipeline + serialization + a
@@ -72,18 +74,25 @@ pub enum NetworkModelKind {
     /// Event-driven flit-level wormhole simulation with virtual channels
     /// and credit backpressure.
     FlitLevel,
+    /// Shared snooping bus: one transaction occupies the whole medium at a
+    /// time, arbitrated deterministically in request order.
+    SnoopBus,
 }
 
 impl NetworkModelKind {
     /// Every model, in sweep order.
-    pub const ALL: [NetworkModelKind; 2] =
-        [NetworkModelKind::Analytic, NetworkModelKind::FlitLevel];
+    pub const ALL: [NetworkModelKind; 3] = [
+        NetworkModelKind::Analytic,
+        NetworkModelKind::FlitLevel,
+        NetworkModelKind::SnoopBus,
+    ];
 
     /// The spec-grammar / CLI name of this model (lowercase).
     pub const fn name(self) -> &'static str {
         match self {
             NetworkModelKind::Analytic => "analytic",
             NetworkModelKind::FlitLevel => "flit",
+            NetworkModelKind::SnoopBus => "bus",
         }
     }
 
@@ -96,7 +105,9 @@ impl NetworkModelKind {
         Self::ALL
             .into_iter()
             .find(|m| m.name().eq_ignore_ascii_case(name))
-            .ok_or_else(|| format!("unknown network model `{name}`; expected analytic | flit"))
+            .ok_or_else(|| {
+                format!("unknown network model `{name}`; expected analytic | flit | bus")
+            })
     }
 }
 
@@ -428,6 +439,7 @@ impl SystemConfig {
                     match self.network {
                         NetworkModelKind::Analytic => "",
                         NetworkModelKind::FlitLevel => ", flit-level wormhole model",
+                        NetworkModelKind::SnoopBus => ", snooping-bus model",
                     }
                 ),
             ),
@@ -524,8 +536,11 @@ mod tests {
         let mut cfg = SystemConfig::default();
         let analytic_row = cfg.table_rows()[3].1.clone();
         assert!(!analytic_row.contains("wormhole"));
+        assert!(!analytic_row.contains("bus"));
         cfg.network = NetworkModelKind::FlitLevel;
         assert!(cfg.table_rows()[3].1.contains("flit-level wormhole"));
+        cfg.network = NetworkModelKind::SnoopBus;
+        assert!(cfg.table_rows()[3].1.contains("snooping-bus"));
     }
 
     #[test]
@@ -570,7 +585,7 @@ mod tests {
             d.finish()
         };
         assert_eq!(base, digest_of(&|_| {}), "digest must be deterministic");
-        let mutations: [&dyn Fn(&mut SystemConfig); 7] = [
+        let mutations: [&dyn Fn(&mut SystemConfig); 8] = [
             &|c| c.cache.l2_slice_bytes = 128 * 1024,
             &|c| c.noc.cols = 2,
             &|c| c.noc.vcs_per_port = 2,
@@ -578,6 +593,7 @@ mod tests {
             &|c| c.dram.banks = 4,
             &|c| c.timing.l2_hit_cycles = 11,
             &|c| c.network = NetworkModelKind::FlitLevel,
+            &|c| c.network = NetworkModelKind::SnoopBus,
         ];
         for (i, m) in mutations.iter().enumerate() {
             assert_ne!(base, digest_of(m), "mutation {i} did not change the digest");

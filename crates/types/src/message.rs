@@ -66,6 +66,9 @@ pub enum MessageKind {
     StoreReq,
     /// MESI upgrade request (S→M without data).
     UpgradeReq,
+    /// Dragon update request: a write to a shared line announces itself to
+    /// the home directory so the written words can be pushed to sharers.
+    UpdateReq,
     /// L2 miss forwarded to the memory controller.
     MemReadReq,
     /// L2 writeback to memory (request + data).
@@ -80,6 +83,9 @@ pub enum MessageKind {
     MemDataToL1,
     /// Acknowledgement of a store/registration without data.
     StoreAck,
+    /// Dragon update broadcast: the written words pushed to a sharer's L1 so
+    /// it never re-fetches the line.
+    UpdateData,
     // ---- writebacks ---------------------------------------------------
     /// L1→L2 writeback carrying dirty data.
     L1Writeback,
@@ -120,9 +126,11 @@ impl MessageKind {
             | MessageKind::MemDataToL1
             | MessageKind::MemReadReq
             | MessageKind::DirUnblockWithData => MessageClass::Load,
-            MessageKind::StoreReq | MessageKind::UpgradeReq | MessageKind::StoreAck => {
-                MessageClass::Store
-            }
+            MessageKind::StoreReq
+            | MessageKind::UpgradeReq
+            | MessageKind::UpdateReq
+            | MessageKind::UpdateData
+            | MessageKind::StoreAck => MessageClass::Store,
             MessageKind::L1Writeback
             | MessageKind::MemWriteback
             | MessageKind::WritebackAndRegister => MessageClass::Writeback,
@@ -144,6 +152,7 @@ impl MessageKind {
                 | MessageKind::LoadReqToMc
                 | MessageKind::StoreReq
                 | MessageKind::UpgradeReq
+                | MessageKind::UpdateReq
                 | MessageKind::MemReadReq
                 | MessageKind::StoreAck
                 | MessageKind::CleanWritebackCtl
@@ -163,6 +172,7 @@ impl MessageKind {
                 | MessageKind::LoadReqToMc
                 | MessageKind::StoreReq
                 | MessageKind::UpgradeReq
+                | MessageKind::UpdateReq
                 | MessageKind::MemReadReq
                 | MessageKind::BloomCopyReq
         )
@@ -355,6 +365,20 @@ mod tests {
         }
         assert!(!MessageKind::DataToL1.is_request());
         assert!(!MessageKind::DataToL1.is_control_only());
+    }
+
+    #[test]
+    fn update_messages_are_store_traffic() {
+        // Dragon's update broadcast replaces store invalidations: the
+        // request announces the write, the data message carries the written
+        // words. Both are accounted as store traffic (the class whose
+        // RespL1Used/Waste buckets the update-word classification lands in).
+        assert_eq!(MessageKind::UpdateReq.class(), MessageClass::Store);
+        assert_eq!(MessageKind::UpdateData.class(), MessageClass::Store);
+        assert!(MessageKind::UpdateReq.is_control_only());
+        assert!(MessageKind::UpdateReq.is_request());
+        assert!(!MessageKind::UpdateData.is_control_only());
+        assert!(!MessageKind::UpdateData.is_request());
     }
 
     #[test]

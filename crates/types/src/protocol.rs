@@ -1,12 +1,18 @@
-//! The protocol configuration space studied by the paper (§3.2–§3.3).
+//! The protocol configuration space studied by the paper (§3.2–§3.3), plus
+//! the update-based extension point.
 //!
-//! Two MESI variants and seven DeNovo variants are evaluated. Each variant is
-//! a point in a feature lattice; [`ProtocolKind`] enumerates the points and
-//! exposes the feature predicates the simulator queries.
+//! Two MESI variants and seven DeNovo variants are evaluated by the paper.
+//! Each variant is a point in a feature lattice; [`ProtocolKind`] enumerates
+//! the points and exposes the feature predicates the simulator queries. The
+//! tenth entry, [`ProtocolKind::Dragon`], is a classic write-update design
+//! (outside the paper's figure set, hence [`ProtocolKind::PAPER`]) that puts
+//! the invalidate-vs-update axis of the coherence design space under the
+//! same waste taxonomy.
 
 use std::fmt;
 
-/// One of the nine protocol configurations evaluated in the paper.
+/// One of the protocol configurations in the registry: the nine the paper
+/// evaluates plus the Dragon write-update extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ProtocolKind {
     /// Baseline directory-based MESI (GEMS-style, blocking directory,
@@ -29,11 +35,33 @@ pub enum ProtocolKind {
     DBypL2,
     /// `DBypL2` + L2 request bypass using Bloom filters.
     DBypFull,
+    /// Dragon write-update protocol (Exclusive / Shared-Clean /
+    /// Shared-Modified / Modified): a write to a shared line broadcasts the
+    /// written words to the sharers as an *update* instead of invalidating
+    /// them, so sharers never re-fetch. Not part of the paper's figure set.
+    Dragon,
 }
 
 impl ProtocolKind {
-    /// Every configuration, in the order the paper's figures present them.
-    pub const ALL: [ProtocolKind; 9] = [
+    /// Every registered configuration, in figure order: the paper's nine
+    /// followed by the update-based extension.
+    pub const ALL: [ProtocolKind; 10] = [
+        ProtocolKind::Mesi,
+        ProtocolKind::MMemL1,
+        ProtocolKind::DeNovo,
+        ProtocolKind::DFlexL1,
+        ProtocolKind::DValidateL2,
+        ProtocolKind::DMemL1,
+        ProtocolKind::DFlexL2,
+        ProtocolKind::DBypL2,
+        ProtocolKind::DBypFull,
+        ProtocolKind::Dragon,
+    ];
+
+    /// The nine configurations the paper's figures present, in their order —
+    /// the protocol axis of the reproduced evaluation matrix. [`Self::ALL`]
+    /// additionally carries the update-based extension.
+    pub const PAPER: [ProtocolKind; 9] = [
         ProtocolKind::Mesi,
         ProtocolKind::MMemL1,
         ProtocolKind::DeNovo,
@@ -47,12 +75,27 @@ impl ProtocolKind {
 
     /// Whether this is a DeNovo-family configuration.
     pub const fn is_denovo(self) -> bool {
-        !matches!(self, ProtocolKind::Mesi | ProtocolKind::MMemL1)
+        matches!(
+            self,
+            ProtocolKind::DeNovo
+                | ProtocolKind::DFlexL1
+                | ProtocolKind::DValidateL2
+                | ProtocolKind::DMemL1
+                | ProtocolKind::DFlexL2
+                | ProtocolKind::DBypL2
+                | ProtocolKind::DBypFull
+        )
     }
 
     /// Whether this is a MESI-family configuration.
     pub const fn is_mesi(self) -> bool {
-        !self.is_denovo()
+        matches!(self, ProtocolKind::Mesi | ProtocolKind::MMemL1)
+    }
+
+    /// Whether this is a write-update (rather than write-invalidate)
+    /// configuration.
+    pub const fn is_update_based(self) -> bool {
+        matches!(self, ProtocolKind::Dragon)
     }
 
     /// L1 write policy is write-validate (no fetch on L1 write miss).
@@ -125,10 +168,10 @@ impl ProtocolKind {
         matches!(self, ProtocolKind::DBypFull)
     }
 
-    /// Whether the shared L2 is inclusive of the L1s (MESI) or non-inclusive
-    /// (DeNovo).
+    /// Whether the shared L2 is inclusive of the L1s (MESI and Dragon, whose
+    /// directories live at the home slice) or non-inclusive (DeNovo).
     pub const fn inclusive_l2(self) -> bool {
-        self.is_mesi()
+        self.is_mesi() || self.is_update_based()
     }
 
     /// Short name used in figures and reports.
@@ -143,6 +186,7 @@ impl ProtocolKind {
             ProtocolKind::DFlexL2 => "DFlexL2",
             ProtocolKind::DBypL2 => "DBypL2",
             ProtocolKind::DBypFull => "DBypFull",
+            ProtocolKind::Dragon => "Dragon",
         }
     }
 }
@@ -158,10 +202,45 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_lists_nine_in_figure_order() {
-        assert_eq!(ProtocolKind::ALL.len(), 9);
+    fn all_lists_ten_in_figure_order() {
+        assert_eq!(ProtocolKind::ALL.len(), 10);
         assert_eq!(ProtocolKind::ALL[0], ProtocolKind::Mesi);
         assert_eq!(ProtocolKind::ALL[8], ProtocolKind::DBypFull);
+        assert_eq!(ProtocolKind::ALL[9], ProtocolKind::Dragon);
+        // The paper set is exactly ALL minus the update-based extension, in
+        // the same order — the figure matrix depends on that prefix property.
+        assert_eq!(ProtocolKind::PAPER.len(), 9);
+        assert_eq!(&ProtocolKind::ALL[..9], &ProtocolKind::PAPER[..]);
+        assert!(ProtocolKind::PAPER.iter().all(|p| !p.is_update_based()));
+    }
+
+    #[test]
+    fn family_predicates_partition_the_registry() {
+        for p in ProtocolKind::ALL {
+            let families = [p.is_mesi(), p.is_denovo(), p.is_update_based()];
+            assert_eq!(
+                families.iter().filter(|f| **f).count(),
+                1,
+                "{p} must belong to exactly one family"
+            );
+        }
+    }
+
+    #[test]
+    fn dragon_is_update_based_and_inclusive() {
+        let p = ProtocolKind::Dragon;
+        assert!(p.is_update_based());
+        assert!(!p.is_mesi());
+        assert!(!p.is_denovo());
+        assert!(p.inclusive_l2());
+        // Dragon is fetch-on-write with whole-line writebacks, like MESI.
+        assert!(!p.l1_write_validate());
+        assert!(!p.l2_write_validate());
+        assert!(!p.l1_dirty_words_only_writeback());
+        assert!(!p.mem_to_l1());
+        assert!(!p.flex_on_chip());
+        assert!(!p.l2_response_bypass());
+        assert!(!p.l2_request_bypass());
     }
 
     #[test]
@@ -230,7 +309,7 @@ mod tests {
     }
 
     #[test]
-    fn names_are_paper_names() {
+    fn names_are_the_figure_labels() {
         let names: Vec<_> = ProtocolKind::ALL.iter().map(|p| p.to_string()).collect();
         assert_eq!(
             names,
@@ -243,7 +322,8 @@ mod tests {
                 "DMemL1",
                 "DFlexL2",
                 "DBypL2",
-                "DBypFull"
+                "DBypFull",
+                "Dragon"
             ]
         );
     }
