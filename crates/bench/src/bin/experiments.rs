@@ -25,9 +25,13 @@
 //! cargo run -p tw-bench --release --bin experiments -- fuzz --seeds 50
 //! cargo run -p tw-bench --release --bin experiments -- fuzz --self-test
 //!
+//! cargo run -p tw-bench --release --bin experiments -- profile spec.json --top 10 --trace out.jsonl
+//! cargo run -p tw-bench --release --bin experiments -- profile diff a.jsonl b.jsonl
+//!
 //! cargo run -p tw-bench --release --bin experiments -- serve --socket /tmp/exp.sock
 //! cargo run -p tw-bench --release --bin experiments -- submit spec.json --socket /tmp/exp.sock
 //! cargo run -p tw-bench --release --bin experiments -- stats --socket /tmp/exp.sock
+//! cargo run -p tw-bench --release --bin experiments -- metrics --socket /tmp/exp.sock
 //! cargo run -p tw-bench --release --bin experiments -- loadgen --socket /tmp/exp.sock --requests 32
 //! cargo run -p tw-bench --release --bin experiments -- shutdown --socket /tmp/exp.sock
 //! ```
@@ -58,11 +62,28 @@ use denovo_waste::{
 };
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
+use tw_obs::{FlightRecorder, SpanSink};
 use tw_scenarios::{detect, golden_execute, synthesize, DifferentialRunner, Mutation, SynthConfig};
 use tw_trace::TraceDocument;
 use tw_types::{NetworkModelKind, ProtocolKind};
 use tw_workloads::{BenchmarkKind, Workload};
+
+/// A fresh flight recorder plus a sink rooted at `track` — the arm-recording
+/// helper every `--record`/`profile` path shares.
+fn armed_recorder(track: &str) -> (Arc<FlightRecorder>, SpanSink) {
+    let rec = Arc::new(FlightRecorder::new());
+    let sink = SpanSink::new(Arc::clone(&rec) as _, track);
+    (rec, sink)
+}
+
+/// Writes a recorder's trace JSONL to `path`.
+fn write_trace(rec: &FlightRecorder, path: &str) -> Result<(), String> {
+    std::fs::write(path, rec.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("wrote {path} ({} spans)", rec.len());
+    Ok(())
+}
 
 fn print_headline(outcome: &RunOutcome) -> Result<(), ExperimentError> {
     let h = outcome.headline()?;
@@ -160,7 +181,10 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("plan") {
         return plan_main(&args[1..]);
     }
-    if let Some(cmd @ ("serve" | "submit" | "stats" | "shutdown" | "loadgen")) =
+    if args.first().map(String::as_str) == Some("profile") {
+        return profile_main(&args[1..]);
+    }
+    if let Some(cmd @ ("serve" | "submit" | "stats" | "metrics" | "shutdown" | "loadgen")) =
         args.first().map(String::as_str)
     {
         let cmd = cmd.to_string();
@@ -173,6 +197,13 @@ fn main() -> ExitCode {
     }
     let cache = match take_flag_value(&mut args, "--cache") {
         Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let record = match take_flag_value(&mut args, "--record") {
+        Ok(r) => r,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::from(2);
@@ -199,7 +230,7 @@ fn main() -> ExitCode {
             && !matches!(a.as_str(), "--paper" | "--scaled" | "--tiny" | "--json")
         {
             eprintln!(
-                "unknown flag `{a}`; expected --paper | --scaled | --tiny | --json | --cache DIR | --network NAME"
+                "unknown flag `{a}`; expected --paper | --scaled | --tiny | --json | --cache DIR | --network NAME | --record FILE"
             );
             return ExitCode::from(2);
         }
@@ -230,6 +261,10 @@ fn main() -> ExitCode {
     if let Some(dir) = &cache {
         session = session.with_cache_dir(dir);
     }
+    let flight = record.as_ref().map(|_| armed_recorder("cli"));
+    if let Some((_, sink)) = &flight {
+        session = session.with_recorder(sink.clone());
+    }
     let outcome = match session
         .run(&spec, &WorkloadSet::new())
         .and_then(RunOutcome::from_plan)
@@ -241,6 +276,12 @@ fn main() -> ExitCode {
         }
     };
     let matrix_wall = started.elapsed();
+    if let (Some(path), Some((rec, _))) = (&record, &flight) {
+        if let Err(msg) = write_trace(rec, path) {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    }
     eprintln!(
         "matrix of {} cells finished in {:.2?}",
         outcome.cells(),
@@ -282,10 +323,16 @@ fn emit_figures(
     if json {
         let path = "BENCH_results.json";
         let update = update_fig.as_ref().expect("computed when json is set");
-        let doc = tw_bench::results_json(outcome, scale, matrix_wall, update)?;
+        let doc = tw_bench::results_json(outcome, scale, update)?;
         std::fs::write(path, doc)
             .map_err(|e| ExperimentError::Io(format!("cannot write {path}: {e}")))?;
         println!("wrote {path}");
+        // Wall clock lives in a sidecar so the results document itself
+        // byte-diffs across reruns (CI compares the whole file).
+        let timing_path = "BENCH_results.timing.json";
+        std::fs::write(timing_path, tw_bench::bench_timing_json(matrix_wall))
+            .map_err(|e| ExperimentError::Io(format!("cannot write {timing_path}: {e}")))?;
+        println!("wrote {timing_path}");
     }
 
     // Every requested figure must contribute at least one cell; a run that
@@ -495,9 +542,10 @@ fn plan_run(args: &[String]) -> Result<ExitCode, ExperimentError> {
     let cache = take_flag_value(&mut args, "--cache").map_err(bad)?;
     let json_out = take_flag_value(&mut args, "--json").map_err(bad)?;
     let stats_out = take_flag_value(&mut args, "--stats").map_err(bad)?;
+    let record = take_flag_value(&mut args, "--record").map_err(bad)?;
     let [path] = args.as_slice() else {
         return Err(ExperimentError::InvalidSpec(
-            "usage: experiments plan run <spec.json> [--cache DIR] [--json OUT] [--stats OUT]"
+            "usage: experiments plan run <spec.json> [--cache DIR] [--json OUT] [--stats OUT] [--record FILE]"
                 .to_string(),
         ));
     };
@@ -505,6 +553,10 @@ fn plan_run(args: &[String]) -> Result<ExitCode, ExperimentError> {
     let mut session = Session::new();
     if let Some(dir) = &cache {
         session = session.with_cache_dir(dir);
+    }
+    let flight = record.as_ref().map(|_| armed_recorder("plan"));
+    if let Some((_, sink)) = &flight {
+        session = session.with_recorder(sink.clone());
     }
     eprintln!("running plan `{}` ({:?} scale)...", spec.name, spec.scale);
     let started = Instant::now();
@@ -514,6 +566,9 @@ fn plan_run(args: &[String]) -> Result<ExitCode, ExperimentError> {
         outcome.cells(),
         started.elapsed()
     );
+    if let (Some(path), Some((rec, _))) = (&record, &flight) {
+        write_trace(rec, path).map_err(ExperimentError::Io)?;
+    }
     print_plan_outcome(&outcome, json_out.as_deref(), stats_out.as_deref())
 }
 
@@ -546,7 +601,143 @@ fn print_plan_outcome(
 }
 
 // ---------------------------------------------------------------------------
-// The daemon subcommand family: serve / submit / stats / shutdown / loadgen.
+// The `profile` subcommand: run a plan with the flight recorder armed and
+// report where the time went; diff two trace files modulo timing.
+// ---------------------------------------------------------------------------
+
+fn profile_main(args: &[String]) -> ExitCode {
+    let result = if args.first().map(String::as_str) == Some("diff") {
+        profile_diff(&args[1..])
+    } else {
+        profile_run(args)
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `profile <spec.json>`: execute a plan with recording on and print the
+/// hot-spot summary (top-N hottest cells, time per outcome class,
+/// cells/sec). `--trace OUT` additionally writes the span trace JSONL.
+fn profile_run(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let cache = take_flag_value(&mut args, "--cache")?;
+    let trace_out = take_flag_value(&mut args, "--trace")?;
+    let top = take_flag_value(&mut args, "--top")?
+        .map(|n| n.parse::<usize>().map_err(|e| format!("--top: {e}")))
+        .transpose()?
+        .unwrap_or(10);
+    let [path] = args.as_slice() else {
+        return Err(
+            "usage: experiments profile <spec.json> [--cache DIR] [--top N] [--trace OUT]"
+                .to_string(),
+        );
+    };
+    let spec = ExperimentSpec::load(Path::new(path)).map_err(|e| e.to_string())?;
+    let (rec, sink) = armed_recorder("profile");
+    let mut session = Session::new().with_recorder(sink);
+    if let Some(dir) = &cache {
+        session = session.with_cache_dir(dir);
+    }
+    eprintln!("profiling plan `{}` ({:?} scale)...", spec.name, spec.scale);
+    let started = Instant::now();
+    let outcome = session
+        .run(&spec, &WorkloadSet::new())
+        .map_err(|e| e.to_string())?;
+    let wall = started.elapsed();
+    if let Some(out) = &trace_out {
+        write_trace(&rec, out)?;
+    }
+    print_profile(&rec, outcome.cells(), wall, top);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Prints the hot-spot report out of a recorded run: wall throughput, the
+/// per-outcome-class time budget, and the top-N hottest cells by recorded
+/// wall time (probe + simulate + store).
+fn print_profile(rec: &FlightRecorder, cells: usize, wall: std::time::Duration, top: usize) {
+    let spans = rec.spans();
+    let mut cell_rows: Vec<(String, String, u64)> = Vec::new();
+    let mut classes = std::collections::BTreeMap::<String, (u64, u64)>::new();
+    for s in spans.iter().filter(|s| s.name == "cell") {
+        let outcome = s
+            .attrs
+            .iter()
+            .find(|(k, _)| k == "outcome")
+            .map(|(_, v)| match v {
+                tw_obs::AttrValue::Str(s) => s.clone(),
+                tw_obs::AttrValue::U64(n) => n.to_string(),
+            })
+            .unwrap_or_else(|| "?".to_string());
+        let us: u64 = s.timing.iter().map(|(_, v)| v).sum();
+        let class = classes.entry(outcome.clone()).or_default();
+        class.0 += 1;
+        class.1 += us;
+        cell_rows.push((s.track.clone(), outcome, us));
+    }
+    let secs = wall.as_secs_f64().max(1e-9);
+    println!(
+        "profile: {} cells in {:.2?} — {:.1} cells/sec, {} spans recorded",
+        cells,
+        wall,
+        cells as f64 / secs,
+        rec.len(),
+    );
+    println!("time per outcome class:");
+    for (class, (count, us)) in &classes {
+        println!(
+            "  {:<10} {:>5} cells  {:>10.1} ms total  {:>8.1} ms avg",
+            class,
+            count,
+            *us as f64 / 1e3,
+            *us as f64 / 1e3 / (*count).max(1) as f64,
+        );
+    }
+    // Ties break by track so the listing order is reproducible.
+    cell_rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    println!(
+        "hottest cells (top {} of {} by recorded time):",
+        top.min(cell_rows.len()),
+        cell_rows.len(),
+    );
+    for (i, (track, outcome, us)) in cell_rows.iter().take(top).enumerate() {
+        println!(
+            "  {:>2}. {:<44} {:>10.1} ms  ({outcome})",
+            i + 1,
+            track,
+            *us as f64 / 1e3,
+        );
+    }
+}
+
+/// `profile diff <a> <b>`: compare two span traces modulo the quarantined
+/// `timing` sub-objects. Exit 0 when identical, 1 at the first divergence,
+/// 2 when either file is corrupt/truncated.
+fn profile_diff(args: &[String]) -> Result<ExitCode, String> {
+    let [a, b] = args else {
+        return Err("usage: experiments profile diff <a.jsonl> <b.jsonl>".to_string());
+    };
+    let ta = std::fs::read_to_string(a).map_err(|e| format!("cannot read {a}: {e}"))?;
+    let tb = std::fs::read_to_string(b).map_err(|e| format!("cannot read {b}: {e}"))?;
+    match tw_obs::diff_traces(&ta, &tb).map_err(|e| format!("invalid trace: {e}"))? {
+        None => {
+            println!("identical modulo timing: {a} == {b}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(divergence) => {
+            println!("traces diverge: {divergence}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The daemon subcommand family: serve / submit / stats / metrics / shutdown /
+// loadgen.
 // ---------------------------------------------------------------------------
 
 fn daemon_main(cmd: &str, args: &[String]) -> ExitCode {
@@ -554,6 +745,7 @@ fn daemon_main(cmd: &str, args: &[String]) -> ExitCode {
         "serve" => daemon_serve(args),
         "submit" => daemon_submit(args),
         "stats" => daemon_stats(args),
+        "metrics" => daemon_metrics(args),
         "shutdown" => daemon_shutdown(args),
         "loadgen" => daemon_loadgen(args),
         _ => unreachable!("dispatch checked the command"),
@@ -607,9 +799,10 @@ fn daemon_serve(args: &[String]) -> Result<ExitCode, String> {
     if let Some(n) = num(take_flag_value(&mut args, "--queue")?, "--queue")? {
         config.queue_cap = n;
     }
+    config.record = take_flag_value(&mut args, "--record")?.map(Into::into);
     reject_unknown(
         &args,
-        "--socket PATH | --cache DIR | --no-cache | --workers N | --queue N",
+        "--socket PATH | --cache DIR | --no-cache | --workers N | --queue N | --record FILE",
     )?;
     eprintln!(
         "serving experiments on {} ({} workers, queue of {}, cache {})",
@@ -623,6 +816,9 @@ fn daemon_serve(args: &[String]) -> Result<ExitCode, String> {
             .unwrap_or_else(|| "disabled".to_string()),
     );
     tw_bench::daemon::serve(&config)?;
+    if let Some(path) = &config.record {
+        eprintln!("wrote {}", path.display());
+    }
     eprintln!("daemon shut down cleanly");
     Ok(ExitCode::SUCCESS)
 }
@@ -665,6 +861,17 @@ fn daemon_stats(args: &[String]) -> Result<ExitCode, String> {
     reject_unknown(&args, "--socket PATH")?;
     let mut client = tw_bench::daemon::client::Client::connect(&socket)?;
     print!("{}", client.stats()?.pretty());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `metrics`: print a running daemon's Prometheus text exposition —
+/// counters, gauges, and the queue-wait / latency histograms.
+fn daemon_metrics(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let socket = take_socket(&mut args)?;
+    reject_unknown(&args, "--socket PATH")?;
+    let mut client = tw_bench::daemon::client::Client::connect(&socket)?;
+    print!("{}", client.metrics()?);
     Ok(ExitCode::SUCCESS)
 }
 
@@ -791,32 +998,42 @@ fn daemon_loadgen(args: &[String]) -> Result<ExitCode, String> {
     );
 
     if let Some(out) = json_out {
+        // Deterministic request accounting up front; every wall-clock
+        // measurement is quarantined in the `timing` block (the same
+        // convention as the bench-results sidecar and the flight-recorder
+        // span grammar), so tooling can byte-diff the document after
+        // dropping exactly one sub-object.
         let doc = Json::Obj(vec![
             (
                 "schema".to_string(),
-                Json::str("denovo-waste/service-baseline/v1"),
+                Json::str("denovo-waste/service-baseline/v2"),
             ),
             ("requests".to_string(), Json::UInt(requests)),
             ("clients".to_string(), Json::UInt(clients)),
-            ("wall_us".to_string(), Json::UInt(wall_us)),
             ("cells".to_string(), Json::UInt(cells)),
             ("hits".to_string(), Json::UInt(hits)),
             ("misses".to_string(), Json::UInt(misses)),
             ("coalesced".to_string(), Json::UInt(coalesced)),
             ("hit_rate".to_string(), Json::Str(format!("{hit_rate:.4}"))),
             (
-                "cells_per_sec".to_string(),
-                Json::Str(format!("{cells_per_sec:.2}")),
+                "timing".to_string(),
+                Json::Obj(vec![
+                    ("wall_us".to_string(), Json::UInt(wall_us)),
+                    (
+                        "cells_per_sec".to_string(),
+                        Json::Str(format!("{cells_per_sec:.2}")),
+                    ),
+                    (
+                        "requests_per_sec".to_string(),
+                        Json::Str(format!("{requests_per_sec:.2}")),
+                    ),
+                    (
+                        "latency_avg_us".to_string(),
+                        Json::UInt(lat_sum_us / requests),
+                    ),
+                    ("latency_max_us".to_string(), Json::UInt(lat_max_us)),
+                ]),
             ),
-            (
-                "requests_per_sec".to_string(),
-                Json::Str(format!("{requests_per_sec:.2}")),
-            ),
-            (
-                "latency_avg_us".to_string(),
-                Json::UInt(lat_sum_us / requests),
-            ),
-            ("latency_max_us".to_string(), Json::UInt(lat_max_us)),
             ("daemon".to_string(), Json::Obj(daemon_fields)),
         ]);
         std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -829,15 +1046,19 @@ fn print_help() -> ExitCode {
     println!(
         "\
 experiments — regenerate the paper's tables/figures, run declarative plans,
-record/replay traces, fuzz the protocol registry, and serve plans as traffic.
+record/replay traces, fuzz the protocol registry, profile where the time
+goes, and serve plans as traffic.
 
 usage:
-  experiments [FIGURE..] [--tiny|--scaled|--paper] [--json] [--cache DIR] [--network NAME]
+  experiments [FIGURE..] [--tiny|--scaled|--paper] [--json] [--cache DIR] [--network NAME] [--record FILE]
       figures: {figures}
 
   experiments plan builtin [--tiny|--scaled|--paper] [--network LIST]
   experiments plan show <spec.json>
-  experiments plan run <spec.json> [--cache DIR] [--json OUT] [--stats OUT]
+  experiments plan run <spec.json> [--cache DIR] [--json OUT] [--stats OUT] [--record FILE]
+
+  experiments profile <spec.json> [--cache DIR] [--top N] [--trace OUT]
+  experiments profile diff <a.jsonl> <b.jsonl>
 
   experiments trace record <out.trace> [--bench NAME] [--protocol NAME] [--text]
   experiments trace replay <in.trace> [--protocol NAME]
@@ -845,25 +1066,33 @@ usage:
   experiments trace diff <a.trace> <b.trace>
   experiments trace roundtrip [--bench NAME] [--protocol NAME]
 
-  experiments fuzz [--seeds N] [--start N] [--streaming-every N] [--network NAME]
+  experiments fuzz [--seeds N] [--start N] [--streaming-every N] [--network NAME] [--record FILE]
   experiments fuzz --self-test
 
-  experiments serve --socket PATH [--cache DIR] [--no-cache] [--workers N] [--queue N]
+  experiments serve --socket PATH [--cache DIR] [--no-cache] [--workers N] [--queue N] [--record FILE]
   experiments submit <spec.json> --socket PATH [--json OUT]
   experiments stats --socket PATH
+  experiments metrics --socket PATH
   experiments loadgen --socket PATH [--requests N] [--clients N] [--spec FILE] [--json OUT]
   experiments shutdown --socket PATH
 
+`--record FILE` arms the flight recorder: spans (cells, engine phases,
+daemon requests) are captured and written to FILE as trace JSONL
+(schema `denovo-waste/flight/v1`, deterministic modulo the quarantined
+`timing` sub-objects). Recording never changes results: the figures,
+BENCH_results.json and fuzz digests are byte-identical with and without it.
+
 exit codes (uniform across every subcommand):
   0  success
-  1  a check failed: trace diff divergence, roundtrip mismatch, fuzz
-     invariant violations, failed fuzz self-test
+  1  a check failed: trace diff divergence, profile diff divergence,
+     roundtrip mismatch, fuzz invariant violations, failed fuzz self-test
   2  invalid or failed request: unknown flags/figures/subcommands,
-     unreadable or malformed inputs, specs that do not compile, runs that
-     fail, output producing no cells, daemon connection errors
+     unreadable or malformed inputs (including corrupt/truncated span
+     traces), specs that do not compile, runs that fail, output producing
+     no cells, daemon connection errors
 
-See EXPERIMENTS.md for walkthroughs and DESIGN.md §13 for the daemon wire
-protocol.",
+See EXPERIMENTS.md for walkthroughs, DESIGN.md §13 for the daemon wire
+protocol, and DESIGN.md §15 for the span taxonomy and trace grammar.",
         figures = FIGURES.join(" ")
     );
     ExitCode::SUCCESS
@@ -1189,6 +1418,9 @@ struct FuzzArgs {
     /// way).
     network: NetworkModelKind,
     self_test: bool,
+    /// When set, the primary sweep runs with a flight recorder attached and
+    /// the trace JSONL is written here after the sweep.
+    record: Option<String>,
 }
 
 fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
@@ -1201,6 +1433,7 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
         scale: ScaleProfile::Tiny,
         network: NetworkModelKind::default(),
         self_test: false,
+        record: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -1222,9 +1455,16 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
                 out.network = NetworkModelKind::by_name(name)?;
             }
             "--self-test" => out.self_test = true,
+            "--record" => {
+                out.record = Some(
+                    it.next()
+                        .ok_or("--record needs an output path")?
+                        .to_string(),
+                );
+            }
             other => {
                 return Err(format!(
-                    "unknown flag `{other}`; expected --seeds N | --start N | --streaming-every N | --tiny | --scaled | --paper | --network NAME | --self-test"
+                    "unknown flag `{other}`; expected --seeds N | --start N | --streaming-every N | --tiny | --scaled | --paper | --network NAME | --record FILE | --self-test"
                 ));
             }
         }
@@ -1291,7 +1531,11 @@ fn fuzz_main(args: &[String]) -> ExitCode {
     if parsed.self_test {
         return fuzz_self_test();
     }
-    let runner = DifferentialRunner::new(parsed.scale).with_network(parsed.network);
+    let mut runner = DifferentialRunner::new(parsed.scale).with_network(parsed.network);
+    let flight = parsed.record.as_ref().map(|_| armed_recorder("fuzz"));
+    if let Some((_, sink)) = &flight {
+        runner = runner.with_recorder(sink.clone());
+    }
     let started = Instant::now();
     let mut violations = 0usize;
     for seed in parsed.start..parsed.start + parsed.seeds {
@@ -1328,6 +1572,12 @@ fn fuzz_main(args: &[String]) -> ExitCode {
         parsed.seeds,
         started.elapsed()
     );
+    if let (Some(path), Some((rec, _))) = (&parsed.record, &flight) {
+        if let Err(msg) = write_trace(rec, path) {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    }
     if violations == 0 {
         ExitCode::SUCCESS
     } else {

@@ -105,6 +105,17 @@ impl Client {
         Ok(reply)
     }
 
+    /// Fetches the Prometheus text exposition of the daemon's metrics
+    /// (counters, gauges, and the queue-wait / latency histograms).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, an error response, or a non-UTF-8 body.
+    pub fn metrics(&mut self) -> Result<String, String> {
+        let (_, body) = self.call(Self::request("metrics"), None)?;
+        String::from_utf8(body).map_err(|_| "metrics body is not UTF-8".to_string())
+    }
+
     /// Submits an experiment-spec JSON document for execution.
     ///
     /// # Errors

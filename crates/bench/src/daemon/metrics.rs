@@ -4,11 +4,15 @@
 //! into the `stats` response. Counts and microsecond latencies are plain
 //! `u64` fields; derived rates (cells/sec, hit rate) are **fixed-precision
 //! decimal strings**, because the wire JSON subset deliberately has no
-//! floats (see `wire.rs`).
+//! floats (see `wire.rs`). Queue-wait and request latency are recorded into
+//! fixed-bucket log2 histograms ([`tw_obs::Log2Histogram`]), so `stats`
+//! reports p50/p95/p99 alongside the averages, and the `metrics` op renders
+//! the full distributions in Prometheus text exposition format.
 
 use denovo_waste::{CacheStats, Json};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use tw_obs::Log2Histogram;
 
 /// Cumulative service counters since daemon start.
 #[derive(Debug)]
@@ -27,9 +31,10 @@ pub struct Metrics {
     coalesced: AtomicU64,
     /// Highest queue depth observed at any enqueue.
     queue_peak: AtomicU64,
-    queue_wait_sum_us: AtomicU64,
-    latency_sum_us: AtomicU64,
-    latency_max_us: AtomicU64,
+    /// Time completed submits spent queued, one sample per request.
+    queue_wait_us: Log2Histogram,
+    /// End-to-end latency (queue + execute) of completed submits.
+    latency_us: Log2Histogram,
 }
 
 impl Metrics {
@@ -45,9 +50,8 @@ impl Metrics {
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
-            queue_wait_sum_us: AtomicU64::new(0),
-            latency_sum_us: AtomicU64::new(0),
-            latency_max_us: AtomicU64::new(0),
+            queue_wait_us: Log2Histogram::new(),
+            latency_us: Log2Histogram::new(),
         }
     }
 
@@ -66,10 +70,8 @@ impl Metrics {
         self.hits.fetch_add(stats.hits, Ordering::Relaxed);
         self.misses.fetch_add(stats.misses, Ordering::Relaxed);
         self.coalesced.fetch_add(stats.coalesced, Ordering::Relaxed);
-        self.queue_wait_sum_us
-            .fetch_add(queue_us, Ordering::Relaxed);
-        self.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
-        self.latency_max_us.fetch_max(latency_us, Ordering::Relaxed);
+        self.queue_wait_us.record(queue_us);
+        self.latency_us.record(latency_us);
     }
 
     /// Records a submit that ended in an error response.
@@ -86,8 +88,6 @@ impl Metrics {
         let hits = self.hits.load(Ordering::Relaxed);
         let misses = self.misses.load(Ordering::Relaxed);
         let coalesced = self.coalesced.load(Ordering::Relaxed);
-        let latency_sum = self.latency_sum_us.load(Ordering::Relaxed);
-        let queue_wait_sum = self.queue_wait_sum_us.load(Ordering::Relaxed);
         let uptime_us = (self.started.elapsed().as_micros()).min(u128::from(u64::MAX)) as u64;
         let cells_per_sec = if uptime_us == 0 {
             0.0
@@ -100,7 +100,6 @@ impl Metrics {
         } else {
             served as f64 / cells as f64
         };
-        let avg = |sum: u64| sum.checked_div(completed).unwrap_or(0);
         vec![
             (
                 "requests".into(),
@@ -123,18 +122,120 @@ impl Metrics {
             ("queue_cap".into(), Json::UInt(queue_cap)),
             ("workers".into(), Json::UInt(workers)),
             ("uptime_us".into(), Json::UInt(uptime_us)),
-            ("queue_wait_avg_us".into(), Json::UInt(avg(queue_wait_sum))),
-            ("latency_avg_us".into(), Json::UInt(avg(latency_sum))),
             (
-                "latency_max_us".into(),
-                Json::UInt(self.latency_max_us.load(Ordering::Relaxed)),
+                "queue_wait_avg_us".into(),
+                Json::UInt(self.queue_wait_us.avg()),
             ),
+            (
+                "queue_wait_p50_us".into(),
+                Json::UInt(self.queue_wait_us.percentile(50)),
+            ),
+            (
+                "queue_wait_p95_us".into(),
+                Json::UInt(self.queue_wait_us.percentile(95)),
+            ),
+            (
+                "queue_wait_p99_us".into(),
+                Json::UInt(self.queue_wait_us.percentile(99)),
+            ),
+            ("latency_avg_us".into(), Json::UInt(self.latency_us.avg())),
+            (
+                "latency_p50_us".into(),
+                Json::UInt(self.latency_us.percentile(50)),
+            ),
+            (
+                "latency_p95_us".into(),
+                Json::UInt(self.latency_us.percentile(95)),
+            ),
+            (
+                "latency_p99_us".into(),
+                Json::UInt(self.latency_us.percentile(99)),
+            ),
+            ("latency_max_us".into(), Json::UInt(self.latency_us.max())),
             (
                 "cells_per_sec".into(),
                 Json::Str(format!("{cells_per_sec:.2}")),
             ),
             ("hit_rate".into(), Json::Str(format!("{hit_rate:.4}"))),
         ]
+    }
+
+    /// Renders every counter, gauge and histogram in Prometheus text
+    /// exposition format — the body of the `metrics` wire op.
+    pub fn render_prometheus(&self, queue_depth: u64, queue_cap: u64, workers: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "tw_daemon_requests_total",
+            "Submit requests accepted off the socket",
+            self.requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "tw_daemon_completed_total",
+            "Submit requests that produced a figures response",
+            self.completed.load(Ordering::Relaxed),
+        );
+        counter(
+            "tw_daemon_failed_total",
+            "Submit requests that produced an error response",
+            self.failed.load(Ordering::Relaxed),
+        );
+        counter(
+            "tw_daemon_cells_total",
+            "Plan cells executed",
+            self.cells.load(Ordering::Relaxed),
+        );
+        counter(
+            "tw_daemon_cache_hits_total",
+            "Cells served from the on-disk cache",
+            self.hits.load(Ordering::Relaxed),
+        );
+        counter(
+            "tw_daemon_cache_misses_total",
+            "Cells simulated",
+            self.misses.load(Ordering::Relaxed),
+        );
+        counter(
+            "tw_daemon_cache_coalesced_total",
+            "Cells served from the single-flight table",
+            self.coalesced.load(Ordering::Relaxed),
+        );
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            "tw_daemon_queue_depth",
+            "Work-queue depth right now",
+            queue_depth,
+        );
+        gauge(
+            "tw_daemon_queue_peak",
+            "Highest queue depth observed at any enqueue",
+            self.queue_peak.load(Ordering::Relaxed),
+        );
+        gauge("tw_daemon_queue_cap", "Work-queue capacity", queue_cap);
+        gauge("tw_daemon_workers", "Worker pool size", workers);
+        gauge(
+            "tw_daemon_uptime_us",
+            "Microseconds since daemon start",
+            (self.started.elapsed().as_micros()).min(u128::from(u64::MAX)) as u64,
+        );
+        out.push_str(&self.queue_wait_us.render_prometheus(
+            "tw_daemon_queue_wait_us",
+            "Time completed submits spent queued (microseconds)",
+        ));
+        out.push_str(&self.latency_us.render_prometheus(
+            "tw_daemon_latency_us",
+            "End-to-end submit latency, queue plus execute (microseconds)",
+        ));
+        out
     }
 }
 
@@ -152,8 +253,7 @@ mod tests {
         &snap.iter().find(|(k, _)| k == key).expect(key).1
     }
 
-    #[test]
-    fn snapshot_aggregates_and_rates() {
+    fn two_submits() -> Metrics {
         let m = Metrics::new();
         m.record_enqueue(3);
         m.record_enqueue(1);
@@ -176,7 +276,12 @@ mod tests {
             1500,
         );
         m.record_failed();
-        let snap = m.snapshot(2, 64, 4);
+        m
+    }
+
+    #[test]
+    fn snapshot_aggregates_and_rates() {
+        let snap = two_submits().snapshot(2, 64, 4);
         assert_eq!(field(&snap, "requests").as_u64(), Ok(2));
         assert_eq!(field(&snap, "completed").as_u64(), Ok(2));
         assert_eq!(field(&snap, "failed").as_u64(), Ok(1));
@@ -199,9 +304,43 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_percentiles_resolve_to_bucket_bounds_clamped_to_max() {
+        let snap = two_submits().snapshot(2, 64, 4);
+        // Queue waits 100 and 300: p50 is the [64,127] bucket bound, the
+        // tail percentiles clamp to the observed max.
+        assert_eq!(field(&snap, "queue_wait_p50_us").as_u64(), Ok(127));
+        assert_eq!(field(&snap, "queue_wait_p95_us").as_u64(), Ok(300));
+        assert_eq!(field(&snap, "queue_wait_p99_us").as_u64(), Ok(300));
+        // Latencies 500 and 1500: p50 is the [256,511] bound.
+        assert_eq!(field(&snap, "latency_p50_us").as_u64(), Ok(511));
+        assert_eq!(field(&snap, "latency_p95_us").as_u64(), Ok(1500));
+        assert_eq!(field(&snap, "latency_p99_us").as_u64(), Ok(1500));
+    }
+
+    #[test]
     fn empty_service_reports_zero_rates() {
         let snap = Metrics::new().snapshot(0, 8, 1);
         assert_eq!(field(&snap, "hit_rate").as_str(), Ok("0.0000"));
         assert_eq!(field(&snap, "latency_avg_us").as_u64(), Ok(0));
+        assert_eq!(field(&snap, "latency_p99_us").as_u64(), Ok(0));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let text = two_submits().render_prometheus(2, 64, 4);
+        assert!(text.contains("# TYPE tw_daemon_requests_total counter\n"));
+        assert!(text.contains("tw_daemon_requests_total 2\n"));
+        assert!(text.contains("tw_daemon_cells_total 8\n"));
+        assert!(text.contains("# TYPE tw_daemon_queue_depth gauge\n"));
+        assert!(text.contains("# TYPE tw_daemon_latency_us histogram\n"));
+        assert!(text.contains("tw_daemon_latency_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("tw_daemon_latency_us_sum 2000\n"));
+        assert!(text.contains("tw_daemon_latency_us_count 2\n"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            assert!(value.parse::<u64>().is_ok(), "bad sample value: {line}");
+        }
     }
 }

@@ -40,6 +40,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
+use tw_obs::{FlightRecorder, SpanSink};
 use worker::Job;
 
 /// Daemon configuration (socket, cache, pool sizing).
@@ -57,6 +58,10 @@ pub struct Config {
     /// Bound of the work queue (requests beyond it block their
     /// connections).
     pub queue_cap: usize,
+    /// When set, the daemon runs with a flight recorder attached and
+    /// writes the trace (JSONL, `denovo-waste/flight/v1`) to this path on
+    /// clean shutdown.
+    pub record: Option<PathBuf>,
 }
 
 impl Config {
@@ -70,6 +75,7 @@ impl Config {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             queue_cap: 64,
+            record: None,
         }
     }
 }
@@ -80,6 +86,8 @@ struct Server {
     metrics: Metrics,
     shutdown: AtomicBool,
     workers: u64,
+    /// Per-request span sink, present only when the daemon records.
+    recorder: Option<SpanSink>,
 }
 
 /// Runs the daemon until a client sends `shutdown`. Binds the socket,
@@ -117,6 +125,20 @@ pub fn serve(config: &Config) -> Result<(), String> {
         session = session.with_cache_dir(dir);
     }
 
+    // One flight recorder serves the whole daemon lifetime; the session
+    // (per-cell spans), engine (per-phase spans) and workers (per-request
+    // spans) all fan into it through cloned sinks.
+    let flight = config
+        .record
+        .as_ref()
+        .map(|_| Arc::new(FlightRecorder::new()));
+    let mut recorder = None;
+    if let Some(rec) = &flight {
+        let sink = SpanSink::new(Arc::clone(rec) as _, "daemon");
+        session = session.with_recorder(sink.clone());
+        recorder = Some(sink);
+    }
+
     let listener = UnixListener::bind(&config.socket)
         .map_err(|e| format!("cannot bind {}: {e}", config.socket.display()))?;
 
@@ -127,6 +149,7 @@ pub fn serve(config: &Config) -> Result<(), String> {
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
         workers: workers as u64,
+        recorder,
     });
 
     let pool: Vec<_> = (0..workers)
@@ -159,13 +182,24 @@ pub fn serve(config: &Config) -> Result<(), String> {
         let _ = worker.join();
     }
     let _ = std::fs::remove_file(&config.socket);
+    // Trace is written last, after the pool joins, so it covers every
+    // request the daemon ever accepted.
+    if let (Some(path), Some(rec)) = (&config.record, &flight) {
+        std::fs::write(path, rec.to_jsonl())
+            .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+    }
     Ok(())
 }
 
 fn worker_loop(server: &Server) {
     // Thin shim so `worker::run_worker` stays independently testable.
     while let Some(job) = server.queue.pop() {
-        worker::run_one(&server.session, &server.metrics, job);
+        worker::run_one(
+            &server.session,
+            &server.metrics,
+            server.recorder.as_ref(),
+            job,
+        );
     }
 }
 
@@ -216,6 +250,22 @@ fn handle_connection(server: &Server, stream: UnixStream, socket: &std::path::Pa
                 );
                 wire::write_frame(&mut writer, wire::ok_header("stats", fields), None).is_ok()
             }
+            "metrics" => {
+                // Prometheus text exposition travels as an opaque body: the
+                // wire JSON subset has no floats, and scrapers want the raw
+                // text anyway.
+                let body = server.metrics.render_prometheus(
+                    server.queue.len() as u64,
+                    server.queue.capacity() as u64,
+                    server.workers,
+                );
+                wire::write_frame(
+                    &mut writer,
+                    wire::ok_header("metrics", vec![]),
+                    Some(body.as_bytes()),
+                )
+                .is_ok()
+            }
             "shutdown" => {
                 let _ = wire::write_frame(&mut writer, wire::ok_header("shutdown", vec![]), None);
                 server.shutdown.store(true, Ordering::SeqCst);
@@ -228,7 +278,7 @@ fn handle_connection(server: &Server, stream: UnixStream, socket: &std::path::Pa
             other => wire::write_frame(
                 &mut writer,
                 wire::error_header(format!(
-                    "unknown op `{other}`; expected ping | stats | submit | shutdown"
+                    "unknown op `{other}`; expected ping | stats | metrics | submit | shutdown"
                 )),
                 None,
             )

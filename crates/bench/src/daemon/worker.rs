@@ -12,6 +12,7 @@ use denovo_waste::{CacheStats, ExperimentSpec, Session, WorkloadSet};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::Instant;
+use tw_obs::{Span, SpanSink};
 
 /// The figures payload and per-request accounting of one successful submit.
 #[derive(Debug)]
@@ -45,18 +46,44 @@ pub struct Job {
 /// through the shared session, send the result back to the handler.
 pub fn run_worker(queue: Arc<BoundedQueue<Job>>, session: Session, metrics: Arc<Metrics>) {
     while let Some(job) = queue.pop() {
-        run_one(&session, &metrics, job);
+        run_one(&session, &metrics, None, job);
     }
 }
 
-/// Executes a single dequeued job: runs the plan, records metrics, sends
-/// the result to the job's handler.
-pub fn run_one(session: &Session, metrics: &Metrics, job: Job) {
+/// Executes a single dequeued job: runs the plan, records metrics, emits a
+/// per-request span when the daemon records, sends the result to the job's
+/// handler.
+pub fn run_one(session: &Session, metrics: &Metrics, recorder: Option<&SpanSink>, job: Job) {
     let queue_us = job.enqueued.elapsed().as_micros() as u64;
     let result = execute(session, &job.spec_text, queue_us);
     match &result {
-        Ok(out) => metrics.record_completed(&out.stats, queue_us, queue_us + out.exec_us),
-        Err(_) => metrics.record_failed(),
+        Ok(out) => {
+            metrics.record_completed(&out.stats, queue_us, queue_us + out.exec_us);
+            if let Some(sink) = recorder.filter(|s| s.enabled()) {
+                sink.with_track(format!("request/{}", out.plan)).emit(
+                    Span::event("request")
+                        .attr("outcome", "ok")
+                        .attr("cells", out.stats.total())
+                        .attr("hits", out.stats.hits)
+                        .attr("misses", out.stats.misses)
+                        .attr("coalesced", out.stats.coalesced)
+                        .timing_us("queue_us", queue_us)
+                        .timing_us("exec_us", out.exec_us),
+                );
+            }
+        }
+        Err(msg) => {
+            metrics.record_failed();
+            if let Some(sink) = recorder.filter(|s| s.enabled()) {
+                sink.with_track("request/error").emit(
+                    Span::event("request")
+                        .attr("outcome", "error")
+                        .attr("error", msg.as_str())
+                        .timing_us("queue_us", queue_us)
+                        .timing_us("exec_us", 0),
+                );
+            }
+        }
     }
     // A handler that gave up (client hung up) is not a worker error.
     let _ = job.reply.send(result);

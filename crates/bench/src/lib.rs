@@ -190,12 +190,16 @@ fn figure_json(fig: &FigureTable, out: &mut String) {
     out.push_str("]}");
 }
 
-/// Serializes one experiment run — matrix wall time, headline averages, the
+/// Serializes one experiment run — headline averages, the
 /// update-vs-invalidate comparison and every figure of the evaluation
 /// section — as the `BENCH_results.json` document consumed by the
 /// performance-trajectory tooling. `update` is the
 /// [`update_vs_invalidate_figure`] for the same scale, passed in so callers
 /// that also print it compute it once.
+///
+/// The document deliberately carries **no wall clock**: two runs of the
+/// same matrix emit byte-identical bytes, so CI diffs the whole file. Wall
+/// time travels in the [`bench_timing_json`] sidecar instead.
 ///
 /// # Errors
 ///
@@ -204,7 +208,6 @@ fn figure_json(fig: &FigureTable, out: &mut String) {
 pub fn results_json(
     outcome: &RunOutcome,
     scale: ScaleProfile,
-    matrix_wall: Duration,
     update: &FigureTable,
 ) -> Result<String, ExperimentError> {
     let h = outcome.headline()?;
@@ -230,11 +233,6 @@ pub fn results_json(
     }
     out.push_str("],\n");
     let _ = writeln!(out, "  \"cells\": {},", outcome.cells());
-    let _ = writeln!(
-        out,
-        "  \"matrix_wall_ms\": {},",
-        json_num(matrix_wall.as_secs_f64() * 1e3)
-    );
     out.push_str("  \"headline\": {\n");
     let headline_fields = [
         ("dbypfull_traffic_vs_mesi", h.dbypfull_traffic_vs_mesi),
@@ -275,6 +273,16 @@ pub fn results_json(
     }
     out.push_str("  ]\n}\n");
     Ok(out)
+}
+
+/// Serializes the wall-clock sidecar written next to `BENCH_results.json`.
+/// Everything non-deterministic about a matrix run lives under this
+/// document's `timing` object, keeping the results document byte-stable.
+pub fn bench_timing_json(matrix_wall: Duration) -> String {
+    format!(
+        "{{\n  \"schema\": \"denovo-waste/bench-timing/v1\",\n  \"timing\": {{\n    \"matrix_wall_ms\": {}\n  }}\n}}\n",
+        json_num(matrix_wall.as_secs_f64() * 1e3),
+    )
 }
 
 /// Serializes a plan outcome's figures as a deterministic JSON document —
@@ -369,20 +377,13 @@ mod tests {
         .run()
         .unwrap();
         let update = update_vs_invalidate_figure(ScaleProfile::Tiny);
-        let json = results_json(
-            &outcome,
-            ScaleProfile::Tiny,
-            Duration::from_millis(1234),
-            &update,
-        )
-        .unwrap();
+        let json = results_json(&outcome, ScaleProfile::Tiny, &update).unwrap();
         // Structural sanity without a JSON parser: balanced delimiters and
         // the expected top-level keys.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
             "\"schema\"",
-            "\"matrix_wall_ms\"",
             "\"headline\"",
             "\"update_vs_invalidate\"",
             "\"dragon_traffic_vs_mesi_geomean\"",
@@ -391,7 +392,12 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
-        assert!(json.contains("\"matrix_wall_ms\": 1234"));
+        // Wall clock is quarantined in the sidecar; the results document
+        // itself must be byte-reproducible.
+        assert!(!json.contains("matrix_wall_ms"));
+        let timing = bench_timing_json(Duration::from_millis(1234));
+        assert!(timing.contains("\"matrix_wall_ms\": 1234"));
+        assert!(timing.contains("denovo-waste/bench-timing/v1"));
         assert!(json.contains("Figure 5.1a"));
 
         // The plan-level document shares the figure payload but carries no

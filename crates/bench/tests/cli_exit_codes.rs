@@ -53,6 +53,10 @@ fn invalid_requests_exit_two() {
         &["trace", "record", "out.trace", "--bogus"],
         // Fuzz misuse: a vacuous sweep is rejected up front.
         &["fuzz", "--seeds", "0"],
+        // Profile misuse: unreadable spec, missing operands.
+        &["profile", "no-such-spec.json"],
+        &["profile", "diff", "only-one.jsonl"],
+        &["profile", "diff", "missing-a.jsonl", "missing-b.jsonl"],
         // Daemon client without a daemon.
         &["stats", "--socket", "no-such.sock"],
         &["submit", "no-such-spec.json", "--socket", "no-such.sock"],
@@ -98,5 +102,56 @@ fn trace_diff_separates_check_failure_from_bad_request() {
         code, 2,
         "an unreadable operand is a bad request, not a diff"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_separates_check_failure_from_bad_request() {
+    let dir = scratch("profile");
+    // A 2-cell tiny spec keeps the two profiled runs fast.
+    std::fs::write(
+        dir.join("spec.json"),
+        denovo_waste::ExperimentSpec::subset(
+            vec![
+                tw_types::ProtocolKind::Mesi,
+                tw_types::ProtocolKind::DBypFull,
+            ],
+            vec![tw_workloads::BenchmarkKind::Fft],
+            denovo_waste::ScaleProfile::Tiny,
+        )
+        .to_json(),
+    )
+    .unwrap();
+
+    // Profile run: exit 0, hot-spot report on stdout, trace written.
+    let (code, stdout, stderr) = run_in(
+        &dir,
+        &["profile", "spec.json", "--top", "5", "--trace", "a.jsonl"],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("hottest cells"), "{stdout}");
+    assert!(stdout.contains("cells/sec"), "{stdout}");
+    let (code, _, stderr) = run_in(&dir, &["profile", "spec.json", "--trace", "b.jsonl"]);
+    assert_eq!(code, 0, "{stderr}");
+
+    // Identical runs diff clean modulo timing (exit 0).
+    let (code, stdout, _) = run_in(&dir, &["profile", "diff", "a.jsonl", "b.jsonl"]);
+    assert_eq!(code, 0, "identical modulo timing: {stdout}");
+
+    // A genuinely different trace is a failed check (exit 1, not 2).
+    let divergent = std::fs::read_to_string(dir.join("a.jsonl"))
+        .unwrap()
+        .replace("\"protocol\":\"MESI\"", "\"protocol\":\"XESI\"");
+    std::fs::write(dir.join("c.jsonl"), divergent).unwrap();
+    let (code, stdout, _) = run_in(&dir, &["profile", "diff", "a.jsonl", "c.jsonl"]);
+    assert_eq!(code, 1, "diverging traces are a failed check: {stdout}");
+
+    // A truncated trace is a bad request (exit 2) with the named error.
+    let full = std::fs::read_to_string(dir.join("a.jsonl")).unwrap();
+    let truncated: String = full.lines().take(3).map(|l| format!("{l}\n")).collect();
+    std::fs::write(dir.join("trunc.jsonl"), truncated).unwrap();
+    let (code, _, stderr) = run_in(&dir, &["profile", "diff", "a.jsonl", "trunc.jsonl"]);
+    assert_eq!(code, 2, "a truncated trace is a bad request: {stderr}");
+    assert!(stderr.contains("truncated"), "names the failure: {stderr}");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -22,6 +22,13 @@ struct Daemon {
 impl Daemon {
     /// Serves in a background thread and waits until the socket answers.
     fn start(name: &str, cache: bool) -> Daemon {
+        Self::start_with(name, cache, false)
+    }
+
+    /// Like [`Daemon::start`], optionally arming the flight recorder. The
+    /// trace file lands *outside* the scratch directory so it survives
+    /// [`Daemon::stop`] for inspection.
+    fn start_with(name: &str, cache: bool, record: bool) -> Daemon {
         let scratch = std::env::temp_dir().join(format!("tw-daemon-{name}"));
         let _ = std::fs::remove_dir_all(&scratch);
         std::fs::create_dir_all(&scratch).unwrap();
@@ -29,6 +36,8 @@ impl Daemon {
         config.cache_dir = cache.then(|| scratch.join("cache"));
         config.workers = 2;
         config.queue_cap = 8;
+        config.record =
+            record.then(|| std::env::temp_dir().join(format!("tw-daemon-{name}-flight.jsonl")));
         let thread = std::thread::spawn({
             let config = config.clone();
             move || serve(&config)
@@ -115,6 +124,115 @@ fn submit_is_byte_identical_to_a_direct_run_and_warm_hits() {
     assert_eq!(stats.get("hit_rate").unwrap().as_str().unwrap(), "0.5000");
 
     daemon.stop();
+}
+
+/// Reads one un-labeled sample (`name value`) out of a Prometheus text
+/// exposition.
+fn scrape(text: &str, name: &str) -> u64 {
+    let prefix = format!("{name} ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("`{name}` not in exposition:\n{text}"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn stats_exposes_latency_percentiles_in_order() {
+    let daemon = Daemon::start("percentiles", true);
+    let spec_text = small_spec().to_json();
+    let mut client = daemon.connect();
+    client.submit(&spec_text).unwrap();
+    client.submit(&spec_text).unwrap();
+
+    let stats = client.stats().unwrap();
+    let get = |k: &str| {
+        stats
+            .get(k)
+            .unwrap_or_else(|| panic!("stats lacks `{k}`"))
+            .as_u64()
+            .unwrap()
+    };
+    // The histogram percentiles resolve to log2 bucket upper bounds clamped
+    // to the observed maximum (exact pins live in the metrics unit tests);
+    // end-to-end they must exist, be ordered, and bound the average.
+    let (p50, p95, p99) = (
+        get("latency_p50_us"),
+        get("latency_p95_us"),
+        get("latency_p99_us"),
+    );
+    assert!(p50 > 0, "two real submits took nonzero time");
+    assert!(p50 <= p95 && p95 <= p99, "percentiles must be monotone");
+    assert!(p99 <= get("latency_max_us"), "p99 is clamped to the max");
+    assert!(get("latency_avg_us") <= get("latency_max_us"));
+    let (q50, q95, q99) = (
+        get("queue_wait_p50_us"),
+        get("queue_wait_p95_us"),
+        get("queue_wait_p99_us"),
+    );
+    assert!(q50 <= q95 && q95 <= q99);
+
+    daemon.stop();
+}
+
+#[test]
+fn metrics_exposition_is_well_formed_and_monotone() {
+    let daemon = Daemon::start("metrics-op", true);
+    let spec_text = small_spec().to_json();
+    let mut client = daemon.connect();
+    client.submit(&spec_text).unwrap();
+    let m1 = client.metrics().unwrap();
+    client.submit(&spec_text).unwrap();
+    let m2 = client.metrics().unwrap();
+
+    for needle in [
+        "# TYPE tw_daemon_requests_total counter",
+        "# TYPE tw_daemon_latency_us histogram",
+        "tw_daemon_latency_us_bucket{le=\"+Inf\"}",
+        "tw_daemon_queue_wait_us_bucket{le=\"+Inf\"}",
+        "tw_daemon_workers 2",
+    ] {
+        assert!(m2.contains(needle), "missing `{needle}` in:\n{m2}");
+    }
+    // Counters are monotone across the two scrapes.
+    assert_eq!(scrape(&m1, "tw_daemon_requests_total"), 1);
+    assert_eq!(scrape(&m2, "tw_daemon_requests_total"), 2);
+    assert_eq!(scrape(&m2, "tw_daemon_completed_total"), 2);
+    assert!(
+        scrape(&m2, "tw_daemon_cells_total") > scrape(&m1, "tw_daemon_cells_total"),
+        "the second submit added cells"
+    );
+    assert_eq!(scrape(&m2, "tw_daemon_latency_us_count"), 2);
+
+    daemon.stop();
+}
+
+#[test]
+fn recording_daemon_writes_a_valid_trace_with_request_and_cell_spans() {
+    let daemon = Daemon::start_with("recording", true, true);
+    let trace_path = daemon.config.record.clone().unwrap();
+    let spec_text = small_spec().to_json();
+    let mut client = daemon.connect();
+    let cold = client.submit(&spec_text).unwrap();
+    assert_eq!(cold.misses, 4);
+    let warm = client.submit(&spec_text).unwrap();
+    assert_eq!(warm.hits, 4);
+    // Recording must not perturb the served bytes.
+    assert_eq!(cold.figures, warm.figures);
+    daemon.stop();
+
+    // The trace is written on clean shutdown, validates structurally, and
+    // carries per-request spans plus the session's per-cell spans.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let summary = tw_obs::validate_trace(&text).unwrap();
+    assert!(summary.spans >= 10, "2 requests + 8 cells at minimum");
+    assert!(text.contains("\"name\":\"request\""));
+    assert!(text.contains("\"outcome\":\"ok\""));
+    assert!(text.contains("\"name\":\"cell\""));
+    assert!(text.contains("\"outcome\":\"disk_hit\""));
+    assert!(text.contains("\"timing\":{"));
+    let _ = std::fs::remove_file(&trace_path);
 }
 
 #[test]

@@ -1,0 +1,110 @@
+//! Observer-lane contract tests for the flight recorder.
+//!
+//! Two properties carry the telemetry design: (1) recording never changes a
+//! result byte, and (2) two identical runs emit byte-identical traces once
+//! the quarantined `timing` sub-objects are stripped. The rejection tests
+//! mirror the DNVT trace contract: a cut or damaged trace fails loudly with
+//! a named error, never silently succeeds.
+
+use denovo_waste::{ExperimentSpec, ScaleProfile, Session, WorkloadSet};
+use proptest::prelude::*;
+use std::sync::Arc;
+use tw_obs::{diff_traces, stripped_lines, validate_trace, FlightRecorder, SpanSink, TraceError};
+use tw_types::ProtocolKind;
+use tw_workloads::BenchmarkKind;
+
+const PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::Mesi,
+    ProtocolKind::DeNovo,
+    ProtocolKind::DBypFull,
+];
+const BENCHES: [BenchmarkKind; 2] = [BenchmarkKind::Fft, BenchmarkKind::Radix];
+
+/// A tiny spec over non-empty protocol/benchmark subsets. Every cell is
+/// distinct and the session runs cache-less, so no single-flight
+/// coalescing can make leader attribution racy.
+fn spec_from(proto_mask: u8, bench_mask: u8) -> ExperimentSpec {
+    let protocols = PROTOCOLS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| proto_mask & (1 << i) != 0)
+        .map(|(_, p)| *p)
+        .collect();
+    let benches = BENCHES
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| bench_mask & (1 << i) != 0)
+        .map(|(_, b)| *b)
+        .collect();
+    ExperimentSpec::subset(protocols, benches, ScaleProfile::Tiny)
+}
+
+/// Runs `spec` with the recorder armed; returns the trace JSONL and a
+/// deterministic rendering of the whole outcome (reports live in BTreeMaps,
+/// so the Debug form is byte-stable).
+fn recorded_run(spec: &ExperimentSpec) -> (String, String) {
+    let rec = Arc::new(FlightRecorder::new());
+    let session = Session::new().with_recorder(SpanSink::new(Arc::clone(&rec) as _, "test"));
+    let outcome = session.run(spec, &WorkloadSet::new()).unwrap();
+    (rec.to_jsonl(), format!("{outcome:?}"))
+}
+
+proptest! {
+    // Each case runs up to six tiny cells three times; a handful of cases
+    // keeps the suite fast while still sweeping the subset lattice.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn identical_runs_emit_identical_traces_modulo_timing(
+        proto_mask in 1u8..(1 << PROTOCOLS.len()),
+        bench_mask in 1u8..(1 << BENCHES.len()),
+    ) {
+        let spec = spec_from(proto_mask, bench_mask);
+        let (trace_a, outcome_a) = recorded_run(&spec);
+        let (trace_b, outcome_b) = recorded_run(&spec);
+        prop_assert_eq!(&outcome_a, &outcome_b);
+        prop_assert!(validate_trace(&trace_a).unwrap().spans > 0);
+        prop_assert_eq!(diff_traces(&trace_a, &trace_b).unwrap(), None);
+        prop_assert_eq!(
+            stripped_lines(&trace_a).unwrap(),
+            stripped_lines(&trace_b).unwrap()
+        );
+
+        // Observer lane: a run without the recorder produces the same outcome.
+        let plain = Session::new().run(&spec, &WorkloadSet::new()).unwrap();
+        prop_assert_eq!(format!("{plain:?}"), outcome_a);
+    }
+}
+
+#[test]
+fn corrupt_and_truncated_traces_are_rejected_with_named_errors() {
+    let spec = spec_from(1, 1);
+    let (trace, _) = recorded_run(&spec);
+    let n = validate_trace(&trace).unwrap().spans;
+    assert!(n >= 2, "at least the run span and the cell span");
+
+    // Cut mid-stream: the header's span count is the truncation oracle.
+    let kept = trace.lines().count() - 1;
+    let truncated: String = trace.lines().take(kept).map(|l| format!("{l}\n")).collect();
+    assert_eq!(
+        validate_trace(&truncated),
+        Err(TraceError::Truncated {
+            expected: n,
+            found: n - 1
+        })
+    );
+
+    // Surplus lines after the promised count are damage, not extra data.
+    let surplus = format!("{trace}{}\n", trace.lines().last().unwrap());
+    assert!(matches!(
+        validate_trace(&surplus),
+        Err(TraceError::Corrupt(_))
+    ));
+
+    // A foreign schema tag is rejected by name.
+    let bad_header = trace.replacen("denovo-waste/flight/v1", "denovo-waste/flight/v9", 1);
+    assert!(matches!(
+        validate_trace(&bad_header),
+        Err(TraceError::Corrupt(_))
+    ));
+}

@@ -28,7 +28,8 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use tw_obs::{Span, SpanSink};
 use tw_types::{Cycle, Digest, Digester, ProtocolKind, SystemConfig};
 
 /// Version stamp of the simulation engine, folded into every cache key.
@@ -139,6 +140,11 @@ struct SessionState {
 pub struct Session {
     cache_dir: Option<PathBuf>,
     barrier_overhead: Cycle,
+    /// Observer-lane flight recording: when set, every cell emits a span on
+    /// the `<label>/<protocol>` track and hands the simulator a sink on the
+    /// same track for its phase/run spans. Never read back — recording on
+    /// or off, every simulated number is identical.
+    recorder: Option<SpanSink>,
     state: Arc<SessionState>,
 }
 
@@ -148,6 +154,7 @@ impl Session {
         Session {
             cache_dir: None,
             barrier_overhead: SimConfig::new(ProtocolKind::Mesi).barrier_overhead,
+            recorder: None,
             state: Arc::default(),
         }
     }
@@ -163,6 +170,12 @@ impl Session {
     /// The cache directory, if one is configured.
     pub fn cache_dir(&self) -> Option<&std::path::Path> {
         self.cache_dir.as_deref()
+    }
+
+    /// Arms flight recording on this session (and the simulators it runs).
+    pub fn with_recorder(mut self, sink: SpanSink) -> Self {
+        self.recorder = Some(sink);
+        self
     }
 
     /// Compiles and executes a spec in one step.
@@ -232,14 +245,28 @@ impl Session {
     }
 
     fn run_cell(&self, cell: &PlannedCell) -> Result<(SimReport, CellSource), ExperimentError> {
+        // Timers exist only when a live recorder is attached, so the
+        // unrecorded path pays one Option probe per cell, nothing per op.
+        let sink = self
+            .recorder
+            .as_ref()
+            .filter(|s| s.enabled())
+            .map(|s| s.with_track(format!("{}/{}", cell.label, cell.protocol.name())));
         let key = self.key_of(cell);
         let path = self
             .cache_dir
             .as_ref()
             .map(|d| d.join(format!("{key}.json")));
+        let mut probe_us = 0u64;
         if let Some(path) = &path {
-            match probe_entry(path, key) {
-                DiskProbe::Hit(report) => return Ok((*report, CellSource::DiskHit)),
+            let t = sink.as_ref().map(|_| Instant::now());
+            let probe = probe_entry(path, key);
+            probe_us = t.map_or(0, |t| t.elapsed().as_micros() as u64);
+            match probe {
+                DiskProbe::Hit(report) => {
+                    emit_cell_span(&sink, "disk_hit", probe_us, 0, 0);
+                    return Ok((*report, CellSource::DiskHit));
+                }
                 DiskProbe::Absent => {}
                 DiskProbe::Corrupt => {
                     // The entry exists but cannot be trusted (garbled,
@@ -262,26 +289,55 @@ impl Session {
             Arc::clone(inflight.entry(key).or_default())
         };
         let mut leader = false;
+        let mut sim_us = 0u64;
         let report = flight
             .get_or_init(|| {
                 leader = true;
-                self.simulate(cell)
+                let t = sink.as_ref().map(|_| Instant::now());
+                let report = self.simulate(cell, sink.as_ref());
+                sim_us = t.map_or(0, |t| t.elapsed().as_micros() as u64);
+                report
             })
             .clone();
         if leader {
+            let t = sink.as_ref().map(|_| Instant::now());
             if let Some(path) = &path {
                 store_entry(path, key, cell, &report)?;
             }
+            let store_us = t.map_or(0, |t| t.elapsed().as_micros() as u64);
+            emit_cell_span(&sink, "simulated", probe_us, sim_us, store_us);
             Ok((report, CellSource::Simulated))
         } else {
+            emit_cell_span(&sink, "coalesced", probe_us, 0, 0);
             Ok((report, CellSource::Coalesced))
         }
     }
 
-    fn simulate(&self, cell: &PlannedCell) -> SimReport {
+    fn simulate(&self, cell: &PlannedCell, sink: Option<&SpanSink>) -> SimReport {
         let mut cfg = SimConfig::new(cell.protocol).with_system(cell.system.clone());
         cfg.barrier_overhead = self.barrier_overhead;
+        cfg.recorder = sink.cloned();
         Simulator::new(cfg, &cell.workload).run()
+    }
+}
+
+/// Emits one per-cell span: the coalesce outcome in the deterministic
+/// payload, every wall-clock measurement quarantined in `timing`.
+fn emit_cell_span(
+    sink: &Option<SpanSink>,
+    outcome: &str,
+    probe_us: u64,
+    sim_us: u64,
+    store_us: u64,
+) {
+    if let Some(sink) = sink {
+        sink.emit(
+            Span::event("cell")
+                .attr("outcome", outcome)
+                .timing_us("probe_us", probe_us)
+                .timing_us("sim_us", sim_us)
+                .timing_us("store_us", store_us),
+        );
     }
 }
 

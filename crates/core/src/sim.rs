@@ -26,6 +26,7 @@ use crate::machine::build_tiles;
 use crate::report::SimReport;
 use crate::timing::{ExecutionBreakdown, TimeClass};
 use engine::{executor_for, Engine, GeomCache, Net, ProtocolExecutor, TraceCapture};
+use tw_obs::{Span, SpanSink};
 use tw_profiler::{CacheLevel, CacheWasteProfiler, MemoryWasteProfiler};
 use tw_types::{
     Cycle, MemKind, MessageClass, ProtocolKind, Stamp, SystemConfig, TraceOp, TrafficBucket,
@@ -42,6 +43,11 @@ pub struct SimConfig {
     /// Fixed cost charged to every core at each barrier (latency of the
     /// barrier primitive itself).
     pub barrier_overhead: Cycle,
+    /// Observer-lane span sink for this run. `None` (the default) records
+    /// nothing; emission sites guard on it, so an unrecorded run pays one
+    /// branch per barrier, not per memory operation. The recorder is
+    /// write-only — nothing simulated may depend on it (DESIGN.md §15).
+    pub recorder: Option<SpanSink>,
 }
 
 /// Resolves a protocol configuration from its figure name (case-insensitive),
@@ -57,12 +63,19 @@ impl SimConfig {
             protocol,
             system: SystemConfig::default(),
             barrier_overhead: 100,
+            recorder: None,
         }
     }
 
     /// Replaces the system configuration.
     pub fn with_system(mut self, system: SystemConfig) -> Self {
         self.system = system;
+        self
+    }
+
+    /// Arms flight recording: phase and run spans are emitted on `sink`.
+    pub fn with_recorder(mut self, sink: SpanSink) -> Self {
+        self.recorder = Some(sink);
         self
     }
 }
@@ -97,6 +110,8 @@ pub struct Simulator<'wl> {
     /// ties resolve to the lowest core index, exactly like the
     /// `min_by_key` it replaces.
     ready: Vec<u64>,
+    /// Barrier phases released so far (flight-recorder span numbering).
+    phases: u64,
 }
 
 impl<'wl> Simulator<'wl> {
@@ -136,6 +151,7 @@ impl<'wl> Simulator<'wl> {
             pc: vec![0; cores],
             state: vec![CoreState::Running; cores],
             ready: vec![0; cores],
+            phases: 0,
         }
     }
 
@@ -274,6 +290,23 @@ impl<'wl> Simulator<'wl> {
             self.state[c] = CoreState::Running;
         }
         self.exec.barrier_released(&mut self.engine, release);
+        self.phases += 1;
+        // Observer lane: every attribute below is a pure function of the
+        // run's inputs (canonical/timed lanes and all counters are
+        // deterministic), so traces byte-diff across reruns.
+        if let Some(sink) = &self.engine.cfg.recorder {
+            if sink.enabled() {
+                sink.emit(
+                    Span::event("phase")
+                        .attr("phase", self.phases)
+                        .attr("barrier", u64::from(ids[0]))
+                        .attr("cores", waiting.len() as u64)
+                        .attr("release", release.canon)
+                        .attr("sends", self.engine.net.sends)
+                        .attr("queue_hw", self.engine.net.queue_high_water() as u64),
+                );
+            }
+        }
     }
 
     /// Drains profilers and builds the final report.
@@ -284,6 +317,35 @@ impl<'wl> Simulator<'wl> {
         // have drained anyway.
         let last = self.clocks.iter().copied().fold(Stamp::at(0), Stamp::max);
         self.exec.finish(&mut self.engine, last);
+        if let Some(sink) = &self.engine.cfg.recorder {
+            if sink.enabled() {
+                let (mut probes, mut resizes) = (0u64, 0u64);
+                for prof in &self.engine.l1_prof {
+                    let (_, p, r) = prof.pending_table_stats();
+                    probes += p;
+                    resizes += r;
+                }
+                for (_, p, r) in [
+                    self.engine.l2_prof.pending_table_stats(),
+                    self.engine.mem_prof.pending_table_stats(),
+                ] {
+                    probes += p;
+                    resizes += r;
+                }
+                sink.emit(
+                    Span::event("run")
+                        .attr("protocol", self.engine.cfg.protocol.name())
+                        .attr("benchmark", self.engine.workload.kind.name())
+                        .attr("network", self.engine.cfg.system.network.name())
+                        .attr("cycles", last.timed)
+                        .attr("phases", self.phases)
+                        .attr("sends", self.engine.net.sends)
+                        .attr("queue_hw", self.engine.net.queue_high_water() as u64)
+                        .attr("map_probes", probes)
+                        .attr("map_resizes", resizes),
+                );
+            }
+        }
         let eng = self.engine;
 
         let mut l1_waste = tw_profiler::WasteReport::new();

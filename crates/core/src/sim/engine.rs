@@ -69,6 +69,8 @@ pub(crate) struct Net {
     noc: NocConfig,
     /// `noc.words_per_flit()` as an `f64`, cached off the per-message path.
     words_per_flit: f64,
+    /// Messages sent, for flight-recorder spans. Observer lane only.
+    pub(crate) sends: u64,
 }
 
 /// Outcome of sending one message.
@@ -94,6 +96,7 @@ impl Net {
             traffic: TrafficBreakdown::new(),
             words_per_flit: noc.words_per_flit() as f64,
             noc,
+            sends: 0,
         }
     }
 
@@ -113,6 +116,7 @@ impl Net {
             data_words <= self.noc.max_data_words(),
             "oversized payload must be split by the caller"
         );
+        self.sends += 1;
         let size = if data_words == 0 {
             PacketSize::control_only()
         } else {
@@ -169,6 +173,12 @@ impl Net {
     /// Total flit-hops so far.
     pub(crate) fn total_flit_hops(&self) -> f64 {
         self.mesh.total_flit_hops()
+    }
+
+    /// Peak event-queue depth of the timed overlay (0 for the analytic
+    /// model, which has no event loop).
+    pub(crate) fn queue_high_water(&self) -> usize {
+        self.timed.as_ref().map_or(0, |m| m.queue_high_water())
     }
 }
 

@@ -47,6 +47,7 @@ impl<T> Eq for Entry<T> {}
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     seq: u64,
+    high_water: usize,
 }
 
 impl<T> EventQueue<T> {
@@ -55,6 +56,7 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            high_water: 0,
         }
     }
 
@@ -67,6 +69,7 @@ impl<T> EventQueue<T> {
             seq: self.seq,
             payload,
         });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Pops the earliest event — smallest `(time, seq)` pair.
@@ -87,6 +90,12 @@ impl<T> EventQueue<T> {
     /// Total events ever scheduled (the tie-break counter).
     pub fn scheduled(&self) -> u64 {
         self.seq
+    }
+
+    /// Deepest the queue has ever been — the run's event-backlog high-water
+    /// mark. Observer lane: nothing inside the simulation reads this.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -123,5 +132,19 @@ mod tests {
         q.pop();
         q.push(3, 'b');
         assert_eq!(q.scheduled(), 2, "seq survives a drain");
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth_not_current() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        q.push(1, 'a');
+        q.push(2, 'b');
+        q.push(3, 'c');
+        q.pop();
+        q.pop();
+        q.push(4, 'd');
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 3, "peak was three pending events");
     }
 }

@@ -34,6 +34,12 @@ pub trait NetworkModel: std::fmt::Debug + Send {
 
     /// Total packets sent.
     fn packets(&self) -> u64;
+
+    /// Peak event-queue depth, for models that run an event loop. Analytic
+    /// models have no queue and report 0 (the default). Observer lane only.
+    fn queue_high_water(&self) -> usize {
+        0
+    }
 }
 
 impl NetworkModel for Mesh {
@@ -77,6 +83,10 @@ impl NetworkModel for WormholeMesh {
 
     fn packets(&self) -> u64 {
         WormholeMesh::packets(self)
+    }
+
+    fn queue_high_water(&self) -> usize {
+        self.event_queue_high_water()
     }
 }
 

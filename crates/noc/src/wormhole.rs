@@ -77,6 +77,12 @@ impl WormholeMesh {
         self.ports.values().map(|p| p.stall_cycles).sum()
     }
 
+    /// Peak depth of the flit-event queue across the run — how much
+    /// in-flight work the event loop ever had pending at once.
+    pub fn event_queue_high_water(&self) -> usize {
+        self.events.high_water()
+    }
+
     /// Earliest cycle flit `f` may start crossing link `i`, given every
     /// already-resolved traversal of this packet (constraints 1–3; the
     /// resource constraints are applied by the port when the event pops).

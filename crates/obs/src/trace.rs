@@ -1,0 +1,343 @@
+//! The flight-trace JSONL format: validation, timing-stripping and diff.
+//!
+//! A trace file is one header line plus one compact JSON object per span:
+//!
+//! ```text
+//! {"schema":"denovo-waste/flight/v1","spans":N}
+//! {"seq":0,"track":"...","name":"...","attrs":{...},"timing":{...}}
+//! ...
+//! {"seq":N-1,...}
+//! ```
+//!
+//! The header's span count is the truncation detector, mirroring the DNVT
+//! binary format's end-marker contract: a file with fewer span lines than
+//! the header promises is rejected with a *named* [`TraceError::Truncated`]
+//! (not silently accepted as a shorter trace), and any structural damage —
+//! bad header, out-of-sequence `seq`, a line that is not a span object — is
+//! [`TraceError::Corrupt`] with the offense in the message.
+
+/// Schema identifier carried by every trace header.
+pub const TRACE_SCHEMA: &str = "denovo-waste/flight/v1";
+
+/// Why a trace file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The file ends before the span count promised by its header —
+    /// the writer crashed or the file was cut mid-stream.
+    Truncated {
+        /// Span lines the header promised.
+        expected: u64,
+        /// Span lines actually present.
+        found: u64,
+    },
+    /// The file is structurally damaged: bad header, out-of-sequence
+    /// numbering, surplus lines, or a malformed span line.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Truncated { expected, found } => write!(
+                f,
+                "truncated trace: header promises {expected} spans, found {found}"
+            ),
+            TraceError::Corrupt(msg) => write!(f, "corrupt trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// What a validated trace contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Number of span lines.
+    pub spans: u64,
+}
+
+/// Validates a trace's framing: header schema and span count, one
+/// well-formed span line per promised span, sequence numbers `0..N` in
+/// order, nothing after the last span.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] when span lines are missing,
+/// [`TraceError::Corrupt`] for any other structural damage.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, TraceError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TraceError::Corrupt("empty file".to_string()))?;
+    let expected = parse_header(header)?;
+    let mut found = 0u64;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if found >= expected {
+            return Err(TraceError::Corrupt(format!(
+                "{} span lines after the {expected} the header promises",
+                found + 1 - expected
+            )));
+        }
+        let seq = parse_seq(line)
+            .ok_or_else(|| TraceError::Corrupt(format!("span line {found} is malformed")))?;
+        if seq != found {
+            return Err(TraceError::Corrupt(format!(
+                "span line {found} carries seq {seq}; sequence numbers must be consecutive"
+            )));
+        }
+        found += 1;
+    }
+    if found < expected {
+        return Err(TraceError::Truncated { expected, found });
+    }
+    Ok(TraceSummary { spans: expected })
+}
+
+fn parse_header(header: &str) -> Result<u64, TraceError> {
+    let prefix = format!("{{\"schema\":\"{TRACE_SCHEMA}\",\"spans\":");
+    let rest = header
+        .strip_prefix(prefix.as_str())
+        .ok_or_else(|| TraceError::Corrupt(format!("header must open with {prefix}...")))?;
+    let digits = rest
+        .strip_suffix('}')
+        .ok_or_else(|| TraceError::Corrupt("header must close with `}`".to_string()))?;
+    digits
+        .parse::<u64>()
+        .map_err(|_| TraceError::Corrupt(format!("header span count `{digits}` is not a number")))
+}
+
+/// Extracts the `seq` of a span line, requiring the exact serialized shape
+/// (`{"seq":N,"track":...` with a closing `}`).
+fn parse_seq(line: &str) -> Option<u64> {
+    let rest = line.strip_prefix("{\"seq\":")?;
+    if !line.ends_with('}') {
+        return None;
+    }
+    let end = rest.find(',')?;
+    let seq = rest[..end].parse::<u64>().ok()?;
+    rest[end..].starts_with(",\"track\":").then_some(seq)
+}
+
+/// Removes the `"timing":{...}` sub-object from one serialized span line.
+/// String-literal state is tracked, so attribute values containing the text
+/// `"timing"` are left alone; only the top-level key is stripped. Lines
+/// without a top-level `timing` key (the header) pass through unchanged.
+pub fn strip_timing(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b'"' => {
+                if depth == 1 && bytes[i..].starts_with(b"\"timing\":{") {
+                    // Find the matching close brace of the timing object.
+                    let value_start = i + "\"timing\":".len();
+                    if let Some(end) = object_end(bytes, value_start) {
+                        // Swallow the separating comma on whichever side has
+                        // one (the writer puts timing last, so usually the
+                        // preceding comma).
+                        let mut start = i;
+                        let mut stop = end;
+                        if start > 0 && bytes[start - 1] == b',' {
+                            start -= 1;
+                        } else if stop < bytes.len() && bytes[stop] == b',' {
+                            stop += 1;
+                        }
+                        let mut out = String::with_capacity(line.len());
+                        out.push_str(&line[..start]);
+                        out.push_str(&line[stop..]);
+                        return out;
+                    }
+                }
+                in_string = true;
+            }
+            b'{' => depth += 1,
+            b'}' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        i += 1;
+    }
+    line.to_string()
+}
+
+/// Index one past the close brace of the object starting at `start`
+/// (`bytes[start]` must be `{`), honoring string literals.
+fn object_end(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Validates a trace and returns its lines with timing stripped (header
+/// included, unmodified) — the canonical form two traces of the same run
+/// compare byte-equal in.
+///
+/// # Errors
+///
+/// Any [`TraceError`] from [`validate_trace`].
+pub fn stripped_lines(text: &str) -> Result<Vec<String>, TraceError> {
+    validate_trace(text)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(strip_timing)
+        .collect())
+}
+
+/// Diffs two traces modulo timing. `None` means identical; `Some` names the
+/// first divergence (span count or first differing line).
+///
+/// # Errors
+///
+/// Any [`TraceError`] from validating either input.
+pub fn diff_traces(a: &str, b: &str) -> Result<Option<String>, TraceError> {
+    let la = stripped_lines(a)?;
+    let lb = stripped_lines(b)?;
+    if la.len() != lb.len() {
+        return Ok(Some(format!(
+            "span counts differ: {} vs {}",
+            la.len().saturating_sub(1),
+            lb.len().saturating_sub(1)
+        )));
+    }
+    for (i, (x, y)) in la.iter().zip(&lb).enumerate() {
+        if x != y {
+            return Ok(Some(format!("line {i}:\n  a: {x}\n  b: {y}")));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{FlightRecorder, SpanSink};
+    use crate::span::Span;
+    use std::sync::Arc;
+
+    fn sample_trace() -> String {
+        let rec = Arc::new(FlightRecorder::new());
+        let sink = SpanSink::new(rec.clone(), "FFT/MESI");
+        sink.emit(Span::event("phase").attr("phase", 0u64));
+        sink.emit(
+            Span::event("cell")
+                .attr("outcome", "simulated")
+                .timing_us("sim_us", 42),
+        );
+        rec.to_jsonl()
+    }
+
+    #[test]
+    fn valid_trace_validates() {
+        let t = sample_trace();
+        assert_eq!(validate_trace(&t).unwrap(), TraceSummary { spans: 2 });
+    }
+
+    #[test]
+    fn truncated_trace_is_a_named_error() {
+        let t = sample_trace();
+        let cut: String = t.lines().take(2).map(|l| format!("{l}\n")).collect();
+        assert_eq!(
+            validate_trace(&cut),
+            Err(TraceError::Truncated {
+                expected: 2,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn surplus_lines_bad_header_and_bad_seq_are_corrupt() {
+        let t = sample_trace();
+        let extra = format!("{t}{}", t.lines().nth(2).unwrap());
+        assert!(matches!(
+            validate_trace(&extra),
+            Err(TraceError::Corrupt(_))
+        ));
+
+        let bad_header = t.replacen("flight/v1", "flight/v9", 1);
+        assert!(matches!(
+            validate_trace(&bad_header),
+            Err(TraceError::Corrupt(_))
+        ));
+
+        let bad_seq = t.replacen("{\"seq\":1,", "{\"seq\":7,", 1);
+        assert!(matches!(
+            validate_trace(&bad_seq),
+            Err(TraceError::Corrupt(_))
+        ));
+
+        assert!(matches!(validate_trace(""), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn strip_timing_ignores_lookalike_attr_values() {
+        let rec = Arc::new(FlightRecorder::new());
+        let sink = SpanSink::new(rec.clone(), "t");
+        sink.emit(
+            Span::event("cell")
+                .attr("note", "\"timing\":{ inside a string")
+                .timing_us("wall_us", 5),
+        );
+        let line = rec.to_jsonl().lines().nth(1).unwrap().to_string();
+        let stripped = strip_timing(&line);
+        assert!(stripped.contains("inside a string"));
+        assert!(!stripped.contains("wall_us"));
+        assert!(stripped.ends_with("}}"));
+    }
+
+    #[test]
+    fn diff_is_none_for_same_run_and_names_first_divergence() {
+        let a = sample_trace();
+        let b = sample_trace();
+        assert_eq!(diff_traces(&a, &b).unwrap(), None);
+        // Different timing only: still identical.
+        let b_timed = b.replace("\"sim_us\":42", "\"sim_us\":9000");
+        assert_eq!(diff_traces(&a, &b_timed).unwrap(), None);
+        // Different attr: named divergence.
+        let b_attr = a.replace("\"outcome\":\"simulated\"", "\"outcome\":\"hit\"");
+        let d = diff_traces(&a, &b_attr).unwrap().unwrap();
+        assert!(d.contains("line 2"), "{d}");
+    }
+}

@@ -210,6 +210,13 @@ impl CacheWasteProfiler {
             .sum()
     }
 
+    /// Pending-table probe statistics `(chunks, collision_probes, resizes)`
+    /// for flight-recorder spans. Observer lane only.
+    pub fn pending_table_stats(&self) -> (usize, u64, u64) {
+        let (probes, resizes) = self.pending.probe_stats();
+        (self.pending.len(), probes, resizes)
+    }
+
     /// A word arrived at the cache in a response of class `class`, having
     /// spent `flit_hops` flit-hops on its final network leg.
     ///

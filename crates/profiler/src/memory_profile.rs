@@ -117,6 +117,13 @@ impl MemoryWasteProfiler {
         self.pending.iter().map(|(_, c)| c.instances()).sum()
     }
 
+    /// Pending-table probe statistics `(chunks, collision_probes, resizes)`
+    /// for flight-recorder spans. Observer lane only.
+    pub fn pending_table_stats(&self) -> (usize, u64, u64) {
+        let (probes, resizes) = self.pending.probe_stats();
+        (self.pending.len(), probes, resizes)
+    }
+
     /// A word was sent from memory onto the chip.
     ///
     /// `l2_already_present` is true when the L2 already holds the address, in

@@ -33,6 +33,7 @@ use denovo_waste::{
 };
 use rayon::prelude::*;
 use std::fmt;
+use tw_obs::SpanSink;
 use tw_types::{NetworkModelKind, ProtocolKind};
 use tw_workloads::Workload;
 
@@ -192,6 +193,12 @@ pub struct DifferentialRunner {
     pub network: NetworkModelKind,
     /// Protocols swept, in summary order.
     pub protocols: Vec<ProtocolKind>,
+    /// Observer-lane flight recording for the primary sweep. Alt-model
+    /// reruns and replays are deliberately unrecorded: they exist to check
+    /// invariants, and their spans would duplicate every track. The sweep's
+    /// printed digests are byte-identical with recording on or off
+    /// (CI-asserted).
+    pub recorder: Option<SpanSink>,
 }
 
 impl DifferentialRunner {
@@ -201,12 +208,19 @@ impl DifferentialRunner {
             scale,
             network: NetworkModelKind::default(),
             protocols: ProtocolKind::ALL.to_vec(),
+            recorder: None,
         }
     }
 
     /// The same runner with the primary sweep under `network`.
     pub fn with_network(mut self, network: NetworkModelKind) -> Self {
         self.network = network;
+        self
+    }
+
+    /// The same runner with flight recording armed on the primary sweep.
+    pub fn with_recorder(mut self, sink: SpanSink) -> Self {
+        self.recorder = Some(sink);
         self
     }
 
@@ -247,7 +261,11 @@ impl DifferentialRunner {
             .protocols
             .par_iter()
             .map(|&protocol| {
-                let cfg = SimConfig::new(protocol).with_system(system.clone());
+                let mut cfg = SimConfig::new(protocol).with_system(system.clone());
+                if let Some(sink) = self.recorder.as_ref().filter(|s| s.enabled()) {
+                    cfg.recorder =
+                        Some(sink.with_track(format!("{}/{}", wl.kind.name(), protocol.name())));
+                }
                 let (report, captured) = Simulator::new(cfg.clone(), wl).run_captured();
                 let mut violations = Vec::new();
 
@@ -268,6 +286,9 @@ impl DifferentialRunner {
                     });
                 }
 
+                // The replay is a checker, not part of the primary sweep —
+                // recording it would emit every phase span twice per track.
+                cfg.recorder = None;
                 let replayed = Simulator::new(cfg, &captured).run();
                 if replayed != report {
                     violations.push(Violation::ReplayMismatch { protocol });
@@ -529,6 +550,7 @@ mod tests {
             scale: ScaleProfile::Tiny,
             network: NetworkModelKind::default(),
             protocols: vec![ProtocolKind::Mesi, ProtocolKind::DBypFull],
+            recorder: None,
         };
         let out = runner.matrix_outcome(synthesize(4)).unwrap();
         assert_eq!(out.benchmarks, vec![BenchmarkKind::Synthesized]);

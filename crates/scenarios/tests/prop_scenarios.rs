@@ -122,6 +122,7 @@ proptest! {
             scale: ScaleProfile::Tiny,
             network: NetworkModelKind::default(),
             protocols: vec![ProtocolKind::Dragon],
+            recorder: None,
         };
         let out = runner.check(&wl);
         prop_assert!(

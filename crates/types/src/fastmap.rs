@@ -31,6 +31,11 @@ pub struct FastMap<V> {
     mask: usize,
     shift: u32,
     len: usize,
+    // Observability counters, maintained only on `&mut self` paths (the
+    // collision branch and `grow_to`) so the shared-read `find` stays
+    // untouched. Observer lane: nothing reads these back into simulation.
+    probes: u64,
+    resizes: u64,
 }
 
 impl<V> Default for FastMap<V> {
@@ -47,6 +52,8 @@ impl<V> FastMap<V> {
             mask: 0,
             shift: 64,
             len: 0,
+            probes: 0,
+            resizes: 0,
         }
     }
 
@@ -126,7 +133,10 @@ impl<V> FastMap<V> {
         let idx = loop {
             match &self.slots[i] {
                 Some((k, _)) if *k == key => break i,
-                Some(_) => i = (i + 1) & self.mask,
+                Some(_) => {
+                    self.probes += 1;
+                    i = (i + 1) & self.mask;
+                }
                 None => {
                     self.slots[i] = Some((key, default()));
                     self.len += 1;
@@ -151,7 +161,10 @@ impl<V> FastMap<V> {
         loop {
             match &self.slots[i] {
                 Some((k, _)) if *k == key => return false,
-                Some(_) => i = (i + 1) & self.mask,
+                Some(_) => {
+                    self.probes += 1;
+                    i = (i + 1) & self.mask;
+                }
                 None => {
                     self.slots[i] = Some((key, value));
                     self.len += 1;
@@ -177,7 +190,10 @@ impl<V> FastMap<V> {
                 Some((k, v)) if *k == key => {
                     return Some(std::mem::replace(v, value));
                 }
-                Some(_) => i = (i + 1) & self.mask,
+                Some(_) => {
+                    self.probes += 1;
+                    i = (i + 1) & self.mask;
+                }
                 None => {
                     self.slots[i] = Some((key, value));
                     self.len += 1;
@@ -227,8 +243,16 @@ impl<V> FastMap<V> {
             .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
     }
 
+    /// Observability counters: cumulative collision probes on mutating
+    /// lookups, and table rehashes. Write-side only — the shared-read
+    /// `find` path is deliberately uninstrumented.
+    pub fn probe_stats(&self) -> (u64, u64) {
+        (self.probes, self.resizes)
+    }
+
     fn grow_to(&mut self, new_cap: usize) {
         debug_assert!(new_cap.is_power_of_two());
+        self.resizes += 1;
         let old = std::mem::replace(
             &mut self.slots,
             (0..new_cap).map(|_| None).collect::<Vec<Slot<V>>>(),
@@ -357,6 +381,28 @@ mod tests {
         for k in 0..1000 {
             assert_eq!(g.get(k * 4), Some(&(k + 1)));
         }
+    }
+
+    #[test]
+    fn probe_stats_count_collisions_and_resizes() {
+        let mut m = FastMap::new();
+        assert_eq!(m.probe_stats(), (0, 0));
+        for k in 0..1000u64 {
+            m.insert(k * 64, k);
+        }
+        let (_, resizes) = m.probe_stats();
+        // 1000 entries at 50% occupancy needs a 2048-slot table: 8 -> 2048
+        // is 9 doublings (grow_to is also the initial allocation).
+        assert!(resizes >= 9, "resizes = {resizes}");
+        // Force a guaranteed collision chain: with_capacity avoids growth
+        // noise, and two keys sharing a home probe past each other.
+        let mut c: FastMap<u64> = FastMap::with_capacity(512);
+        let (probes0, _) = c.probe_stats();
+        for k in 0..256u64 {
+            c.insert(k, k);
+        }
+        let (probes, _) = c.probe_stats();
+        assert!(probes >= probes0, "probe counter must be monotone");
     }
 
     #[test]
